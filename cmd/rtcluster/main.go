@@ -1,0 +1,135 @@
+// Command rtcluster runs the scheduler as a live message-passing system:
+// a host process executing RT-SADS (or a baseline) under a wall-clock
+// quantum, and worker processes that really execute transactions against
+// their database replicas.
+//
+// All-in-one (host plus in-process worker goroutines):
+//
+//	rtcluster -workers 4 -algo RT-SADS -txns 200
+//
+// Distributed over TCP (one worker process per working processor):
+//
+//	rtcluster -role worker -listen 127.0.0.1:9101
+//	rtcluster -role worker -listen 127.0.0.1:9102
+//	rtcluster -role host -connect 127.0.0.1:9101,127.0.0.1:9102
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"rtsads/internal/experiment"
+	"rtsads/internal/livecluster"
+	"rtsads/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rtcluster:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rtcluster", flag.ContinueOnError)
+	role := fs.String("role", "inproc", "inproc (all-in-one), host, or worker")
+	algo := fs.String("algo", "RT-SADS", "scheduler: RT-SADS, D-COLS, EDF-greedy, myopic")
+	workers := fs.Int("workers", 4, "working processors (inproc role)")
+	txns := fs.Int("txns", 200, "transactions in the workload")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	scale := fs.Float64("scale", 20, "virtual-to-wall time scale (bigger = slower, less jitter)")
+	sf := fs.Float64("sf", 1, "laxity (slack factor)")
+	repl := fs.Float64("replication", 0.3, "sub-database replication rate")
+	listen := fs.String("listen", "", "worker role: address to listen on")
+	serve := fs.Bool("serve", false, "worker role: keep serving host sessions instead of exiting after one")
+	connect := fs.String("connect", "", "host role: comma-separated worker addresses")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch *role {
+	case "worker":
+		if *listen == "" {
+			return fmt.Errorf("worker role needs -listen")
+		}
+		lis, err := net.Listen("tcp", *listen)
+		if err != nil {
+			return fmt.Errorf("listen: %w", err)
+		}
+		defer lis.Close()
+		fmt.Fprintf(out, "worker listening on %s\n", lis.Addr())
+		for {
+			if err := livecluster.ServeWorker(lis); err != nil {
+				return err
+			}
+			fmt.Fprintln(out, "worker session complete")
+			if !*serve {
+				return nil
+			}
+		}
+
+	case "host", "inproc":
+		addrs := splitAddrs(*connect)
+		n := *workers
+		if *role == "host" {
+			if len(addrs) == 0 {
+				return fmt.Errorf("host role needs -connect")
+			}
+			n = len(addrs)
+		}
+		p := workload.DefaultParams(n)
+		p.Seed = *seed
+		p.NumTransactions = *txns
+		p.SF = *sf
+		p.Replication = *repl
+		w, err := workload.Generate(p)
+		if err != nil {
+			return err
+		}
+		cfg := livecluster.Config{
+			Workload:  w,
+			Algorithm: experiment.Algorithm(*algo),
+			Scale:     *scale,
+		}
+		if *role == "host" {
+			cfg.Backend = func(clock *livecluster.Clock) (livecluster.Backend, error) {
+				return livecluster.NewTCPBackend(clock, w, addrs)
+			}
+		}
+		c, err := livecluster.New(cfg)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		res, err := c.Run()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s\n", res)
+		fmt.Fprintf(out, "hit ratio: %.1f%%  makespan: %v (virtual)  wall time: %v\n",
+			100*res.HitRatio(), time.Duration(res.Makespan), time.Since(start).Round(time.Millisecond))
+		return nil
+
+	default:
+		return fmt.Errorf("unknown role %q (want inproc, host or worker)", *role)
+	}
+}
+
+func splitAddrs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunInproc(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-workers", "3", "-txns", "60", "-scale", "50"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "hit ratio:") {
+		t.Errorf("output missing summary: %q", out.String())
+	}
+}
+
+func TestRunBadRole(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-role", "nope"}, &out); err == nil {
+		t.Error("bad role accepted")
+	}
+}
+
+func TestRunWorkerNeedsListen(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-role", "worker"}, &out); err == nil {
+		t.Error("worker without -listen accepted")
+	}
+}
+
+func TestRunHostNeedsConnect(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-role", "host"}, &out); err == nil {
+		t.Error("host without -connect accepted")
+	}
+}
+
+func TestSplitAddrs(t *testing.T) {
+	got := splitAddrs(" a:1, b:2 ,,c:3 ")
+	want := []string{"a:1", "b:2", "c:3"}
+	if len(got) != len(want) {
+		t.Fatalf("splitAddrs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("splitAddrs = %v, want %v", got, want)
+		}
+	}
+	if splitAddrs("") != nil {
+		t.Error("empty input should return nil")
+	}
+}

@@ -1,0 +1,64 @@
+// dbcluster: the paper's distributed real-time database running live — a
+// host goroutine schedules while worker goroutines actually execute
+// transactions against their sub-database replicas — comparing RT-SADS
+// against the sequence-oriented D-COLS side by side.
+//
+//	go run ./examples/dbcluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rtsads/internal/experiment"
+	"rtsads/internal/livecluster"
+	"rtsads/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	params := workload.DefaultParams(6)
+	params.NumTransactions = 300
+
+	fmt.Println("live distributed database: 300 transactions, 6 workers, R=30%, SF=1")
+	fmt.Println("(virtual time runs at 1/20 wall speed to keep OS jitter negligible)")
+	fmt.Println()
+
+	for _, algo := range []experiment.Algorithm{experiment.RTSADS, experiment.DCOLS} {
+		// Regenerate per algorithm so both see the identical workload.
+		w, err := workload.Generate(params)
+		if err != nil {
+			return err
+		}
+		cluster, err := livecluster.New(livecluster.Config{
+			Workload:  w,
+			Algorithm: algo,
+			Scale:     20,
+		})
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		res, err := cluster.Run()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s hit ratio %5.1f%%  phases %3d  dead-ends %2d  sched %8v  wall %v\n",
+			algo, 100*res.HitRatio(), res.Phases, res.DeadEnds,
+			res.SchedulingTime.Round(10*time.Microsecond),
+			time.Since(start).Round(time.Millisecond))
+		for k, busy := range res.WorkerBusy {
+			fmt.Printf("   worker %d busy %v\n", k, busy.Round(100*time.Microsecond))
+		}
+	}
+	fmt.Println()
+	fmt.Println("RT-SADS spreads work across all workers; at low replication the")
+	fmt.Println("sequence-oriented baseline tends to load only the first few.")
+	return nil
+}

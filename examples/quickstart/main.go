@@ -1,0 +1,70 @@
+// Quickstart: generate the paper's workload, run RT-SADS on the
+// deterministic machine, and print the deadline hit ratio.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rtsads/internal/core"
+	"rtsads/internal/machine"
+	"rtsads/internal/task"
+	"rtsads/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. A workload: 1000 read-only transactions arriving in a burst on a
+	// 10-way partitioned database, replicated at 30% across 8 workers,
+	// with deadlines proportional to their estimated cost (paper §5.1).
+	params := workload.DefaultParams(8)
+	w, err := workload.Generate(params)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload: %d transactions, %v total work, %d workers\n",
+		len(w.Tasks), w.TotalWork(), params.Workers)
+
+	// 2. The scheduler: RT-SADS — assignment-oriented search with the
+	// self-adjusting quantum. The communication cost function charges the
+	// constant C whenever a transaction runs on a worker without a replica
+	// of its sub-database.
+	planner, err := core.NewRTSADS(core.SearchConfig{
+		Workers: params.Workers,
+		Comm: func(t *task.Task, proc int) time.Duration {
+			return w.Cost.Cost(t.Affinity, proc)
+		},
+		VertexCost: time.Microsecond,
+		Policy:     core.NewAdaptive(),
+	})
+	if err != nil {
+		return err
+	}
+
+	// 3. The machine: one host running scheduling phases, 8 workers
+	// executing delivered schedules, all in deterministic virtual time.
+	m, err := machine.New(machine.Config{Workers: params.Workers, Planner: planner})
+	if err != nil {
+		return err
+	}
+	res, err := m.Run(w.Tasks)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("hit ratio:        %.1f%% (%d of %d met their deadline)\n",
+		100*res.HitRatio(), res.Hits, res.Total)
+	fmt.Printf("scheduled missed: %d (the §4.3 theorem guarantees 0)\n", res.ScheduledMissed)
+	fmt.Printf("phases:           %d, scheduling cost %v\n", res.Phases, res.SchedulingTime)
+	fmt.Printf("makespan:         %v, utilisation %.0f%%\n",
+		time.Duration(res.Makespan), 100*res.Utilization())
+	return nil
+}

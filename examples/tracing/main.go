@@ -1,0 +1,77 @@
+// tracing: records the full timeline of an RT-SADS run — phases,
+// deliveries, executions, purges — and renders the event log, a per-worker
+// Gantt chart, and the response-time distribution.
+//
+//	go run ./examples/tracing
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"rtsads/internal/core"
+	"rtsads/internal/machine"
+	"rtsads/internal/task"
+	"rtsads/internal/trace"
+	"rtsads/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	params := workload.DefaultParams(4)
+	params.NumTransactions = 40
+	w, err := workload.Generate(params)
+	if err != nil {
+		return err
+	}
+
+	planner, err := core.NewRTSADS(core.SearchConfig{
+		Workers: params.Workers,
+		Comm: func(t *task.Task, proc int) time.Duration {
+			return w.Cost.Cost(t.Affinity, proc)
+		},
+		VertexCost: time.Microsecond,
+		Policy:     core.NewAdaptive(),
+	})
+	if err != nil {
+		return err
+	}
+
+	timeline := trace.NewLog(0)
+	m, err := machine.New(machine.Config{
+		Workers: params.Workers,
+		Planner: planner,
+		Trace:   timeline,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := m.Run(w.Tasks)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("run: %s\n\n", res)
+
+	fmt.Println("timeline (first 25 events):")
+	if err := timeline.Render(os.Stdout, 25); err != nil {
+		return err
+	}
+
+	fmt.Println()
+	fmt.Println("per-worker Gantt chart:")
+	if err := timeline.Gantt(os.Stdout, params.Workers, 72); err != nil {
+		return err
+	}
+
+	fmt.Println()
+	fmt.Println("response-time distribution (executed tasks):")
+	return res.Response.Render(os.Stdout)
+}

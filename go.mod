@@ -1,0 +1,3 @@
+module rtsads
+
+go 1.22

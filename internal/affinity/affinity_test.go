@@ -1,0 +1,249 @@
+package affinity
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rtsads/internal/rng"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(0, 3, 7)
+	if s.Count() != 3 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	for _, p := range []int{0, 3, 7} {
+		if !s.Has(p) {
+			t.Errorf("missing processor %d", p)
+		}
+	}
+	for _, p := range []int{1, 2, 4, 63} {
+		if s.Has(p) {
+			t.Errorf("unexpected processor %d", p)
+		}
+	}
+	if s.Has(-1) || s.Has(64) {
+		t.Error("out-of-range Has returned true")
+	}
+	got := s.Procs()
+	want := []int{0, 3, 7}
+	if len(got) != len(want) {
+		t.Fatalf("Procs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Procs = %v, want %v", got, want)
+		}
+	}
+	if s.String() != "{0,3,7}" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestSetAddPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add(64) did not panic")
+		}
+	}()
+	var s Set
+	s.Add(64)
+}
+
+func TestCostModel(t *testing.T) {
+	m := CostModel{Remote: 500 * time.Microsecond}
+	s := NewSet(2, 5)
+	if got := m.Cost(s, 2); got != 0 {
+		t.Errorf("affine cost = %v, want 0", got)
+	}
+	if got := m.Cost(s, 3); got != 500*time.Microsecond {
+		t.Errorf("remote cost = %v, want 500µs", got)
+	}
+}
+
+func TestReplicateCopiesPerRate(t *testing.T) {
+	tests := []struct {
+		rate   float64
+		procs  int
+		copies int
+	}{
+		{0.10, 10, 1},
+		{0.30, 10, 3},
+		{0.50, 10, 5},
+		{1.00, 10, 10},
+		{0.01, 10, 1}, // below one copy clamps to 1
+		{0.30, 2, 1},
+	}
+	for _, tt := range tests {
+		r := rng.New(1)
+		sets, err := Replicate(10, tt.procs, tt.rate, r)
+		if err != nil {
+			t.Fatalf("Replicate(rate=%v): %v", tt.rate, err)
+		}
+		for obj, s := range sets {
+			if s.Count() != tt.copies {
+				t.Errorf("rate %v procs %d: object %d has %d copies, want %d",
+					tt.rate, tt.procs, obj, s.Count(), tt.copies)
+			}
+		}
+	}
+}
+
+func TestReplicateFullRateCoversAll(t *testing.T) {
+	r := rng.New(3)
+	sets, err := Replicate(10, 8, 1.0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for obj, s := range sets {
+		for p := 0; p < 8; p++ {
+			if !s.Has(p) {
+				t.Errorf("object %d missing processor %d at 100%% replication", obj, p)
+			}
+		}
+	}
+}
+
+func TestReplicateBalanced(t *testing.T) {
+	// 10 objects, 10 processors, 1 copy each: every processor must hold
+	// exactly one replica (the paper's 10% configuration).
+	r := rng.New(5)
+	sets, err := Replicate(10, 10, 0.10, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := make([]int, 10)
+	for _, s := range sets {
+		for _, p := range s.Procs() {
+			load[p]++
+		}
+	}
+	for p, l := range load {
+		if l != 1 {
+			t.Errorf("processor %d holds %d replicas, want exactly 1", p, l)
+		}
+	}
+}
+
+func TestReplicateLoadSpreadProperty(t *testing.T) {
+	// Max and min per-processor replica counts never differ by more than 1.
+	f := func(seed uint64, objRaw, procRaw uint8, rateRaw uint8) bool {
+		objects := int(objRaw%20) + 1
+		procs := int(procRaw%10) + 1
+		rate := float64(rateRaw%101) / 100
+		sets, err := Replicate(objects, procs, rate, rng.New(seed))
+		if err != nil {
+			return false
+		}
+		load := make([]int, procs)
+		for _, s := range sets {
+			for _, p := range s.Procs() {
+				load[p]++
+			}
+		}
+		lo, hi := load[0], load[0]
+		for _, l := range load {
+			if l < lo {
+				lo = l
+			}
+			if l > hi {
+				hi = l
+			}
+		}
+		return hi-lo <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReplicateErrors(t *testing.T) {
+	r := rng.New(1)
+	if _, err := Replicate(0, 5, 0.5, r); err == nil {
+		t.Error("numObjects=0 accepted")
+	}
+	if _, err := Replicate(5, 0, 0.5, r); err == nil {
+		t.Error("numProcs=0 accepted")
+	}
+	if _, err := Replicate(5, MaxProcs+1, 0.5, r); err == nil {
+		t.Error("numProcs>MaxProcs accepted")
+	}
+	if _, err := Replicate(5, 5, -0.1, r); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := Replicate(5, 5, 1.1, r); err == nil {
+		t.Error("rate>1 accepted")
+	}
+}
+
+func TestReplicateDeterministic(t *testing.T) {
+	a, err := Replicate(10, 7, 0.4, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Replicate(10, 7, 0.4, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("placement not deterministic at object %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	if Balanced.String() != "balanced" || Random.String() != "random" || Clustered.String() != "clustered" {
+		t.Error("strategy names wrong")
+	}
+	if Strategy(9).String() == "" {
+		t.Error("unknown strategy has empty name")
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	for name, want := range map[string]Strategy{
+		"": Balanced, "balanced": Balanced, "random": Random, "clustered": Clustered,
+	} {
+		got, err := ParseStrategy(name)
+		if err != nil || got != want {
+			t.Errorf("ParseStrategy(%q) = (%v, %v)", name, got, err)
+		}
+	}
+	if _, err := ParseStrategy("warped"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestReplicateRandomStrategy(t *testing.T) {
+	sets, err := ReplicateWith(10, 8, 0.5, Random, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for obj, s := range sets {
+		if s.Count() != 4 {
+			t.Errorf("object %d has %d copies, want 4", obj, s.Count())
+		}
+	}
+}
+
+func TestReplicateClusteredStrategy(t *testing.T) {
+	sets, err := ReplicateWith(4, 8, 0.25, Clustered, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// copies=2, starts at (obj*2)%8: object 0 -> {0,1}, object 1 -> {2,3}, ...
+	want := []Set{NewSet(0, 1), NewSet(2, 3), NewSet(4, 5), NewSet(6, 7)}
+	for obj, s := range sets {
+		if s != want[obj] {
+			t.Errorf("object %d placed on %v, want %v", obj, s, want[obj])
+		}
+	}
+}
+
+func TestReplicateWithUnknownStrategy(t *testing.T) {
+	if _, err := ReplicateWith(4, 4, 0.5, Strategy(9), rng.New(1)); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}

@@ -1,0 +1,35 @@
+package affinity_test
+
+import (
+	"fmt"
+	"time"
+
+	"rtsads/internal/affinity"
+	"rtsads/internal/rng"
+)
+
+// Example places a 10-way partitioned database on 5 workers at 40%
+// replication and reads the communication cost of one placement.
+func Example() {
+	sets, err := affinity.Replicate(10, 5, 0.4, rng.New(1))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("copies per object:", sets[0].Count())
+
+	model := affinity.CostModel{Remote: 2 * time.Millisecond}
+	holder := sets[0].Procs()[0]
+	fmt.Println("local cost: ", model.Cost(sets[0], holder))
+	// Find some worker without a replica of object 0.
+	for p := 0; p < 5; p++ {
+		if !sets[0].Has(p) {
+			fmt.Println("remote cost:", model.Cost(sets[0], p))
+			break
+		}
+	}
+	// Output:
+	// copies per object: 2
+	// local cost:  0s
+	// remote cost: 2ms
+}

@@ -1,0 +1,73 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"rtsads/internal/affinity"
+	"rtsads/internal/core"
+	"rtsads/internal/simtime"
+	"rtsads/internal/task"
+)
+
+// Example runs a single RT-SADS scheduling phase by hand: three tasks, two
+// workers, the adaptive quantum.
+func Example() {
+	model := affinity.CostModel{Remote: 2 * time.Millisecond}
+	planner, err := core.NewRTSADS(core.SearchConfig{
+		Workers: 2,
+		Comm: func(t *task.Task, proc int) time.Duration {
+			return model.Cost(t.Affinity, proc)
+		},
+		VertexCost: time.Microsecond,
+		Policy:     core.NewAdaptive(),
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	mk := func(id task.ID, proc time.Duration, deadline time.Duration, procs ...int) *task.Task {
+		return &task.Task{
+			ID: id, Proc: proc,
+			Deadline: simtime.Instant(deadline),
+			Affinity: affinity.NewSet(procs...),
+		}
+	}
+	res, err := planner.PlanPhase(core.PhaseInput{
+		Now: 0,
+		Batch: []*task.Task{
+			mk(1, time.Millisecond, 20*time.Millisecond, 0),
+			mk(2, time.Millisecond, 25*time.Millisecond, 1),
+			mk(3, 2*time.Millisecond, 30*time.Millisecond, 0, 1),
+		},
+		Loads: make([]time.Duration, 2),
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, a := range res.Schedule {
+		fmt.Printf("task %d -> worker %d (comm %v)\n", a.Task.ID, a.Proc, a.Comm)
+	}
+	// Output:
+	// task 1 -> worker 0 (comm 0s)
+	// task 2 -> worker 1 (comm 0s)
+	// task 3 -> worker 0 (comm 0s)
+}
+
+// ExampleAdaptive shows the §4.2 self-adjusting criterion: the quantum is
+// the larger of the batch's minimum slack and the workers' minimum load.
+func ExampleAdaptive() {
+	pol := core.Adaptive{Bounds: core.Bounds{Min: 0, Max: time.Hour}}
+	in := core.PhaseInput{
+		Batch: []*task.Task{{
+			ID: 1, Proc: time.Millisecond,
+			Deadline: simtime.Instant(5 * time.Millisecond), // slack 4ms
+		}},
+		Loads: []time.Duration{7 * time.Millisecond, 9 * time.Millisecond}, // min load 7ms
+	}
+	fmt.Println(pol.Quantum(in))
+	// Output:
+	// 7ms
+}

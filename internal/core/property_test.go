@@ -1,0 +1,196 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rtsads/internal/affinity"
+	"rtsads/internal/rng"
+	"rtsads/internal/simtime"
+	"rtsads/internal/task"
+)
+
+// randomInput draws a random but well-formed phase input: a batch of up to
+// 40 tasks with varied processing times, deadlines, affinities, and worker
+// backlogs.
+func randomInput(seed uint64, workers int) PhaseInput {
+	r := rng.New(seed)
+	now := simtime.Instant(r.Intn(10_000)) * 1000 // up to 10ms in
+	n := r.IntRange(1, 40)
+	batch := make([]*task.Task, n)
+	for i := range batch {
+		proc := time.Duration(r.IntRange(10, 2000)) * time.Microsecond
+		rel := time.Duration(r.IntRange(1, 30)) * proc // some hopeless, some loose
+		aff := affinity.NewSet(r.Intn(workers))
+		if r.Bool(0.5) {
+			aff = aff.Add(r.Intn(workers))
+		}
+		batch[i] = &task.Task{
+			ID:       task.ID(i),
+			Arrival:  now,
+			Proc:     proc,
+			Deadline: now.Add(rel),
+			Affinity: aff,
+		}
+	}
+	loads := make([]time.Duration, workers)
+	for k := range loads {
+		loads[k] = time.Duration(r.Intn(5000)) * time.Microsecond
+	}
+	return PhaseInput{Now: now, Batch: batch, Loads: loads}
+}
+
+// checkPhaseInvariants verifies the universal planner contract on one
+// phase result: the deadline guarantee, per-worker offset bookkeeping, no
+// duplicate tasks, and budget accounting.
+func checkPhaseInvariants(t *testing.T, name string, in PhaseInput, res PhaseResult) bool {
+	t.Helper()
+	if res.Used > res.Quantum {
+		t.Logf("%s: used %v > quantum %v", name, res.Used, res.Quantum)
+		return false
+	}
+	phaseEnd := in.Now.Add(res.Quantum)
+	loads := make([]time.Duration, len(in.Loads))
+	for k, l := range in.Loads {
+		loads[k] = simtime.NonNeg(l - res.Quantum)
+	}
+	seen := map[task.ID]bool{}
+	for _, a := range res.Schedule {
+		if a.Proc < 0 || a.Proc >= len(loads) {
+			t.Logf("%s: assignment to worker %d out of range", name, a.Proc)
+			return false
+		}
+		if seen[a.Task.ID] {
+			t.Logf("%s: task %d scheduled twice", name, a.Task.ID)
+			return false
+		}
+		seen[a.Task.ID] = true
+		loads[a.Proc] += a.Task.Proc + a.Comm
+		if loads[a.Proc] != a.EndOffset {
+			t.Logf("%s: end offset mismatch for task %d", name, a.Task.ID)
+			return false
+		}
+		if phaseEnd.Add(a.EndOffset).After(a.Task.Deadline) {
+			t.Logf("%s: task %d breaks the deadline guarantee", name, a.Task.ID)
+			return false
+		}
+	}
+	return true
+}
+
+func propertyPlanner(t *testing.T, mk func(SearchConfig) (Planner, error)) {
+	t.Helper()
+	const workers = 4
+	cfg := SearchConfig{
+		Workers:    workers,
+		Comm:       commOf(800 * us),
+		VertexCost: us,
+		PhaseCost:  10 * us,
+		Policy:     NewAdaptive(),
+	}
+	planner, err := mk(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64) bool {
+		in := randomInput(seed, workers)
+		res, err := planner.PlanPhase(in)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return checkPhaseInvariants(t, planner.Name(), in, res)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRTSADS(t *testing.T)    { propertyPlanner(t, NewRTSADS) }
+func TestPropertyDCOLS(t *testing.T)     { propertyPlanner(t, NewDCOLS) }
+func TestPropertyEDFGreedy(t *testing.T) { propertyPlanner(t, NewEDFGreedy) }
+func TestPropertyMyopic(t *testing.T) {
+	propertyPlanner(t, func(c SearchConfig) (Planner, error) { return NewMyopic(c, 5, 1) })
+}
+
+// Property: the quantum policies always land inside their bounds.
+func TestPropertyQuantumWithinBounds(t *testing.T) {
+	bounds := Bounds{Min: 50 * us, Max: 500 * us}
+	policies := []QuantumPolicy{
+		Adaptive{Bounds: bounds},
+		SlackOnly{Bounds: bounds},
+		LoadOnly{Bounds: bounds},
+	}
+	f := func(seed uint64) bool {
+		in := randomInput(seed, 4)
+		for _, pol := range policies {
+			q := pol.Quantum(in)
+			if q < bounds.Min || q > bounds.Max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the adaptive quantum always dominates its two halves (it is
+// the max of them, clamped identically).
+func TestPropertyAdaptiveIsMaxOfHalves(t *testing.T) {
+	bounds := Bounds{Min: 50 * us, Max: 500 * us}
+	f := func(seed uint64) bool {
+		in := randomInput(seed, 4)
+		a := Adaptive{Bounds: bounds}.Quantum(in)
+		s := SlackOnly{Bounds: bounds}.Quantum(in)
+		l := LoadOnly{Bounds: bounds}.Quantum(in)
+		return a >= s && a >= l && (a == s || a == l)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: planners never assign to a worker whose load is saturated (a
+// crashed worker), regardless of batch content — the overflow regression
+// guard for the failure-injection path.
+func TestPropertyNoAssignmentsToSaturatedWorker(t *testing.T) {
+	const workers = 4
+	cfg := SearchConfig{
+		Workers:    workers,
+		Comm:       commOf(800 * us),
+		VertexCost: us,
+		Policy:     NewAdaptive(),
+	}
+	planners := make([]Planner, 0, 3)
+	for _, mk := range []func(SearchConfig) (Planner, error){NewRTSADS, NewDCOLS, NewEDFGreedy} {
+		p, err := mk(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		planners = append(planners, p)
+	}
+	f := func(seed uint64) bool {
+		in := randomInput(seed, workers)
+		dead := int(seed % workers)
+		in.Loads[dead] = time.Duration(1) << 56
+		for _, planner := range planners {
+			res, err := planner.PlanPhase(in)
+			if err != nil {
+				return false
+			}
+			for _, a := range res.Schedule {
+				if a.Proc == dead {
+					t.Logf("%s assigned task %d to the saturated worker", planner.Name(), a.Task.ID)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

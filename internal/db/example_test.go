@@ -1,0 +1,40 @@
+package db_test
+
+import (
+	"fmt"
+	"time"
+
+	"rtsads/internal/db"
+	"rtsads/internal/rng"
+)
+
+// Example builds the paper's partitioned database, estimates a
+// transaction's worst-case cost through the host's global index file, and
+// executes it on its sub-database replica.
+func Example() {
+	cfg := db.Config{SubDBs: 4, TuplesPerSub: 100, DomainSize: 10, KeyAttr: 0}
+	d, err := db.Generate(cfg, rng.New(7))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	// A transaction without the key attribute scans its whole partition.
+	scan := d.GenTransaction(1, rng.New(1))
+	scan.Preds = scan.Preds[:1]
+	scan.Preds[0].Attr = 3 // not indexed
+	fmt.Println("scan iterations:", d.EstimateIterations(&scan))
+
+	// The worker's actual execution matches the host's estimate exactly.
+	res, err := d.Execute(d.Subs[scan.Sub], &scan)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("executed iterations:", res.Iterations)
+	fmt.Println("cost at k=1µs:", d.EstimateCost(&scan, time.Microsecond))
+	// Output:
+	// scan iterations: 100
+	// executed iterations: 100
+	// cost at k=1µs: 100µs
+}

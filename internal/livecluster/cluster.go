@@ -1,0 +1,326 @@
+package livecluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"rtsads/internal/core"
+	"rtsads/internal/experiment"
+	"rtsads/internal/metrics"
+	"rtsads/internal/simtime"
+	"rtsads/internal/task"
+	"rtsads/internal/workload"
+)
+
+// Backend delivers jobs to workers and surfaces their completions. The
+// in-process backend uses channels; the TCP backend (tcp.go) uses gob
+// streams over the network.
+type Backend interface {
+	// Deliver enqueues jobs on worker proc's ready queue, in order.
+	Deliver(proc int, jobs []Job) error
+	// Done is the stream of completions from all workers.
+	Done() <-chan Done
+	// Close shuts the workers down and releases resources. It must be
+	// called exactly once, after the final Deliver.
+	Close() error
+}
+
+// Config configures a live cluster run.
+type Config struct {
+	// Workload to execute. Required.
+	Workload *workload.Workload
+	// Algorithm selects the planner (default RT-SADS).
+	Algorithm experiment.Algorithm
+	// Scale slows virtual time down relative to wall time; at the default
+	// 20, OS jitter of ~100µs wall is only ~5µs virtual.
+	Scale float64
+	// Policy allocates phase quanta (default: the paper's adaptive
+	// criterion).
+	Policy core.QuantumPolicy
+	// Backend overrides the in-process channel backend (used for TCP
+	// workers). Optional.
+	Backend func(clock *Clock) (Backend, error)
+}
+
+// Cluster drives a live run: one host (the caller's goroutine) plus worker
+// goroutines or processes.
+type Cluster struct {
+	cfg Config
+}
+
+// phaseClock gives each scheduling phase a fresh wall-clock budget origin.
+type phaseClock struct {
+	clock  *Clock
+	origin simtime.Instant
+}
+
+func (p *phaseClock) Reset() { p.origin = p.clock.Now() }
+
+func (p *phaseClock) Elapsed() time.Duration { return p.clock.Now().Sub(p.origin) }
+
+// New validates the configuration and builds a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Workload == nil {
+		return nil, fmt.Errorf("livecluster: Workload is required")
+	}
+	if cfg.Algorithm == "" {
+		cfg.Algorithm = experiment.RTSADS
+	}
+	if cfg.Scale == 0 {
+		cfg.Scale = 20
+	}
+	if cfg.Scale < 0 {
+		return nil, fmt.Errorf("livecluster: Scale %v must be positive", cfg.Scale)
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = core.NewAdaptive()
+	}
+	return &Cluster{cfg: cfg}, nil
+}
+
+// Run executes the workload to completion and returns the run's metrics.
+// The host loop mirrors the deterministic machine: form batches, purge
+// missed tasks, run a scheduling phase under a wall-clock quantum budget,
+// and deliver the schedule — except that time is real and workers really
+// execute transactions.
+func (c *Cluster) Run() (*metrics.RunResult, error) {
+	w := c.cfg.Workload
+	clock, err := NewClock(c.cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+
+	backend, err := c.makeBackend(clock)
+	if err != nil {
+		return nil, err
+	}
+
+	pc := &phaseClock{clock: clock}
+	planner, err := c.makePlanner(pc)
+	if err != nil {
+		backend.Close()
+		return nil, err
+	}
+
+	res := &metrics.RunResult{
+		Algorithm:  planner.Name() + "/live",
+		Workers:    w.Params.Workers,
+		Total:      len(w.Tasks),
+		WorkerBusy: make([]time.Duration, w.Params.Workers),
+	}
+
+	// Collect completions concurrently with scheduling.
+	var collectWG sync.WaitGroup
+	var mu sync.Mutex
+	collectWG.Add(1)
+	go func() {
+		defer collectWG.Done()
+		for d := range backend.Done() {
+			mu.Lock()
+			if d.Err != "" {
+				res.ScheduledMissed++ // execution errors count against the run
+			} else if d.Hit {
+				res.Hits++
+			} else {
+				res.ScheduledMissed++
+			}
+			if d.Finish.After(res.Makespan) {
+				res.Makespan = d.Finish
+			}
+			res.WorkerBusy[d.Worker] += d.Finish.Sub(d.Start)
+			mu.Unlock()
+		}
+	}()
+
+	// Host bookkeeping of worker backlogs, mirroring the machine's model.
+	freeAt := make([]simtime.Instant, w.Params.Workers)
+	pending := append([]*task.Task(nil), w.Tasks...)
+	task.SortEDF(pending) // stable starting order; arrival absorb below re-checks times
+	batch := task.NewBatch()
+	next := 0
+
+	hostErr := func() error {
+		for {
+			now := clock.Now()
+			for next < len(pending) && !pending[next].Arrival.After(now) {
+				batch.Add(pending[next])
+				next++
+			}
+			res.Purged += len(batch.PurgeMissed(now))
+			if batch.Len() == 0 {
+				if next >= len(pending) {
+					return nil
+				}
+				clock.SleepUntil(pending[next].Arrival)
+				continue
+			}
+
+			loads := make([]time.Duration, w.Params.Workers)
+			for k, f := range freeAt {
+				loads[k] = simtime.NonNeg(f.Sub(now))
+			}
+			pc.Reset()
+			out, err := planner.PlanPhase(core.PhaseInput{Now: now, Batch: batch.Tasks(), Loads: loads})
+			if err != nil {
+				return fmt.Errorf("livecluster: phase %d: %w", res.Phases, err)
+			}
+			res.Phases++
+			res.SchedulingTime += out.Used
+			res.VerticesGenerated += out.Stats.Generated
+			res.Backtracks += out.Stats.Backtracks
+			if out.Stats.DeadEnd {
+				res.DeadEnds++
+			}
+			if out.Stats.Expired {
+				res.QuantaExpired++
+			}
+
+			deliverAt := clock.Now()
+			perProc := make(map[int][]Job)
+			scheduled := make([]*task.Task, 0, len(out.Schedule))
+			for _, a := range out.Schedule {
+				start := deliverAt.Max(freeAt[a.Proc])
+				freeAt[a.Proc] = start.Add(a.Task.Proc + a.Comm)
+				perProc[a.Proc] = append(perProc[a.Proc], Job{
+					Task: int32(a.Task.ID),
+					Txn:  a.Task.Payload,
+					// Workers occupy the task's actual processing time;
+					// the host planned with the worst case, so early
+					// finishes are reclaimed by the next queued job.
+					Proc:     a.Task.ActualProc(),
+					Comm:     a.Comm,
+					Deadline: a.Task.Deadline,
+				})
+				scheduled = append(scheduled, a.Task)
+			}
+			for proc, jobs := range perProc {
+				if err := backend.Deliver(proc, jobs); err != nil {
+					return fmt.Errorf("livecluster: deliver to worker %d: %w", proc, err)
+				}
+			}
+			batch.RemoveScheduled(scheduled)
+
+			if len(out.Schedule) == 0 {
+				// Everything currently infeasible: wait for the earliest
+				// event that can change that (worker completion, arrival,
+				// or the nearest purge point).
+				event := simtime.Never
+				for _, f := range freeAt {
+					if f.After(now) {
+						event = event.Min(f)
+					}
+				}
+				if next < len(pending) {
+					event = event.Min(pending[next].Arrival)
+				}
+				for _, t := range batch.Tasks() {
+					event = event.Min(t.Deadline.Add(-t.Proc + 1))
+				}
+				if event != simtime.Never {
+					clock.SleepUntil(event)
+				}
+			}
+		}
+	}()
+
+	closeErr := backend.Close() // closing drains worker queues, then Done closes
+	collectWG.Wait()
+	if hostErr != nil {
+		return nil, hostErr
+	}
+	if closeErr != nil {
+		return nil, fmt.Errorf("livecluster: close backend: %w", closeErr)
+	}
+	return res, nil
+}
+
+func (c *Cluster) makeBackend(clock *Clock) (Backend, error) {
+	if c.cfg.Backend != nil {
+		return c.cfg.Backend(clock)
+	}
+	return NewChannelBackend(clock, c.cfg.Workload), nil
+}
+
+func (c *Cluster) makePlanner(pc *phaseClock) (core.Planner, error) {
+	w := c.cfg.Workload
+	cost := w.Cost
+	scfg := core.SearchConfig{
+		Workers: w.Params.Workers,
+		Comm: func(t *task.Task, proc int) time.Duration {
+			return cost.Cost(t.Affinity, proc)
+		},
+		Policy: c.cfg.Policy,
+		// Wall-clock quantum budget: the host's real scheduling speed,
+		// converted to virtual time; the host resets the origin before
+		// each phase.
+		Clock: pc.Elapsed,
+	}
+	return buildPlanner(c.cfg.Algorithm, scfg)
+}
+
+func buildPlanner(a experiment.Algorithm, scfg core.SearchConfig) (core.Planner, error) {
+	switch a {
+	case experiment.RTSADS:
+		return core.NewRTSADS(scfg)
+	case experiment.DCOLS:
+		return core.NewDCOLS(scfg)
+	case experiment.EDFGreedy:
+		return core.NewEDFGreedy(scfg)
+	case experiment.Myopic:
+		return core.NewMyopic(scfg, 7, 1)
+	default:
+		return nil, fmt.Errorf("livecluster: unknown algorithm %q", a)
+	}
+}
+
+// ChannelBackend runs one goroutine per worker, connected by channels — the
+// in-process interconnect.
+type ChannelBackend struct {
+	jobs []chan Job
+	done chan Done
+	wg   sync.WaitGroup
+}
+
+// NewChannelBackend spawns the workers for the workload.
+func NewChannelBackend(clock *Clock, w *workload.Workload) *ChannelBackend {
+	b := &ChannelBackend{
+		jobs: make([]chan Job, w.Params.Workers),
+		done: make(chan Done, w.Params.Workers),
+	}
+	for i := range b.jobs {
+		b.jobs[i] = make(chan Job, len(w.Tasks)) // ready queue capacity
+		wk := NewWorker(i, clock, w)
+		b.wg.Add(1)
+		go func(ch <-chan Job) {
+			defer b.wg.Done()
+			wk.Run(ch, b.done)
+		}(b.jobs[i])
+	}
+	return b
+}
+
+// Deliver implements Backend.
+func (b *ChannelBackend) Deliver(proc int, jobs []Job) error {
+	if proc < 0 || proc >= len(b.jobs) {
+		return fmt.Errorf("livecluster: worker %d out of range", proc)
+	}
+	for _, j := range jobs {
+		b.jobs[proc] <- j
+	}
+	return nil
+}
+
+// Done implements Backend.
+func (b *ChannelBackend) Done() <-chan Done { return b.done }
+
+// Close implements Backend: close the ready queues, wait for workers to
+// drain them, then close the completion stream.
+func (b *ChannelBackend) Close() error {
+	for _, ch := range b.jobs {
+		close(ch)
+	}
+	b.wg.Wait()
+	close(b.done)
+	return nil
+}

@@ -1,0 +1,243 @@
+package livecluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"encoding/gob"
+
+	"rtsads/internal/workload"
+)
+
+// envelope is the single wire message type exchanged between the host and
+// TCP workers, gob-encoded. Exactly one field is set per message.
+type envelope struct {
+	Hello   *helloMsg
+	Deliver *deliverMsg
+	Done    *Done
+	Bye     bool
+}
+
+// helloMsg opens a host→worker session. The worker regenerates the
+// workload deterministically from the parameters instead of shipping the
+// database over the wire — each node loads its own partition, as on a real
+// distributed-memory machine.
+type helloMsg struct {
+	Params        workload.Params
+	WorkerID      int
+	Scale         float64
+	StartUnixNano int64 // the host clock's wall epoch (shared time base)
+}
+
+// deliverMsg appends jobs to the worker's ready queue.
+type deliverMsg struct {
+	Jobs []Job
+}
+
+// ServeWorker handles one host session on the listener: it accepts a
+// connection, builds the worker from the hello message, executes delivered
+// jobs in order, streams completions back, and returns when the host says
+// goodbye. It serves exactly one session; callers wanting a long-lived
+// worker loop around it.
+func ServeWorker(lis net.Listener) error {
+	conn, err := lis.Accept()
+	if err != nil {
+		return fmt.Errorf("livecluster: accept: %w", err)
+	}
+	defer conn.Close()
+
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var encMu sync.Mutex
+
+	var hello envelope
+	if err := dec.Decode(&hello); err != nil {
+		return fmt.Errorf("livecluster: read hello: %w", err)
+	}
+	if hello.Hello == nil {
+		return errors.New("livecluster: first message was not a hello")
+	}
+	h := hello.Hello
+	w, err := workload.Generate(h.Params)
+	if err != nil {
+		return fmt.Errorf("livecluster: regenerate workload: %w", err)
+	}
+	clock, err := NewClockAt(time.Unix(0, h.StartUnixNano), h.Scale)
+	if err != nil {
+		return err
+	}
+
+	worker := NewWorker(h.WorkerID, clock, w)
+	jobs := make(chan Job, len(w.Tasks))
+	done := make(chan Done, 1)
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		worker.Run(jobs, done)
+		close(done)
+	}()
+	var writeErr error
+	go func() {
+		defer wg.Done()
+		for d := range done {
+			d := d
+			encMu.Lock()
+			err := enc.Encode(envelope{Done: &d})
+			encMu.Unlock()
+			if err != nil && writeErr == nil {
+				writeErr = err
+			}
+		}
+	}()
+
+	var readErr error
+	for {
+		var msg envelope
+		if err := dec.Decode(&msg); err != nil {
+			if !errors.Is(err, io.EOF) {
+				readErr = fmt.Errorf("livecluster: read: %w", err)
+			}
+			break
+		}
+		switch {
+		case msg.Deliver != nil:
+			for _, j := range msg.Deliver.Jobs {
+				jobs <- j
+			}
+		case msg.Bye:
+			readErr = nil
+			goto drain
+		default:
+			readErr = errors.New("livecluster: unexpected message")
+			goto drain
+		}
+	}
+drain:
+	close(jobs)
+	wg.Wait()
+	// Acknowledge completion so the host can close cleanly.
+	encMu.Lock()
+	ackErr := enc.Encode(envelope{Bye: true})
+	encMu.Unlock()
+	switch {
+	case readErr != nil:
+		return readErr
+	case writeErr != nil:
+		return fmt.Errorf("livecluster: write completion: %w", writeErr)
+	case ackErr != nil:
+		return fmt.Errorf("livecluster: write bye: %w", ackErr)
+	}
+	return nil
+}
+
+// workerConn is the host's handle on one remote worker.
+type workerConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	mu   sync.Mutex
+}
+
+func (c *workerConn) send(e envelope) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.enc.Encode(e)
+}
+
+// TCPBackend connects the host to one remote worker process per working
+// processor.
+type TCPBackend struct {
+	conns []*workerConn
+	done  chan Done
+	wg    sync.WaitGroup
+}
+
+// NewTCPBackend dials one address per worker and performs the hello
+// handshake. The worker at addrs[i] becomes working processor i.
+func NewTCPBackend(clock *Clock, w *workload.Workload, addrs []string) (*TCPBackend, error) {
+	if len(addrs) != w.Params.Workers {
+		return nil, fmt.Errorf("livecluster: %d worker addresses for %d workers", len(addrs), w.Params.Workers)
+	}
+	b := &TCPBackend{done: make(chan Done, len(addrs))}
+	for i, addr := range addrs {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			b.abort()
+			return nil, fmt.Errorf("livecluster: dial worker %d at %s: %w", i, addr, err)
+		}
+		wc := &workerConn{conn: conn, enc: gob.NewEncoder(conn)}
+		hello := envelope{Hello: &helloMsg{
+			Params:        w.Params,
+			WorkerID:      i,
+			Scale:         clock.Scale(),
+			StartUnixNano: clock.Start().UnixNano(),
+		}}
+		if err := wc.send(hello); err != nil {
+			conn.Close()
+			b.abort()
+			return nil, fmt.Errorf("livecluster: hello to worker %d: %w", i, err)
+		}
+		b.conns = append(b.conns, wc)
+		b.wg.Add(1)
+		go b.readLoop(conn)
+	}
+	return b, nil
+}
+
+// readLoop forwards a worker's completions until its bye (or EOF).
+func (b *TCPBackend) readLoop(conn net.Conn) {
+	defer b.wg.Done()
+	dec := gob.NewDecoder(conn)
+	for {
+		var msg envelope
+		if err := dec.Decode(&msg); err != nil {
+			return
+		}
+		switch {
+		case msg.Done != nil:
+			b.done <- *msg.Done
+		case msg.Bye:
+			return
+		}
+	}
+}
+
+// Deliver implements Backend.
+func (b *TCPBackend) Deliver(proc int, jobs []Job) error {
+	if proc < 0 || proc >= len(b.conns) {
+		return fmt.Errorf("livecluster: worker %d out of range", proc)
+	}
+	return b.conns[proc].send(envelope{Deliver: &deliverMsg{Jobs: jobs}})
+}
+
+// Done implements Backend.
+func (b *TCPBackend) Done() <-chan Done { return b.done }
+
+// Close implements Backend: say goodbye, wait for the workers to drain and
+// acknowledge, then close the completion stream.
+func (b *TCPBackend) Close() error {
+	var firstErr error
+	for i, wc := range b.conns {
+		if err := wc.send(envelope{Bye: true}); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("livecluster: bye to worker %d: %w", i, err)
+		}
+	}
+	b.wg.Wait()
+	for _, wc := range b.conns {
+		wc.conn.Close()
+	}
+	close(b.done)
+	return firstErr
+}
+
+// abort tears down partially-dialled connections during construction.
+func (b *TCPBackend) abort() {
+	for _, wc := range b.conns {
+		wc.conn.Close()
+	}
+}

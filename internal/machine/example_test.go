@@ -1,0 +1,50 @@
+package machine_test
+
+import (
+	"fmt"
+	"time"
+
+	"rtsads/internal/affinity"
+	"rtsads/internal/core"
+	"rtsads/internal/machine"
+	"rtsads/internal/simtime"
+	"rtsads/internal/task"
+)
+
+// Example simulates two workers executing three tasks scheduled by
+// RT-SADS, in deterministic virtual time.
+func Example() {
+	model := affinity.CostModel{Remote: 2 * time.Millisecond}
+	planner, err := core.NewRTSADS(core.SearchConfig{
+		Workers: 2,
+		Comm: func(t *task.Task, proc int) time.Duration {
+			return model.Cost(t.Affinity, proc)
+		},
+		VertexCost: time.Microsecond,
+		Policy:     core.NewAdaptive(),
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	m, err := machine.New(machine.Config{Workers: 2, Planner: planner})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	tasks := []*task.Task{
+		{ID: 1, Proc: time.Millisecond, Deadline: simtime.Instant(20 * time.Millisecond), Affinity: affinity.NewSet(0)},
+		{ID: 2, Proc: time.Millisecond, Deadline: simtime.Instant(25 * time.Millisecond), Affinity: affinity.NewSet(1)},
+		{ID: 3, Proc: 2 * time.Millisecond, Deadline: simtime.Instant(30 * time.Millisecond), Affinity: affinity.NewSet(0, 1)},
+	}
+	res, err := m.Run(tasks)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("hits: %d of %d\n", res.Hits, res.Total)
+	fmt.Printf("scheduled-and-missed: %d\n", res.ScheduledMissed)
+	// Output:
+	// hits: 3 of 3
+	// scheduled-and-missed: 0
+}

@@ -1,0 +1,246 @@
+// Package machine implements the deterministic virtual-time model of the
+// paper's execution platform: a distributed-memory multiprocessor with one
+// dedicated host processor that runs scheduling phases and m-1 working
+// processors that execute delivered schedules from their ready queues,
+// concurrently with the next scheduling phase (§4, §5).
+//
+// The machine substitutes for the paper's Intel Paragon (see DESIGN.md): it
+// advances a virtual clock by exactly the scheduling time each phase
+// consumes, drains worker queues in parallel with scheduling, and records
+// every task's fate. Runs are bit-for-bit reproducible.
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"rtsads/internal/core"
+	"rtsads/internal/metrics"
+	"rtsads/internal/simtime"
+	"rtsads/internal/task"
+	"rtsads/internal/trace"
+)
+
+// Config configures a machine.
+type Config struct {
+	// Workers is the number of working processors (the host is implicit
+	// and additional).
+	Workers int
+	// Planner is the scheduling algorithm the host runs.
+	Planner core.Planner
+	// MinAdvance is the minimum clock advance per phase, guarding against
+	// zero-progress loops when a phase consumes no measurable scheduling
+	// time. Defaults to 1µs.
+	MinAdvance time.Duration
+	// RecordCompletions retains a per-task completion record on the run
+	// result (costs memory on large workloads).
+	RecordCompletions bool
+	// MaxPhases aborts pathological runs. Defaults to 10 million.
+	MaxPhases int
+	// Trace, when non-nil, records the run's timeline (phases,
+	// deliveries, executions, purges).
+	Trace *trace.Log
+	// NoReclaim disables resource reclaiming: a worker holds each task's
+	// slot for its full worst-case time even when the task finishes early.
+	// The default (reclaiming on) lets the next queued task start as soon
+	// as its predecessor actually completes — the behaviour of the
+	// resource-reclaiming schedulers the paper builds on [3][5].
+	NoReclaim bool
+	// FailAt injects worker crashes: worker k halts permanently at
+	// FailAt[k]. Queued tasks that have not finished by then are lost
+	// (counted in RunResult.LostToFailure), and from the crash onward the
+	// scheduler sees the worker as permanently loaded, so feasibility
+	// routes everything to the survivors.
+	FailAt map[int]simtime.Instant
+	// CombinedHost runs the scheduler on worker 0 instead of a dedicated
+	// processor: each phase's scheduling time is stolen from worker 0's
+	// capacity by pushing its ready queue back. This deliberately breaks
+	// the §4.3 guarantee for tasks queued on worker 0 (their execution
+	// slides later than the feasibility test assumed) — the ablation that
+	// quantifies the value of the paper's dedicated scheduling processor.
+	CombinedHost bool
+}
+
+// unreachableLoad marks a worker no schedule can ever use: far beyond any
+// deadline, but small enough that adding task durations cannot overflow.
+const unreachableLoad = time.Duration(1) << 56 // ~2.3 years
+
+// Machine executes workloads under a planner.
+type Machine struct {
+	cfg Config
+}
+
+// New validates the configuration and returns a machine.
+func New(cfg Config) (*Machine, error) {
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("machine: Workers %d must be positive", cfg.Workers)
+	}
+	if cfg.Planner == nil {
+		return nil, errors.New("machine: Planner is nil")
+	}
+	if cfg.MinAdvance <= 0 {
+		cfg.MinAdvance = time.Microsecond
+	}
+	if cfg.MaxPhases <= 0 {
+		cfg.MaxPhases = 10_000_000
+	}
+	return &Machine{cfg: cfg}, nil
+}
+
+// Run simulates the full lifetime of the given tasks: arrivals feed the
+// host's batch, the host runs scheduling phases, and workers execute
+// delivered schedules back to back. It returns the run's metrics.
+func (m *Machine) Run(tasks []*task.Task) (*metrics.RunResult, error) {
+	pending := append([]*task.Task(nil), tasks...)
+	sort.SliceStable(pending, func(i, j int) bool { return pending[i].Arrival < pending[j].Arrival })
+
+	res := &metrics.RunResult{
+		Algorithm:  m.cfg.Planner.Name(),
+		Workers:    m.cfg.Workers,
+		Total:      len(tasks),
+		WorkerBusy: make([]time.Duration, m.cfg.Workers),
+	}
+
+	batch := task.NewBatch()
+	freeAt := make([]simtime.Instant, m.cfg.Workers)
+	now := simtime.Instant(0)
+	next := 0 // index into pending
+
+	for {
+		// Absorb every arrival at or before the current time.
+		for next < len(pending) && !pending[next].Arrival.After(now) {
+			m.cfg.Trace.Add(trace.Event{At: pending[next].Arrival, Kind: trace.Arrival, Task: pending[next].ID, Proc: -1})
+			batch.Add(pending[next])
+			next++
+		}
+		// Purge tasks whose deadlines have already been missed (§4.1).
+		for _, t := range batch.PurgeMissed(now) {
+			res.Purged++
+			m.cfg.Trace.Add(trace.Event{At: now, Kind: trace.Purge, Task: t.ID, Proc: -1})
+			m.record(res, metrics.Completion{Task: t.ID, Proc: -1})
+		}
+		if batch.Len() == 0 {
+			if next >= len(pending) {
+				break // all tasks accounted for; workers just drain
+			}
+			now = pending[next].Arrival
+			continue
+		}
+		if res.Phases >= m.cfg.MaxPhases {
+			return nil, fmt.Errorf("machine: exceeded %d phases at %s with %d tasks in the batch",
+				m.cfg.MaxPhases, now, batch.Len())
+		}
+
+		loads := make([]time.Duration, m.cfg.Workers)
+		for k, f := range freeAt {
+			loads[k] = simtime.NonNeg(f.Sub(now))
+			if failAt, dead := m.cfg.FailAt[k]; dead && !now.Before(failAt) {
+				// A crashed worker never frees: every assignment to it is
+				// infeasible, so the planners route around it. (The
+				// feasibility tests also guard against saturated loads
+				// wrapping; freeAt may already be Never here.)
+				loads[k] = unreachableLoad
+			}
+		}
+		m.cfg.Trace.Add(trace.Event{At: now, Kind: trace.PhaseStart, Phase: res.Phases, Proc: -1})
+		out, err := m.cfg.Planner.PlanPhase(core.PhaseInput{Now: now, Batch: batch.Tasks(), Loads: loads})
+		if err != nil {
+			return nil, fmt.Errorf("machine: phase %d: %w", res.Phases, err)
+		}
+		m.cfg.Trace.Add(trace.Event{At: now.Add(out.Used), Kind: trace.PhaseEnd, Phase: res.Phases, Proc: -1, Dur: out.Used})
+
+		res.Phases++
+		res.SchedulingTime += out.Used
+		res.VerticesGenerated += out.Stats.Generated
+		res.Backtracks += out.Stats.Backtracks
+		if out.Stats.DeadEnd {
+			res.DeadEnds++
+		}
+		if out.Stats.Expired {
+			res.QuantaExpired++
+		}
+
+		deliver := now.Add(simtime.MaxDur(out.Used, m.cfg.MinAdvance))
+		if m.cfg.CombinedHost && freeAt[0] != simtime.Never {
+			// Worker 0 spent the phase scheduling instead of executing:
+			// push its backlog back by the scheduling time.
+			freeAt[0] = freeAt[0].Max(now).Add(out.Used)
+		}
+
+		// Deliver S_j to the worker ready queues; tasks run back to back,
+		// non-preemptively, in delivery order.
+		scheduled := make([]*task.Task, 0, len(out.Schedule))
+		for _, a := range out.Schedule {
+			start := deliver.Max(freeAt[a.Proc])
+			actual := a.Task.ActualProc() + a.Comm
+			finish := start.Add(actual)
+			if failAt, dead := m.cfg.FailAt[a.Proc]; dead && finish.After(failAt) {
+				// The worker crashes before this task completes: the task
+				// is lost, and the worker never frees again.
+				freeAt[a.Proc] = simtime.Never
+				res.LostToFailure++
+				scheduled = append(scheduled, a.Task)
+				m.record(res, metrics.Completion{Task: a.Task.ID, Proc: a.Proc, Start: start})
+				continue
+			}
+			if m.cfg.NoReclaim {
+				// The slot is reserved for the full worst case.
+				freeAt[a.Proc] = start.Add(a.Task.Proc + a.Comm)
+			} else {
+				freeAt[a.Proc] = finish
+			}
+			res.WorkerBusy[a.Proc] += actual
+			res.Response.Add(finish.Sub(a.Task.Arrival))
+			if finish.After(res.Makespan) {
+				res.Makespan = finish
+			}
+			hit := !finish.After(a.Task.Deadline)
+			if hit {
+				res.Hits++
+			} else {
+				// §4.3's theorem says this cannot happen; count it rather
+				// than assume, so a planner bug surfaces in every result.
+				res.ScheduledMissed++
+			}
+			scheduled = append(scheduled, a.Task)
+			m.cfg.Trace.Add(trace.Event{At: deliver, Kind: trace.Deliver, Phase: res.Phases - 1, Task: a.Task.ID, Proc: a.Proc})
+			m.cfg.Trace.Add(trace.Event{At: start, Kind: trace.Exec, Task: a.Task.ID, Proc: a.Proc, Dur: finish.Sub(start), Hit: hit})
+			m.record(res, metrics.Completion{
+				Task: a.Task.ID, Proc: a.Proc, Start: start, Finish: finish,
+				Hit: hit, Executed: true,
+			})
+		}
+		batch.RemoveScheduled(scheduled)
+
+		if len(out.Schedule) > 0 {
+			now = deliver
+			continue
+		}
+		// The phase scheduled nothing: every batch task is currently
+		// infeasible. Feasibility can only change at the next worker
+		// completion, the next arrival, or a task's purge point — skip the
+		// host's idle spinning to the earliest such event.
+		event := simtime.Never
+		for _, f := range freeAt {
+			if f.After(deliver) {
+				event = event.Min(f)
+			}
+		}
+		if next < len(pending) {
+			event = event.Min(pending[next].Arrival)
+		}
+		for _, t := range batch.Tasks() {
+			event = event.Min(t.Deadline.Add(-t.Proc + 1))
+		}
+		now = deliver.Max(event)
+	}
+	return res, nil
+}
+
+func (m *Machine) record(res *metrics.RunResult, c metrics.Completion) {
+	if m.cfg.RecordCompletions {
+		res.Completions = append(res.Completions, c)
+	}
+}

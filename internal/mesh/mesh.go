@@ -1,0 +1,191 @@
+// Package mesh models the Intel Paragon's interconnect: a 2D mesh of
+// nodes with dimension-order (XY) wormhole routing. The paper's cost model
+// treats remote communication as a distance-independent constant C, citing
+// cut-through routing; this package exists to check that substitution
+// (experiment E11): with wormhole switching, per-hop router delay is
+// nanoseconds while message serialisation is milliseconds, so distance is
+// noise — but link contention is not, which bounds where the constant-C
+// model is valid.
+package mesh
+
+import (
+	"fmt"
+	"time"
+
+	"rtsads/internal/simtime"
+)
+
+// Config describes the mesh.
+type Config struct {
+	// Rows and Cols give the mesh shape; Rows*Cols nodes, numbered
+	// row-major.
+	Rows, Cols int
+	// RouterDelay is the per-hop latency of the header flit through one
+	// router (~100ns on the Paragon's iMRC).
+	RouterDelay time.Duration
+	// PerByte is the serialisation time of one byte on a channel
+	// (Paragon: ~175 MB/s full duplex → roughly 5.7ns/byte).
+	PerByte time.Duration
+}
+
+// DefaultConfig returns Paragon-like parameters for n nodes arranged in a
+// near-square mesh.
+func DefaultConfig(n int) Config {
+	cols := 1
+	for cols*cols < n {
+		cols++
+	}
+	rows := (n + cols - 1) / cols
+	return Config{
+		Rows:        rows,
+		Cols:        cols,
+		RouterDelay: 100 * time.Nanosecond,
+		PerByte:     6 * time.Nanosecond,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Rows <= 0 || c.Cols <= 0 {
+		return fmt.Errorf("mesh: shape %dx%d must be positive", c.Rows, c.Cols)
+	}
+	if c.RouterDelay < 0 {
+		return fmt.Errorf("mesh: negative router delay %v", c.RouterDelay)
+	}
+	if c.PerByte <= 0 {
+		return fmt.Errorf("mesh: PerByte %v must be positive", c.PerByte)
+	}
+	return nil
+}
+
+// Nodes returns the number of nodes.
+func (c Config) Nodes() int { return c.Rows * c.Cols }
+
+// link is a directed channel between adjacent nodes.
+type link struct {
+	from, to int
+}
+
+// Mesh simulates wormhole message transfers over the 2D mesh, tracking
+// per-link occupancy in virtual time. It is not safe for concurrent use.
+type Mesh struct {
+	cfg  Config
+	free map[link]simtime.Instant // when each channel next becomes free
+	// counters
+	sent      int
+	blockedNS time.Duration
+}
+
+// New builds a mesh.
+func New(cfg Config) (*Mesh, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Mesh{cfg: cfg, free: make(map[link]simtime.Instant)}, nil
+}
+
+// coord returns node n's (row, col).
+func (m *Mesh) coord(n int) (int, int) { return n / m.cfg.Cols, n % m.cfg.Cols }
+
+// node returns the id at (row, col).
+func (m *Mesh) node(r, c int) int { return r*m.cfg.Cols + c }
+
+// Route returns the XY dimension-order path from src to dst as a sequence
+// of directed links (X first, then Y). An empty path means src == dst.
+func (m *Mesh) Route(src, dst int) ([]link, error) {
+	if src < 0 || src >= m.cfg.Nodes() || dst < 0 || dst >= m.cfg.Nodes() {
+		return nil, fmt.Errorf("mesh: route %d->%d out of range [0,%d)", src, dst, m.cfg.Nodes())
+	}
+	var path []link
+	r, c := m.coord(src)
+	dr, dc := m.coord(dst)
+	for c != dc {
+		next := c + step(dc-c)
+		path = append(path, link{m.node(r, c), m.node(r, next)})
+		c = next
+	}
+	for r != dr {
+		next := r + step(dr-r)
+		path = append(path, link{m.node(r, c), m.node(next, c)})
+		r = next
+	}
+	return path, nil
+}
+
+func step(d int) int {
+	if d > 0 {
+		return 1
+	}
+	return -1
+}
+
+// Hops returns the Manhattan distance between two nodes.
+func (m *Mesh) Hops(src, dst int) int {
+	r1, c1 := m.coord(src)
+	r2, c2 := m.coord(dst)
+	return abs(r1-r2) + abs(c1-c2)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Send models one wormhole transfer of size bytes from src to dst,
+// injected at time at. The worm occupies every channel of its path from
+// the moment its header enters until its tail drains (the defining
+// property of wormhole switching: a blocked worm holds its channels).
+// It returns when the message is fully delivered.
+func (m *Mesh) Send(src, dst int, size int, at simtime.Instant) (simtime.Instant, error) {
+	if size < 0 {
+		return 0, fmt.Errorf("mesh: negative message size %d", size)
+	}
+	path, err := m.Route(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	if len(path) == 0 {
+		return at, nil // local delivery
+	}
+	// The worm starts when every channel on its path is free — a
+	// conservative all-at-once acquisition that models the head blocking
+	// until the route drains.
+	start := at
+	for _, l := range path {
+		if f, ok := m.free[l]; ok && f.After(start) {
+			start = f
+		}
+	}
+	m.blockedNS += start.Sub(at)
+	// Header pipeline latency plus body serialisation.
+	arrive := start.
+		Add(time.Duration(len(path)) * m.cfg.RouterDelay).
+		Add(time.Duration(size) * m.cfg.PerByte)
+	for _, l := range path {
+		m.free[l] = arrive
+	}
+	m.sent++
+	return arrive, nil
+}
+
+// Latency returns the contention-free transfer time for size bytes across
+// the given hop count.
+func (c Config) Latency(hops, size int) time.Duration {
+	return time.Duration(hops)*c.RouterDelay + time.Duration(size)*c.PerByte
+}
+
+// Sent returns the number of messages transferred.
+func (m *Mesh) Sent() int { return m.sent }
+
+// Blocked returns the cumulative time messages spent waiting for busy
+// channels — the contention the constant-C model ignores.
+func (m *Mesh) Blocked() time.Duration { return m.blockedNS }
+
+// Reset clears all channel occupancy and counters.
+func (m *Mesh) Reset() {
+	m.free = make(map[link]simtime.Instant)
+	m.sent = 0
+	m.blockedNS = 0
+}

@@ -1,0 +1,256 @@
+package mesh
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rtsads/internal/simtime"
+)
+
+func testCfg() Config {
+	return Config{Rows: 3, Cols: 4, RouterDelay: 100 * time.Nanosecond, PerByte: 6 * time.Nanosecond}
+}
+
+func TestDefaultConfigShape(t *testing.T) {
+	tests := []struct {
+		n          int
+		rows, cols int
+	}{
+		{1, 1, 1},
+		{4, 2, 2},
+		{10, 3, 4},
+		{11, 3, 4},
+		{16, 4, 4},
+	}
+	for _, tt := range tests {
+		c := DefaultConfig(tt.n)
+		if c.Rows != tt.rows || c.Cols != tt.cols {
+			t.Errorf("DefaultConfig(%d) = %dx%d, want %dx%d", tt.n, c.Rows, c.Cols, tt.rows, tt.cols)
+		}
+		if c.Nodes() < tt.n {
+			t.Errorf("DefaultConfig(%d) holds only %d nodes", tt.n, c.Nodes())
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("DefaultConfig(%d) invalid: %v", tt.n, err)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Rows: 0, Cols: 4, PerByte: 1},
+		{Rows: 3, Cols: 0, PerByte: 1},
+		{Rows: 3, Cols: 4, RouterDelay: -1, PerByte: 1},
+		{Rows: 3, Cols: 4, PerByte: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestRouteXY(t *testing.T) {
+	m, err := New(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 is (0,0); node 11 is (2,3) on a 3x4 mesh: 3 X-hops then 2
+	// Y-hops.
+	path, err := m.Route(0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 5 {
+		t.Fatalf("path length = %d, want 5", len(path))
+	}
+	// X-first: the first three links move along the row.
+	wantFirst := []link{{0, 1}, {1, 2}, {2, 3}}
+	for i, w := range wantFirst {
+		if path[i] != w {
+			t.Errorf("hop %d = %+v, want %+v", i, path[i], w)
+		}
+	}
+	// Then down the column: 3 -> 7 -> 11.
+	if path[3] != (link{3, 7}) || path[4] != (link{7, 11}) {
+		t.Errorf("Y hops wrong: %+v", path[3:])
+	}
+}
+
+func TestRouteSelf(t *testing.T) {
+	m, err := New(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := m.Route(5, 5)
+	if err != nil || len(path) != 0 {
+		t.Errorf("self route = %v, %v", path, err)
+	}
+}
+
+func TestRouteOutOfRange(t *testing.T) {
+	m, err := New(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Route(-1, 3); err == nil {
+		t.Error("negative src accepted")
+	}
+	if _, err := m.Route(0, 99); err == nil {
+		t.Error("dst out of range accepted")
+	}
+}
+
+func TestHopsMatchesRouteLength(t *testing.T) {
+	f := func(a, b uint8) bool {
+		m, err := New(testCfg())
+		if err != nil {
+			return false
+		}
+		src, dst := int(a)%12, int(b)%12
+		path, err := m.Route(src, dst)
+		if err != nil {
+			return false
+		}
+		return len(path) == m.Hops(src, dst)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSendContentionFree(t *testing.T) {
+	cfg := testCfg()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 1000
+	arrive, err := m.Send(0, 3, size, 0) // 3 hops along the top row
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := simtime.Instant(cfg.Latency(3, size))
+	if arrive != want {
+		t.Errorf("arrive = %v, want %v", arrive, want)
+	}
+	if m.Sent() != 1 || m.Blocked() != 0 {
+		t.Errorf("counters: sent=%d blocked=%v", m.Sent(), m.Blocked())
+	}
+}
+
+func TestSendLocal(t *testing.T) {
+	m, err := New(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := simtime.Instant(5 * time.Microsecond)
+	arrive, err := m.Send(4, 4, 1<<20, at)
+	if err != nil || arrive != at {
+		t.Errorf("local send = (%v, %v), want instant delivery", arrive, err)
+	}
+}
+
+func TestSendNegativeSize(t *testing.T) {
+	m, err := New(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Send(0, 1, -1, 0); err == nil {
+		t.Error("negative size accepted")
+	}
+}
+
+func TestSendContentionSerializes(t *testing.T) {
+	cfg := testCfg()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 10000
+	// Two messages sharing the 0->1 channel at the same instant must
+	// serialise.
+	first, err := m.Send(0, 1, size, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := m.Send(0, 2, size, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.After(first) {
+		t.Errorf("contending sends overlapped: %v then %v", first, second)
+	}
+	if m.Blocked() == 0 {
+		t.Error("no blocking recorded under contention")
+	}
+	// Disjoint paths do not interact: 4->5 is unaffected.
+	other, err := m.Send(4, 5, size, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other != simtime.Instant(cfg.Latency(1, size)) {
+		t.Errorf("disjoint path delayed: %v", other)
+	}
+}
+
+func TestDistanceIndependence(t *testing.T) {
+	// The paper's claim: with wormhole routing, cost is effectively
+	// distance-independent. For a 350KB transfer, 1 hop vs 5 hops must
+	// differ by far less than 0.1%.
+	cfg := testCfg()
+	const size = 350_000
+	l1 := cfg.Latency(1, size)
+	l5 := cfg.Latency(5, size)
+	if rel := float64(l5-l1) / float64(l1); rel > 0.001 {
+		t.Errorf("distance adds %.4f%% for a 350KB transfer, want < 0.1%%", 100*rel)
+	}
+}
+
+func TestReset(t *testing.T) {
+	m, err := New(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Send(0, 3, 1000, 0); err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	if m.Sent() != 0 || m.Blocked() != 0 {
+		t.Error("counters not reset")
+	}
+	arrive, err := m.Send(0, 3, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arrive != simtime.Instant(testCfg().Latency(3, 1000)) {
+		t.Error("channel occupancy survived Reset")
+	}
+}
+
+// Property: Send never delivers before the contention-free latency, and
+// repeated sends over one link are strictly ordered.
+func TestSendMonotoneProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		m, err := New(testCfg())
+		if err != nil {
+			return false
+		}
+		var prev simtime.Instant
+		for _, s := range sizes {
+			arrive, err := m.Send(0, 1, int(s)+1, 0)
+			if err != nil {
+				return false
+			}
+			if !arrive.After(prev) {
+				return false
+			}
+			prev = arrive
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rtsads/internal/simtime"
+)
+
+func sample() *RunResult {
+	return &RunResult{
+		Algorithm:      "RT-SADS",
+		Workers:        2,
+		Total:          10,
+		Hits:           6,
+		Purged:         4,
+		Phases:         3,
+		SchedulingTime: 2 * time.Millisecond,
+		Makespan:       simtime.Instant(10 * time.Millisecond),
+		WorkerBusy:     []time.Duration{8 * time.Millisecond, 4 * time.Millisecond},
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	r := sample()
+	if got := r.HitRatio(); got != 0.6 {
+		t.Errorf("HitRatio = %v, want 0.6", got)
+	}
+	if got := r.Misses(); got != 4 {
+		t.Errorf("Misses = %v, want 4", got)
+	}
+	empty := &RunResult{}
+	if empty.HitRatio() != 0 {
+		t.Error("empty HitRatio should be 0")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	r := sample()
+	// busy 12ms over 2 workers × 10ms makespan = 0.6.
+	if got := r.Utilization(); got != 0.6 {
+		t.Errorf("Utilization = %v, want 0.6", got)
+	}
+	empty := &RunResult{}
+	if empty.Utilization() != 0 {
+		t.Error("empty Utilization should be 0")
+	}
+}
+
+func TestIdleWorkers(t *testing.T) {
+	r := sample()
+	if got := r.IdleWorkers(); got != 0 {
+		t.Errorf("IdleWorkers = %d, want 0", got)
+	}
+	r.WorkerBusy = []time.Duration{5 * time.Millisecond, 0, 0}
+	if got := r.IdleWorkers(); got != 2 {
+		t.Errorf("IdleWorkers = %d, want 2", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := sample().String()
+	if !strings.Contains(s, "RT-SADS") || !strings.Contains(s, "60.0%") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	var a Aggregate
+	r1 := sample() // hit 0.6
+	r2 := sample()
+	r2.Hits = 8 // hit 0.8
+	a.Add(r1)
+	a.Add(r2)
+	if a.Algorithm != "RT-SADS" || a.Runs != 2 {
+		t.Fatalf("aggregate header wrong: %+v", a)
+	}
+	if got := a.HitRatio.Mean(); got != 0.7 {
+		t.Errorf("mean hit ratio = %v, want 0.7", got)
+	}
+	if a.ScheduledMissed != 0 {
+		t.Errorf("ScheduledMissed = %d", a.ScheduledMissed)
+	}
+	if ci := a.HitRatioCI(); ci <= 0 {
+		t.Errorf("CI = %v, want positive", ci)
+	}
+}
+
+func TestAggregateCIWithOneRun(t *testing.T) {
+	var a Aggregate
+	a.Add(sample())
+	if ci := a.HitRatioCI(); ci != 0 {
+		t.Errorf("single-run CI = %v, want 0", ci)
+	}
+}
+
+func TestAggregateCountsTheoremViolations(t *testing.T) {
+	var a Aggregate
+	r := sample()
+	r.ScheduledMissed = 3
+	a.Add(r)
+	if a.ScheduledMissed != 3 {
+		t.Errorf("ScheduledMissed = %d, want 3", a.ScheduledMissed)
+	}
+}

@@ -1,0 +1,93 @@
+// Package queue provides the small container types shared by the event
+// engine, the worker ready queues and the schedulers' candidate lists: a
+// generic binary min-heap and a growable FIFO ring buffer.
+package queue
+
+// Heap is a binary min-heap ordered by the less function supplied at
+// construction. It is not safe for concurrent use.
+type Heap[T any] struct {
+	items []T
+	less  func(a, b T) bool
+}
+
+// NewHeap returns an empty heap ordered by less.
+func NewHeap[T any](less func(a, b T) bool) *Heap[T] {
+	return &Heap[T]{less: less}
+}
+
+// Len returns the number of items in the heap.
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// Push adds v to the heap.
+func (h *Heap[T]) Push(v T) {
+	h.items = append(h.items, v)
+	h.up(len(h.items) - 1)
+}
+
+// Peek returns the minimum element without removing it. The second result
+// is false when the heap is empty.
+func (h *Heap[T]) Peek() (T, bool) {
+	if len(h.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	return h.items[0], true
+}
+
+// Pop removes and returns the minimum element. The second result is false
+// when the heap is empty.
+func (h *Heap[T]) Pop() (T, bool) {
+	if len(h.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	var zero T
+	h.items[last] = zero // release reference for GC
+	h.items = h.items[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return top, true
+}
+
+// Reset empties the heap while keeping its backing storage.
+func (h *Heap[T]) Reset() {
+	var zero T
+	for i := range h.items {
+		h.items[i] = zero
+	}
+	h.items = h.items[:0]
+}
+
+func (h *Heap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *Heap[T]) down(i int) {
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && h.less(h.items[right], h.items[left]) {
+			smallest = right
+		}
+		if !h.less(h.items[smallest], h.items[i]) {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}

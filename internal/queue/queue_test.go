@@ -1,0 +1,193 @@
+package queue
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeapOrdering(t *testing.T) {
+	h := NewHeap(func(a, b int) bool { return a < b })
+	in := []int{5, 3, 8, 1, 9, 2, 7, 1, 0}
+	for _, v := range in {
+		h.Push(v)
+	}
+	if h.Len() != len(in) {
+		t.Fatalf("Len = %d, want %d", h.Len(), len(in))
+	}
+	want := append([]int(nil), in...)
+	sort.Ints(want)
+	for i, w := range want {
+		got, ok := h.Pop()
+		if !ok || got != w {
+			t.Fatalf("pop %d = (%d, %v), want %d", i, got, ok, w)
+		}
+	}
+	if _, ok := h.Pop(); ok {
+		t.Error("pop from empty heap succeeded")
+	}
+}
+
+func TestHeapPeek(t *testing.T) {
+	h := NewHeap(func(a, b int) bool { return a < b })
+	if _, ok := h.Peek(); ok {
+		t.Error("Peek on empty heap succeeded")
+	}
+	h.Push(4)
+	h.Push(2)
+	if v, ok := h.Peek(); !ok || v != 2 {
+		t.Errorf("Peek = (%d,%v), want (2,true)", v, ok)
+	}
+	if h.Len() != 2 {
+		t.Error("Peek modified the heap")
+	}
+}
+
+func TestHeapReset(t *testing.T) {
+	h := NewHeap(func(a, b int) bool { return a < b })
+	for i := 0; i < 10; i++ {
+		h.Push(i)
+	}
+	h.Reset()
+	if h.Len() != 0 {
+		t.Errorf("Len after Reset = %d", h.Len())
+	}
+	h.Push(3)
+	if v, _ := h.Pop(); v != 3 {
+		t.Errorf("heap unusable after Reset")
+	}
+}
+
+// Property: popping everything from a heap yields a sorted sequence.
+func TestHeapSortsProperty(t *testing.T) {
+	f := func(in []int16) bool {
+		h := NewHeap(func(a, b int16) bool { return a < b })
+		for _, v := range in {
+			h.Push(v)
+		}
+		prev := int16(-32768)
+		for h.Len() > 0 {
+			v, _ := h.Pop()
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeapMaxOrdering(t *testing.T) {
+	// A "max-heap" via inverted less must pop descending.
+	h := NewHeap(func(a, b int) bool { return a > b })
+	for _, v := range []int{1, 5, 3} {
+		h.Push(v)
+	}
+	want := []int{5, 3, 1}
+	for _, w := range want {
+		if got, _ := h.Pop(); got != w {
+			t.Fatalf("max-heap pop = %d, want %d", got, w)
+		}
+	}
+}
+
+func TestRingFIFO(t *testing.T) {
+	var r Ring[string]
+	if _, ok := r.PopFront(); ok {
+		t.Error("PopFront on empty ring succeeded")
+	}
+	r.PushBack("a")
+	r.PushBack("b")
+	r.PushBack("c")
+	if v, ok := r.Front(); !ok || v != "a" {
+		t.Errorf("Front = (%q,%v)", v, ok)
+	}
+	for _, want := range []string{"a", "b", "c"} {
+		got, ok := r.PopFront()
+		if !ok || got != want {
+			t.Fatalf("PopFront = (%q,%v), want %q", got, ok, want)
+		}
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	var r Ring[int]
+	// Force several grow/wrap cycles.
+	for cycle := 0; cycle < 5; cycle++ {
+		for i := 0; i < 100; i++ {
+			r.PushBack(cycle*1000 + i)
+		}
+		for i := 0; i < 100; i++ {
+			got, ok := r.PopFront()
+			if !ok || got != cycle*1000+i {
+				t.Fatalf("cycle %d item %d: got (%d,%v)", cycle, i, got, ok)
+			}
+		}
+	}
+	if r.Len() != 0 {
+		t.Errorf("ring not drained: len=%d", r.Len())
+	}
+}
+
+func TestRingInterleaved(t *testing.T) {
+	var r Ring[int]
+	next, expect := 0, 0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < round%7+1; i++ {
+			r.PushBack(next)
+			next++
+		}
+		for i := 0; i < round%5 && r.Len() > 0; i++ {
+			got, _ := r.PopFront()
+			if got != expect {
+				t.Fatalf("out of order: got %d want %d", got, expect)
+			}
+			expect++
+		}
+	}
+	for r.Len() > 0 {
+		got, _ := r.PopFront()
+		if got != expect {
+			t.Fatalf("tail out of order: got %d want %d", got, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Errorf("drained %d items, pushed %d", expect, next)
+	}
+}
+
+func TestRingReset(t *testing.T) {
+	var r Ring[int]
+	for i := 0; i < 10; i++ {
+		r.PushBack(i)
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Errorf("Len after Reset = %d", r.Len())
+	}
+	r.PushBack(42)
+	if v, _ := r.PopFront(); v != 42 {
+		t.Error("ring unusable after Reset")
+	}
+}
+
+func BenchmarkHeapPushPop(b *testing.B) {
+	h := NewHeap(func(a, c int) bool { return a < c })
+	for i := 0; i < b.N; i++ {
+		h.Push(i ^ 0x5555)
+		if h.Len() > 1024 {
+			h.Pop()
+		}
+	}
+}
+
+func TestRingFrontEmpty(t *testing.T) {
+	var r Ring[int]
+	if _, ok := r.Front(); ok {
+		t.Error("Front on empty ring succeeded")
+	}
+}

@@ -1,0 +1,69 @@
+package queue
+
+// Ring is a growable FIFO queue backed by a circular buffer. The zero value
+// is an empty, ready-to-use queue. It is not safe for concurrent use.
+type Ring[T any] struct {
+	buf        []T
+	head, size int
+}
+
+// Len returns the number of queued elements.
+func (r *Ring[T]) Len() int { return r.size }
+
+// PushBack appends v to the tail of the queue.
+func (r *Ring[T]) PushBack(v T) {
+	if r.size == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.size)%len(r.buf)] = v
+	r.size++
+}
+
+// PopFront removes and returns the head of the queue. The second result is
+// false when the queue is empty.
+func (r *Ring[T]) PopFront() (T, bool) {
+	var zero T
+	if r.size == 0 {
+		return zero, false
+	}
+	v := r.buf[r.head]
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) % len(r.buf)
+	r.size--
+	return v, true
+}
+
+// Front returns the head of the queue without removing it. The second
+// result is false when the queue is empty.
+func (r *Ring[T]) Front() (T, bool) {
+	if r.size == 0 {
+		var zero T
+		return zero, false
+	}
+	return r.buf[r.head], true
+}
+
+// Reset empties the queue while keeping its backing storage.
+func (r *Ring[T]) Reset() {
+	var zero T
+	for i := 0; i < r.size; i++ {
+		r.buf[(r.head+i)%len(r.buf)] = zero
+	}
+	r.head, r.size = 0, 0
+}
+
+func (r *Ring[T]) grow() {
+	next := make([]T, max(4, 2*len(r.buf)))
+	for i := 0; i < r.size; i++ {
+		next[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf = next
+	r.head = 0
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,155 @@
+// Package represent provides the two task-space representations the paper
+// compares: the assignment-oriented representation used by RT-SADS (§3,
+// Figure 2) and the sequence-oriented representation used by D-COLS (§3,
+// Figure 1). Both plug into the generic quantum-bounded search engine in
+// package search; they differ only in the topology of the task space and
+// therefore in what backtracking can undo — the paper's central variable.
+package represent
+
+import (
+	"sort"
+	"time"
+
+	"rtsads/internal/search"
+	"rtsads/internal/task"
+)
+
+// Assignment is the assignment-oriented representation: at each tree level
+// the next task (in the batch's priority order) is selected, and the
+// branches decide which processor it is assigned to. All processors are
+// candidates at every level, so backtracking can re-route any task to any
+// processor and greedy load balancing across the whole machine is possible.
+type Assignment struct {
+	// SkipInfeasible makes a level fall through to the next task when the
+	// current task has no feasible processor, leaving the task for the next
+	// batch instead of dead-ending the branch. This is the behaviour
+	// RT-SADS's batch semantics imply (unscheduled tasks merge into
+	// Batch(j+1)); disable it only for ablations.
+	SkipInfeasible bool
+	// Breadth caps the number of successors kept per expansion (0 = keep
+	// every feasible processor).
+	Breadth int
+	// Cost overrides the partial-schedule cost function; nil uses the
+	// paper's §4.4 load-balancing cost CE = max_k ce_k.
+	Cost func(loads []time.Duration) time.Duration
+}
+
+// NewAssignment returns the representation with the paper's behaviour.
+func NewAssignment() *Assignment {
+	return &Assignment{SkipInfeasible: true}
+}
+
+// Name implements search.Representation.
+func (a *Assignment) Name() string { return "assignment-oriented" }
+
+// cost applies the configured cost function (default: §4.4's max).
+func (a *Assignment) cost(loads []time.Duration) time.Duration {
+	if a.Cost != nil {
+		return a.Cost(loads)
+	}
+	return maxLoad(loads)
+}
+
+// Root implements search.Representation. The root is the empty schedule:
+// worker completion offsets start at max(0, Load_k(j-1) - Qs(j)) (§4.4).
+func (a *Assignment) Root(p *search.Problem) *search.Vertex {
+	v := rootVertex(p)
+	v.CE = a.cost(v.Loads)
+	return v
+}
+
+// IsLeaf implements search.Representation: every batch task has been
+// considered (assigned or skipped).
+func (a *Assignment) IsLeaf(p *search.Problem, v *search.Vertex) bool {
+	return v.Cursor >= len(p.Tasks)
+}
+
+// Expand implements search.Representation. It finds the first task at or
+// after the vertex's cursor with at least one feasible processor and
+// returns one successor per feasible processor, ordered by the cost
+// function (smallest resulting CE, then earliest completion).
+func (a *Assignment) Expand(p *search.Problem, v *search.Vertex) ([]*search.Vertex, int) {
+	generated := 0
+	for i := v.Cursor; i < len(p.Tasks); i++ {
+		t := p.Tasks[i]
+		succs := expandTask(p, v, t, i+1, a.cost)
+		generated += p.Workers
+		if len(succs) > 0 {
+			sortSuccessors(succs)
+			if a.Breadth > 0 && len(succs) > a.Breadth {
+				succs = succs[:a.Breadth]
+			}
+			return succs, generated
+		}
+		if !a.SkipInfeasible {
+			return nil, generated
+		}
+	}
+	return nil, generated
+}
+
+// expandTask builds the feasible successors of v that assign t, stamping
+// each with the given cursor and costing it with cost.
+func expandTask(p *search.Problem, v *search.Vertex, t *task.Task, cursor int,
+	cost func([]time.Duration) time.Duration) []*search.Vertex {
+	var succs []*search.Vertex
+	for k := 0; k < p.Workers; k++ {
+		comm := p.Comm(t, k)
+		end, ok := p.Feasible(t, v.Loads[k], comm)
+		if !ok {
+			continue
+		}
+		loads := make([]time.Duration, len(v.Loads))
+		copy(loads, v.Loads)
+		loads[k] = end
+		succs = append(succs, &search.Vertex{
+			Parent:       v,
+			Assign:       search.Assignment{Task: t, Proc: k, Comm: comm, EndOffset: end},
+			IsAssignment: true,
+			Depth:        v.Depth + 1,
+			Cursor:       cursor,
+			Loads:        loads,
+			CE:           cost(loads),
+		})
+	}
+	return succs
+}
+
+// sortSuccessors orders sibling vertices best-first: by the load-balancing
+// cost CE, then by the assigned task's completion offset (which prefers
+// affine processors, since they avoid the communication cost), then by
+// processor index for determinism.
+func sortSuccessors(succs []*search.Vertex) {
+	sort.Slice(succs, func(i, j int) bool {
+		a, b := succs[i], succs[j]
+		if a.CE != b.CE {
+			return a.CE < b.CE
+		}
+		if a.Assign.EndOffset != b.Assign.EndOffset {
+			return a.Assign.EndOffset < b.Assign.EndOffset
+		}
+		return a.Assign.Proc < b.Assign.Proc
+	})
+}
+
+// rootVertex builds the shared root: the empty schedule with the §4.4 base
+// loads max(0, Load_k(j-1) - Qs(j)).
+func rootVertex(p *search.Problem) *search.Vertex {
+	loads := make([]time.Duration, p.Workers)
+	for k, l := range p.BaseLoad {
+		if rem := l - p.Quantum; rem > 0 {
+			loads[k] = rem
+		}
+	}
+	return &search.Vertex{Loads: loads, CE: maxLoad(loads)}
+}
+
+func maxLoad(loads []time.Duration) time.Duration {
+	var m time.Duration
+	for _, l := range loads {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}

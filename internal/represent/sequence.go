@@ -1,0 +1,153 @@
+package represent
+
+import (
+	"time"
+
+	"rtsads/internal/search"
+)
+
+// Sequence is the sequence-oriented representation (§3, Figure 1): at each
+// tree level a processor is selected in round-robin order, and the branches
+// decide which of the remaining tasks to run next on it. It is the direct
+// extension of uni-processor scheduling the paper attributes to prior work
+// [3][6] and to D-COLS [2].
+//
+// Structurally, backtracking at level l can only re-sequence tasks on the
+// processors of levels <= l, and a level whose processor has no feasible
+// remaining task is a dead branch: the representation cannot route around a
+// stuck processor. When the quantum bound truncates the search at a shallow
+// depth, only the first few round-robin processors receive tasks — the
+// scalability pathology the paper's experiments demonstrate.
+type Sequence struct {
+	// Breadth caps the number of feasible successors kept per level (0
+	// means no cap). Dynamic sequence-oriented schedulers prune breadth to
+	// stay responsive; candidates are examined in deadline order, so the
+	// cap keeps the most urgent ones.
+	Breadth int
+	// AllowIdle, when set, adds a lowest-priority successor that leaves the
+	// level's processor without a task. The strict representation (the
+	// default) does not have this escape hatch; it exists for ablations
+	// that quantify how much of D-COLS's gap is due to dead-ends.
+	AllowIdle bool
+	// LeastLoaded selects each level's processor as the least-loaded one
+	// instead of round-robin — the "heuristic function ... applied to
+	// affect this order" the paper mentions for Figure 1's processor
+	// selection. The structural limitation remains: the level still
+	// commits to a single processor before choosing a task.
+	LeastLoaded bool
+	// Cost overrides the partial-schedule cost function; nil uses the
+	// paper's §4.4 load-balancing cost CE = max_k ce_k.
+	Cost func(loads []time.Duration) time.Duration
+}
+
+// cost applies the configured cost function (default: §4.4's max).
+func (s *Sequence) cost(loads []time.Duration) time.Duration {
+	if s.Cost != nil {
+		return s.Cost(loads)
+	}
+	return maxLoad(loads)
+}
+
+// NewSequence returns the strict sequence-oriented representation with a
+// breadth cap matching the assignment-oriented branching factor.
+func NewSequence(workers int) *Sequence {
+	return &Sequence{Breadth: workers}
+}
+
+// Name implements search.Representation.
+func (s *Sequence) Name() string { return "sequence-oriented" }
+
+// Root implements search.Representation.
+func (s *Sequence) Root(p *search.Problem) *search.Vertex {
+	v := rootVertex(p)
+	v.CE = s.cost(v.Loads)
+	v.Used = search.NewBitset(len(p.Tasks))
+	return v
+}
+
+// IsLeaf implements search.Representation: all batch tasks are scheduled.
+func (s *Sequence) IsLeaf(p *search.Problem, v *search.Vertex) bool {
+	return v.Depth >= len(p.Tasks)
+}
+
+// Expand implements search.Representation. The level's processor is
+// Cursor mod Workers; unscheduled tasks are examined in the batch's
+// priority order (EDF) and each feasibility test is charged as one
+// generated vertex.
+func (s *Sequence) Expand(p *search.Problem, v *search.Vertex) ([]*search.Vertex, int) {
+	proc := v.Cursor % p.Workers
+	if s.LeastLoaded {
+		proc = leastLoadedProc(v.Loads)
+	}
+	generated := 0
+	var succs []*search.Vertex
+	for i, t := range p.Tasks {
+		if v.Used.Has(i) {
+			continue
+		}
+		generated++
+		comm := p.Comm(t, proc)
+		end, ok := p.Feasible(t, v.Loads[proc], comm)
+		if !ok {
+			continue
+		}
+		loads := make([]time.Duration, len(v.Loads))
+		copy(loads, v.Loads)
+		loads[proc] = end
+		used := v.Used.Clone()
+		used.Set(i)
+		succs = append(succs, &search.Vertex{
+			Parent:       v,
+			Assign:       search.Assignment{Task: t, Proc: proc, Comm: comm, EndOffset: end},
+			IsAssignment: true,
+			Depth:        v.Depth + 1,
+			Cursor:       v.Cursor + 1,
+			Loads:        loads,
+			CE:           s.cost(loads),
+			Used:         used,
+		})
+		if s.Breadth > 0 && len(succs) >= s.Breadth {
+			break
+		}
+	}
+	if s.AllowIdle && s.canIdle(p, v) {
+		// Leave the processor idle this round, ranked after every real
+		// assignment. Loads and Used are shared with the parent: the skip
+		// vertex adds no assignment, so copy-on-write is unnecessary.
+		succs = append(succs, &search.Vertex{
+			Parent: v,
+			Depth:  v.Depth,
+			Cursor: v.Cursor + 1,
+			Loads:  v.Loads,
+			CE:     v.CE,
+			Used:   v.Used,
+		})
+		generated++
+	}
+	return succs, generated
+}
+
+// leastLoadedProc returns the worker with the smallest completion offset,
+// breaking ties by index.
+func leastLoadedProc(loads []time.Duration) int {
+	best := 0
+	for k, l := range loads {
+		if l < loads[best] {
+			best = k
+		}
+	}
+	return best
+}
+
+// canIdle bounds idle levels: after skipping every processor once in a row
+// the schedule cannot make progress, so further skips are pointless.
+func (s *Sequence) canIdle(p *search.Problem, v *search.Vertex) bool {
+	skips := 0
+	for cur := v; cur != nil && !cur.IsAssignment && cur.Parent != nil; cur = cur.Parent {
+		skips++
+		if skips >= p.Workers {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,439 @@
+// Package search implements the paper's §3 scheduling model: scheduling as
+// an incremental depth-first search for a feasible schedule in a tree-shaped
+// task space G, where vertices are task-to-processor assignments, a path
+// from the root is a feasible partial schedule, and the search is bounded by
+// an explicitly allocated scheduling-time quantum.
+//
+// The engine is representation-agnostic: the assignment-oriented
+// representation used by RT-SADS and the sequence-oriented representation
+// used by D-COLS (package represent) plug in through the Representation
+// interface, so the two algorithms differ in nothing but the structure of G
+// — exactly the controlled comparison the paper performs.
+package search
+
+import (
+	"fmt"
+	"time"
+
+	"rtsads/internal/queue"
+	"rtsads/internal/simtime"
+	"rtsads/internal/task"
+)
+
+// Assignment is one task-to-processor assignment (T_l -> P_k), the paper's
+// vertex label.
+type Assignment struct {
+	Task *task.Task
+	Proc int
+	// Comm is c_lk, the communication cost of running the task on Proc.
+	Comm time.Duration
+	// EndOffset is se_lk: the scheduled end time of the task relative to
+	// the end of the scheduling phase (t_e), assuming every earlier task on
+	// the same processor runs back to back. The feasibility test guarantees
+	// phaseEnd + EndOffset <= deadline.
+	EndOffset time.Duration
+}
+
+// Vertex is a node of the task space G. A vertex represents the partial
+// schedule formed by the assignments on the path from the root to it.
+type Vertex struct {
+	Parent *Vertex
+	Assign Assignment // zero-valued on the root and on skip vertices
+	// IsAssignment distinguishes real task-to-processor assignments from
+	// structural vertices (the root, and "skip" vertices the
+	// assignment-oriented representation emits for tasks it defers to the
+	// next batch).
+	IsAssignment bool
+	// Depth is the number of assignments on the path (skips excluded).
+	Depth int
+	// Cursor is representation-private: the next task index for the
+	// assignment-oriented representation, the level number for the
+	// sequence-oriented one.
+	Cursor int
+	// Loads is ce_k for each worker: the completion offset of worker k
+	// relative to the end of the scheduling phase after the path's
+	// assignments (§4.4). The root carries max(0, Load_k(j-1) - Qs(j)).
+	Loads []time.Duration
+	// CE is the paper's cost function: max_k Loads[k], the total execution
+	// time of the partial schedule. Lower is better (load balancing).
+	CE time.Duration
+	// Used marks which batch tasks appear on the path; only maintained for
+	// representations whose successor choice needs it (sequence-oriented).
+	Used *Bitset
+}
+
+// Problem is the input to one scheduling phase's search.
+type Problem struct {
+	// Now is t_s, the start time of the scheduling phase.
+	Now simtime.Instant
+	// Quantum is Qs(j), the scheduling time allocated to this phase. The
+	// search's feasibility test charges the entire quantum: a schedule is
+	// feasible only if its tasks meet their deadlines when execution starts
+	// at Now+Quantum (§4.3).
+	Quantum time.Duration
+	// Tasks is the batch, pre-sorted by scheduling priority (the planners
+	// use EDF order).
+	Tasks []*task.Task
+	// Workers is the number of working processors.
+	Workers int
+	// BaseLoad is Load_k(j-1): each worker's outstanding execution time at
+	// Now, including the task it is currently running.
+	BaseLoad []time.Duration
+	// Comm returns c_lk for a task on a worker.
+	Comm func(t *task.Task, proc int) time.Duration
+	// VertexCost is the scheduling time charged for generating (allocating
+	// and evaluating) one vertex, including vertices that fail the
+	// feasibility test. It is the knob that converts search effort into
+	// scheduling overhead.
+	VertexCost time.Duration
+	// Clock, when non-nil, reports wall-clock time elapsed since the phase
+	// started; it overrides the virtual VertexCost accounting for live
+	// (non-simulated) deployments.
+	Clock func() time.Duration
+	// Strategy selects how the candidate list is ordered. The zero value
+	// is DFS, the paper's strategy.
+	Strategy Strategy
+	// MaxBacktracks stops the search after this many backtracks — the
+	// "limited backtracking" pruning heuristic of §3. Zero means
+	// unlimited.
+	MaxBacktracks int
+	// MaxDepth stops the search once a vertex with this many assignments
+	// is reached — the "limit on the depth of search" pruning heuristic of
+	// §3. Zero means unlimited.
+	MaxDepth int
+}
+
+// Strategy is the exploration order of the task space.
+type Strategy int
+
+const (
+	// DFS is the paper's depth-first strategy: a vertex's successors are
+	// explored before its siblings, so the search commits to a partial
+	// schedule and extends it (§3).
+	DFS Strategy = iota
+	// BestFirst always expands the candidate with the smallest cost CE
+	// (ties broken by greater depth), trading the depth-first dive for
+	// global cost ordering.
+	BestFirst
+)
+
+// String returns the strategy's name.
+func (s Strategy) String() string {
+	switch s {
+	case DFS:
+		return "dfs"
+	case BestFirst:
+		return "best-first"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Validate reports whether the problem is well-formed.
+func (p *Problem) Validate() error {
+	if p.Workers <= 0 {
+		return fmt.Errorf("search: Workers %d must be positive", p.Workers)
+	}
+	if len(p.BaseLoad) != p.Workers {
+		return fmt.Errorf("search: BaseLoad has %d entries for %d workers", len(p.BaseLoad), p.Workers)
+	}
+	if p.Quantum < 0 {
+		return fmt.Errorf("search: negative quantum %v", p.Quantum)
+	}
+	if p.Comm == nil {
+		return fmt.Errorf("search: Comm function is nil")
+	}
+	if p.VertexCost <= 0 && p.Clock == nil {
+		return fmt.Errorf("search: need VertexCost > 0 or a Clock")
+	}
+	return nil
+}
+
+// PhaseEnd returns t_e = t_s + Qs(j), the instant execution of the phase's
+// schedule is guaranteed to have started by.
+func (p *Problem) PhaseEnd() simtime.Instant { return p.Now.Add(p.Quantum) }
+
+// Feasible applies the paper's feasibility test (§4.3, Figure 4) to
+// extending a partial schedule whose worker-k completion offset is loadK
+// with task t on worker k: t_c + RQs(j) + se_lk <= d_l, which — since
+// t_c + RQs(j) is always the phase end — reduces to
+// PhaseEnd + loadK + p_l + c_lk <= d_l. It returns the new completion
+// offset and whether the extension is feasible. Saturated loads (a machine
+// reporting a crashed worker as permanently busy) are always infeasible —
+// the addition must not wrap.
+func (p *Problem) Feasible(t *task.Task, loadK, comm time.Duration) (time.Duration, bool) {
+	end := loadK + t.Proc + comm
+	if end < loadK {
+		return loadK, false // overflow: the worker is unreachable
+	}
+	return end, !p.PhaseEnd().Add(end).After(t.Deadline)
+}
+
+// Representation defines the topology of the task space G: how the root
+// looks and how a vertex expands into feasible successors.
+type Representation interface {
+	// Name identifies the representation in results and logs.
+	Name() string
+	// Root returns the root vertex (the empty schedule).
+	Root(p *Problem) *Vertex
+	// Expand generates v's feasible successors, best first. It returns the
+	// successors and the number of vertices generated-and-evaluated
+	// (including infeasible ones that were discarded), which the engine
+	// charges against the quantum.
+	Expand(p *Problem, v *Vertex) (succs []*Vertex, generated int)
+	// IsLeaf reports whether v is a complete schedule.
+	IsLeaf(p *Problem, v *Vertex) bool
+}
+
+// Stats describes one search run.
+type Stats struct {
+	Generated  int  // vertices generated and evaluated
+	Expanded   int  // vertices whose successors were generated
+	Backtracks int  // expansions that did not extend the previous vertex
+	DeadEnd    bool // the candidate list emptied before a leaf was reached
+	Leaf       bool // a complete schedule was reached
+	Expired    bool // the quantum ran out
+	// DepthLimited reports that the MaxDepth pruning bound stopped the
+	// search; BacktrackLimited that the MaxBacktracks bound did.
+	DepthLimited     bool
+	BacktrackLimited bool
+	// Consumed is the scheduling time actually used, <= Quantum (virtual
+	// mode) — the paper's "scheduling cost" metric.
+	Consumed time.Duration
+}
+
+// Result is the outcome of a search: the best feasible (partial) schedule
+// found, plus run statistics.
+type Result struct {
+	// Best is the deepest vertex reached; ties are broken by the smaller
+	// cost CE. The assignments on the path from the root to Best form the
+	// phase's schedule S_j.
+	Best  *Vertex
+	Stats Stats
+}
+
+// Schedule returns Best's assignments in path (root-to-leaf) order, which
+// is also each worker's queue order.
+func (r *Result) Schedule() []Assignment {
+	var n int
+	for v := r.Best; v != nil; v = v.Parent {
+		if v.IsAssignment {
+			n++
+		}
+	}
+	out := make([]Assignment, n)
+	for v := r.Best; v != nil; v = v.Parent {
+		if v.IsAssignment {
+			n--
+			out[n] = v.Assign
+		}
+	}
+	return out
+}
+
+// Run performs the paper's quantum-bounded depth-first search: it expands
+// the current vertex, prepends its feasible successors (already sorted
+// best-first by the representation) to the candidate list CL, and picks the
+// head of CL as the next current vertex. When an expansion yields no
+// feasible successors the head of CL belongs to another branch and the move
+// counts as a backtrack; an empty CL is a dead-end. The search stops at a
+// leaf, at a dead-end, or when the quantum expires.
+func Run(p *Problem, rep Representation) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	budget := newBudget(p)
+
+	cv := rep.Root(p)
+	res.Best = cv
+	cl := newCandidateList(p.Strategy)
+
+	for {
+		if rep.IsLeaf(p, cv) {
+			res.Stats.Leaf = true
+			break
+		}
+		if p.MaxDepth > 0 && cv.Depth >= p.MaxDepth {
+			res.Stats.DepthLimited = true
+			break
+		}
+		if budget.expired() {
+			res.Stats.Expired = true
+			break
+		}
+
+		succs, generated := rep.Expand(p, cv)
+		res.Stats.Expanded++
+		res.Stats.Generated += generated
+		budget.charge(generated)
+
+		if len(succs) == 0 && cl.len() == 0 {
+			res.Stats.DeadEnd = true
+			break
+		}
+		cl.push(succs)
+
+		next, ok := cl.pop()
+		if !ok {
+			res.Stats.DeadEnd = true
+			break
+		}
+		if next.Parent != cv {
+			res.Stats.Backtracks++
+			if p.MaxBacktracks > 0 && res.Stats.Backtracks > p.MaxBacktracks {
+				res.Stats.BacktrackLimited = true
+				break
+			}
+		}
+		cv = next
+
+		if better(cv, res.Best) {
+			res.Best = cv
+		}
+	}
+	res.Stats.Consumed = budget.consumed()
+	return res, nil
+}
+
+// candidateList abstracts the CL ordering behind the search strategy.
+type candidateList interface {
+	push(succs []*Vertex)
+	pop() (*Vertex, bool)
+	len() int
+}
+
+func newCandidateList(s Strategy) candidateList {
+	if s == BestFirst {
+		return newBestFirstCL()
+	}
+	return &stackCL{}
+}
+
+// stackCL is the paper's DFS candidate list: successors are prepended
+// best-first, and the front is expanded next.
+type stackCL struct {
+	items []*Vertex
+}
+
+func (s *stackCL) push(succs []*Vertex) {
+	// Append in reverse so the best sibling sits at the slice tail (the
+	// front of the list).
+	for i := len(succs) - 1; i >= 0; i-- {
+		s.items = append(s.items, succs[i])
+	}
+}
+
+func (s *stackCL) pop() (*Vertex, bool) {
+	if len(s.items) == 0 {
+		return nil, false
+	}
+	v := s.items[len(s.items)-1]
+	s.items[len(s.items)-1] = nil
+	s.items = s.items[:len(s.items)-1]
+	return v, true
+}
+
+func (s *stackCL) len() int { return len(s.items) }
+
+// bestFirstCL orders the whole candidate list globally by cost, preferring
+// smaller CE, then greater depth, then insertion order (for determinism).
+type bestFirstCL struct {
+	heap *queue.Heap[rankedVertex]
+	seq  int
+}
+
+type rankedVertex struct {
+	v   *Vertex
+	seq int
+}
+
+func newBestFirstCL() *bestFirstCL {
+	return &bestFirstCL{heap: queue.NewHeap(func(a, b rankedVertex) bool {
+		if a.v.CE != b.v.CE {
+			return a.v.CE < b.v.CE
+		}
+		if a.v.Depth != b.v.Depth {
+			return a.v.Depth > b.v.Depth
+		}
+		return a.seq < b.seq
+	})}
+}
+
+func (b *bestFirstCL) push(succs []*Vertex) {
+	for _, v := range succs {
+		b.heap.Push(rankedVertex{v: v, seq: b.seq})
+		b.seq++
+	}
+}
+
+func (b *bestFirstCL) pop() (*Vertex, bool) {
+	rv, ok := b.heap.Pop()
+	if !ok {
+		return nil, false
+	}
+	return rv.v, true
+}
+
+func (b *bestFirstCL) len() int { return b.heap.Len() }
+
+// better reports whether a is a better schedule than b: more assignments,
+// or equally many with a smaller total execution time CE.
+func better(a, b *Vertex) bool {
+	if a.Depth != b.Depth {
+		return a.Depth > b.Depth
+	}
+	return a.CE < b.CE
+}
+
+// budget tracks scheduling-time consumption against the quantum, in either
+// virtual (per-vertex cost) or wall-clock mode.
+type budget struct {
+	p       *Problem
+	virtual time.Duration
+}
+
+func newBudget(p *Problem) *budget { return &budget{p: p} }
+
+func (b *budget) charge(vertices int) {
+	b.virtual += time.Duration(vertices) * b.p.VertexCost
+}
+
+func (b *budget) consumed() time.Duration {
+	if b.p.Clock != nil {
+		return b.p.Clock()
+	}
+	return b.virtual
+}
+
+func (b *budget) expired() bool {
+	return b.consumed() >= b.p.Quantum
+}
+
+// Bitset is a fixed-capacity bitset over batch task indices, used by
+// representations that must know which tasks a path has already scheduled.
+type Bitset struct {
+	words []uint64
+	n     int
+}
+
+// NewBitset returns an empty bitset of capacity n.
+func NewBitset(n int) *Bitset {
+	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Clone returns an independent copy.
+func (b *Bitset) Clone() *Bitset {
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	return &Bitset{words: w, n: b.n}
+}
+
+// Set marks index i.
+func (b *Bitset) Set(i int) { b.words[i/64] |= 1 << uint(i%64) }
+
+// Has reports whether index i is marked.
+func (b *Bitset) Has(i int) bool { return b.words[i/64]&(1<<uint(i%64)) != 0 }
+
+// Len returns the bitset's capacity.
+func (b *Bitset) Len() int { return b.n }

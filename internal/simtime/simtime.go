@@ -1,0 +1,116 @@
+// Package simtime provides the virtual time base used by the deterministic
+// machine simulator and the schedulers.
+//
+// All simulation clocks are expressed as an Instant: the number of
+// nanoseconds elapsed since the start of the simulation. Durations reuse the
+// standard library's time.Duration so that the rest of the code base can mix
+// virtual and wall-clock measurements without conversion helpers.
+package simtime
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Instant is a point in virtual time, measured in nanoseconds since the
+// start of the simulation. The zero value is the simulation epoch.
+type Instant int64
+
+// Never is an Instant later than every reachable point of a simulation. It
+// is used as the "no deadline" / "not yet finished" sentinel.
+const Never Instant = math.MaxInt64
+
+// Add returns the instant d after t. Additions that would overflow saturate
+// at Never so that deadline arithmetic involving Never stays monotonic.
+func (t Instant) Add(d time.Duration) Instant {
+	if t == Never {
+		return Never
+	}
+	s := t + Instant(d)
+	if d > 0 && s < t {
+		return Never
+	}
+	return s
+}
+
+// Sub returns the duration t-u. If either operand is Never the result
+// saturates at the extreme of time.Duration.
+func (t Instant) Sub(u Instant) time.Duration {
+	if t == Never {
+		return math.MaxInt64
+	}
+	if u == Never {
+		return math.MinInt64
+	}
+	return time.Duration(t - u)
+}
+
+// Before reports whether t is strictly earlier than u.
+func (t Instant) Before(u Instant) bool { return t < u }
+
+// After reports whether t is strictly later than u.
+func (t Instant) After(u Instant) bool { return t > u }
+
+// Min returns the earlier of t and u.
+func (t Instant) Min(u Instant) Instant {
+	if t < u {
+		return t
+	}
+	return u
+}
+
+// Max returns the later of t and u.
+func (t Instant) Max(u Instant) Instant {
+	if t > u {
+		return t
+	}
+	return u
+}
+
+// String renders the instant as an offset from the simulation epoch, e.g.
+// "T+1.5ms", or "T+inf" for Never.
+func (t Instant) String() string {
+	if t == Never {
+		return "T+inf"
+	}
+	return fmt.Sprintf("T+%s", time.Duration(t))
+}
+
+// ClampDur returns d limited to the inclusive range [lo, hi]. It is the
+// shared helper for quantum bounding.
+func ClampDur(d, lo, hi time.Duration) time.Duration {
+	if d < lo {
+		return lo
+	}
+	if d > hi {
+		return hi
+	}
+	return d
+}
+
+// MaxDur returns the larger of a and b.
+func MaxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinDur returns the smaller of a and b.
+func MinDur(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// NonNeg returns d, or zero when d is negative. It implements the clamp the
+// paper leaves implicit in "Load_k(j-1) - Qs(j)": a worker cannot have a
+// negative backlog.
+func NonNeg(d time.Duration) time.Duration {
+	if d < 0 {
+		return 0
+	}
+	return d
+}

@@ -1,0 +1,129 @@
+package simtime
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestInstantAdd(t *testing.T) {
+	tests := []struct {
+		name string
+		t    Instant
+		d    time.Duration
+		want Instant
+	}{
+		{"zero plus zero", 0, 0, 0},
+		{"epoch plus ms", 0, time.Millisecond, Instant(time.Millisecond)},
+		{"offset plus us", Instant(5 * time.Microsecond), 2 * time.Microsecond, Instant(7 * time.Microsecond)},
+		{"negative delta", Instant(time.Second), -time.Millisecond, Instant(999 * time.Millisecond)},
+		{"never stays never", Never, time.Hour, Never},
+		{"overflow saturates", Instant(math.MaxInt64 - 1), time.Hour, Never},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.t.Add(tt.d); got != tt.want {
+				t.Errorf("(%v).Add(%v) = %v, want %v", tt.t, tt.d, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestInstantSub(t *testing.T) {
+	a := Instant(10 * time.Millisecond)
+	b := Instant(4 * time.Millisecond)
+	if got := a.Sub(b); got != 6*time.Millisecond {
+		t.Errorf("Sub = %v, want 6ms", got)
+	}
+	if got := b.Sub(a); got != -6*time.Millisecond {
+		t.Errorf("Sub = %v, want -6ms", got)
+	}
+	if got := Never.Sub(a); got != math.MaxInt64 {
+		t.Errorf("Never.Sub = %v, want max duration", got)
+	}
+	if got := a.Sub(Never); got != math.MinInt64 {
+		t.Errorf("Sub(Never) = %v, want min duration", got)
+	}
+}
+
+func TestInstantOrdering(t *testing.T) {
+	a := Instant(1)
+	b := Instant(2)
+	if !a.Before(b) || b.Before(a) {
+		t.Error("Before misordered")
+	}
+	if !b.After(a) || a.After(b) {
+		t.Error("After misordered")
+	}
+	if a.Min(b) != a || b.Min(a) != a {
+		t.Error("Min wrong")
+	}
+	if a.Max(b) != b || b.Max(a) != b {
+		t.Error("Max wrong")
+	}
+}
+
+func TestInstantString(t *testing.T) {
+	if got := Instant(1500 * time.Microsecond).String(); got != "T+1.5ms" {
+		t.Errorf("String = %q, want T+1.5ms", got)
+	}
+	if got := Never.String(); got != "T+inf" {
+		t.Errorf("Never.String = %q, want T+inf", got)
+	}
+}
+
+func TestClampDur(t *testing.T) {
+	tests := []struct {
+		d, lo, hi, want time.Duration
+	}{
+		{5, 0, 10, 5},
+		{-3, 0, 10, 0},
+		{15, 0, 10, 10},
+		{7, 7, 7, 7},
+	}
+	for _, tt := range tests {
+		if got := ClampDur(tt.d, tt.lo, tt.hi); got != tt.want {
+			t.Errorf("ClampDur(%d,%d,%d) = %d, want %d", tt.d, tt.lo, tt.hi, got, tt.want)
+		}
+	}
+}
+
+func TestDurHelpers(t *testing.T) {
+	if MaxDur(3, 9) != 9 || MaxDur(9, 3) != 9 {
+		t.Error("MaxDur wrong")
+	}
+	if MinDur(3, 9) != 3 || MinDur(9, 3) != 3 {
+		t.Error("MinDur wrong")
+	}
+	if NonNeg(-5) != 0 || NonNeg(5) != 5 {
+		t.Error("NonNeg wrong")
+	}
+}
+
+// Property: Add and Sub are inverses for in-range values.
+func TestAddSubRoundTrip(t *testing.T) {
+	f := func(base int32, delta int32) bool {
+		b := Instant(base)
+		d := time.Duration(delta)
+		return b.Add(d).Sub(b) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ClampDur always lands inside [lo, hi] when lo <= hi.
+func TestClampDurProperty(t *testing.T) {
+	f := func(d, a, b int32) bool {
+		lo, hi := time.Duration(a), time.Duration(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		got := ClampDur(time.Duration(d), lo, hi)
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

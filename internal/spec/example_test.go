@@ -1,0 +1,36 @@
+package spec_test
+
+import (
+	"fmt"
+	"strings"
+
+	"rtsads/internal/spec"
+)
+
+// Example parses a declarative sweep and runs it through the same harness
+// as the paper's figures.
+func Example() {
+	s, err := spec.Parse(strings.NewReader(`{
+		"name": "tiny",
+		"runs": 2,
+		"algorithms": ["RT-SADS"],
+		"base": {"workers": 3, "transactions": 60},
+		"sweep": {"param": "sf", "values": [1, 3]}
+	}`))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fig, err := s.Run()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("points:", len(fig.Points))
+	first := fig.Points[0].Aggs[fig.Algorithms[0]].HitRatio.Mean()
+	last := fig.Points[1].Aggs[fig.Algorithms[0]].HitRatio.Mean()
+	fmt.Println("looser deadlines help:", last > first)
+	// Output:
+	// points: 2
+	// looser deadlines help: true
+}

@@ -1,0 +1,218 @@
+// Package spec lets users define custom experiment sweeps in JSON and run
+// them through the same harness as the paper's figures — the artefact-style
+// interface for exploring parameter regions the paper does not cover.
+//
+// Example spec:
+//
+//	{
+//	  "name": "tight-deadlines-vs-processors",
+//	  "runs": 10,
+//	  "algorithms": ["RT-SADS", "D-COLS"],
+//	  "base": {"replication": 0.3, "sf": 1, "transactions": 1000},
+//	  "sweep": {"param": "workers", "values": [2, 4, 6, 8, 10]}
+//	}
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"rtsads/internal/affinity"
+	"rtsads/internal/experiment"
+	"rtsads/internal/metrics"
+	"rtsads/internal/workload"
+)
+
+// Spec is a declarative experiment: a base workload, one swept parameter,
+// and the algorithms to compare.
+type Spec struct {
+	Name string `json:"name"`
+	// Runs per point; defaults to 10 (the paper's methodology).
+	Runs int `json:"runs"`
+	// Seed is the base seed; defaults to 1.
+	Seed uint64 `json:"seed"`
+	// VertexCostMicros and PhaseCostMicros override the host cost model;
+	// zero keeps the defaults (1µs and 25µs).
+	VertexCostMicros float64 `json:"vertexCostMicros"`
+	PhaseCostMicros  float64 `json:"phaseCostMicros"`
+	// Algorithms to compare; defaults to RT-SADS vs D-COLS.
+	Algorithms []string `json:"algorithms"`
+	Base       Base     `json:"base"`
+	Sweep      Sweep    `json:"sweep"`
+}
+
+// Base sets the workload parameters shared by every point. Zero-valued
+// fields keep the paper's defaults.
+type Base struct {
+	Workers               int     `json:"workers"`
+	Replication           float64 `json:"replication"`
+	SF                    float64 `json:"sf"`
+	Transactions          int     `json:"transactions"`
+	CostNoise             float64 `json:"costNoise"`
+	RangeProb             float64 `json:"rangeProb"`
+	ExtraIndexes          []int   `json:"extraIndexes"`
+	Placement             string  `json:"placement"` // balanced (default), random, clustered
+	Arrival               string  `json:"arrival"`   // "bursty" (default) or "poisson"
+	MeanInterArrivalMicro float64 `json:"meanInterArrivalMicros"`
+}
+
+// Sweep selects the swept parameter and its values.
+type Sweep struct {
+	// Param is one of: workers, replication, sf, transactions, costNoise,
+	// interArrivalMicros, rangeProb.
+	Param  string    `json:"param"`
+	Values []float64 `json:"values"`
+}
+
+// Parse reads and validates a JSON spec.
+func Parse(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("spec: parse: %w", err)
+	}
+	if err := s.normalize(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// normalize fills defaults and validates.
+func (s *Spec) normalize() error {
+	if s.Name == "" {
+		s.Name = "custom"
+	}
+	if s.Runs == 0 {
+		s.Runs = 10
+	}
+	if s.Runs < 0 {
+		return fmt.Errorf("spec: runs %d must be positive", s.Runs)
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if len(s.Algorithms) == 0 {
+		s.Algorithms = []string{string(experiment.RTSADS), string(experiment.DCOLS)}
+	}
+	if len(s.Sweep.Values) == 0 {
+		return fmt.Errorf("spec: sweep needs at least one value")
+	}
+	switch s.Sweep.Param {
+	case "workers", "replication", "sf", "transactions", "costNoise",
+		"interArrivalMicros", "rangeProb":
+	default:
+		return fmt.Errorf("spec: unknown sweep parameter %q", s.Sweep.Param)
+	}
+	switch s.Base.Arrival {
+	case "", "bursty", "poisson":
+	default:
+		return fmt.Errorf("spec: unknown arrival kind %q", s.Base.Arrival)
+	}
+	if _, err := affinity.ParseStrategy(s.Base.Placement); err != nil {
+		return err
+	}
+	return nil
+}
+
+// params builds the workload parameters for one sweep value.
+func (s *Spec) params(x float64) (workload.Params, error) {
+	workers := s.Base.Workers
+	if workers == 0 {
+		workers = 10
+	}
+	p := workload.DefaultParams(workers)
+	if s.Base.Replication != 0 {
+		p.Replication = s.Base.Replication
+	}
+	if s.Base.SF != 0 {
+		p.SF = s.Base.SF
+	}
+	if s.Base.Transactions != 0 {
+		p.NumTransactions = s.Base.Transactions
+	}
+	p.CostNoise = s.Base.CostNoise
+	p.RangeProb = s.Base.RangeProb
+	p.DB.ExtraIndexes = s.Base.ExtraIndexes
+	// Already validated in normalize.
+	p.Placement, _ = affinity.ParseStrategy(s.Base.Placement)
+	if s.Base.Arrival == "poisson" {
+		p.Arrival = workload.Poisson
+		p.MeanInterArrival = time.Duration(s.Base.MeanInterArrivalMicro) * time.Microsecond
+	}
+	switch s.Sweep.Param {
+	case "workers":
+		// DefaultParams ties placement to the worker count; rebuild.
+		p2 := workload.DefaultParams(int(x))
+		p2.Replication, p2.SF, p2.NumTransactions = p.Replication, p.SF, p.NumTransactions
+		p2.CostNoise, p2.Arrival, p2.MeanInterArrival = p.CostNoise, p.Arrival, p.MeanInterArrival
+		p2.RangeProb, p2.DB, p2.Placement = p.RangeProb, p.DB, p.Placement
+		p = p2
+	case "replication":
+		p.Replication = x
+	case "sf":
+		p.SF = x
+	case "transactions":
+		p.NumTransactions = int(x)
+	case "costNoise":
+		p.CostNoise = x
+	case "interArrivalMicros":
+		p.Arrival = workload.Poisson
+		p.MeanInterArrival = time.Duration(x) * time.Microsecond
+	case "rangeProb":
+		p.RangeProb = x
+	}
+	return p, p.Validate()
+}
+
+// runConfig derives the harness configuration.
+func (s *Spec) runConfig() experiment.RunConfig {
+	rc := experiment.DefaultRunConfig()
+	rc.Runs = s.Runs
+	rc.BaseSeed = s.Seed
+	if s.VertexCostMicros > 0 {
+		rc.VertexCost = time.Duration(s.VertexCostMicros * float64(time.Microsecond))
+	}
+	if s.PhaseCostMicros > 0 {
+		rc.PhaseCost = time.Duration(s.PhaseCostMicros * float64(time.Microsecond))
+	}
+	return rc
+}
+
+// Run executes the spec and returns a figure compatible with the built-in
+// renderers.
+func (s *Spec) Run() (*experiment.Figure, error) {
+	rc := s.runConfig()
+	algos := make([]experiment.Algorithm, len(s.Algorithms))
+	for i, a := range s.Algorithms {
+		algos[i] = experiment.Algorithm(a)
+	}
+	fig := &experiment.Figure{
+		ID:         s.Name,
+		Title:      fmt.Sprintf("Custom experiment %q — hit ratio vs %s", s.Name, s.Sweep.Param),
+		XLabel:     s.Sweep.Param,
+		Algorithms: algos,
+	}
+	for _, x := range s.Sweep.Values {
+		p, err := s.params(x)
+		if err != nil {
+			return nil, fmt.Errorf("spec: point %v: %w", x, err)
+		}
+		pt := experiment.Point{
+			X:     x,
+			Label: fmt.Sprintf("%s=%g", s.Sweep.Param, x),
+			Aggs:  map[experiment.Algorithm]*metrics.Aggregate{},
+		}
+		for _, algo := range algos {
+			agg, err := experiment.RunRepeated(algo, p, rc)
+			if err != nil {
+				return nil, fmt.Errorf("spec: %s at %v: %w", algo, x, err)
+			}
+			pt.Aggs[algo] = agg
+		}
+		fig.Points = append(fig.Points, pt)
+	}
+	return fig, nil
+}

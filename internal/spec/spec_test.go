@@ -1,0 +1,236 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"rtsads/internal/affinity"
+	"rtsads/internal/experiment"
+)
+
+func parse(t *testing.T, js string) *Spec {
+	t.Helper()
+	s, err := Parse(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestParseDefaults(t *testing.T) {
+	s := parse(t, `{"sweep": {"param": "workers", "values": [2, 4]}}`)
+	if s.Name != "custom" || s.Runs != 10 || s.Seed != 1 {
+		t.Errorf("defaults not applied: %+v", s)
+	}
+	if len(s.Algorithms) != 2 {
+		t.Errorf("default algorithms = %v", s.Algorithms)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		js   string
+	}{
+		{"garbage", `{`},
+		{"unknown field", `{"bogus": 1, "sweep": {"param": "sf", "values": [1]}}`},
+		{"no sweep values", `{"sweep": {"param": "sf", "values": []}}`},
+		{"bad sweep param", `{"sweep": {"param": "nope", "values": [1]}}`},
+		{"bad arrival", `{"base": {"arrival": "warped"}, "sweep": {"param": "sf", "values": [1]}}`},
+		{"negative runs", `{"runs": -1, "sweep": {"param": "sf", "values": [1]}}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Parse(strings.NewReader(tt.js)); err == nil {
+				t.Errorf("spec %q accepted", tt.js)
+			}
+		})
+	}
+}
+
+func TestParamsPerSweep(t *testing.T) {
+	tests := []struct {
+		param string
+		value float64
+		check func(tb testing.TB, s *Spec)
+	}{
+		{"workers", 6, func(tb testing.TB, s *Spec) {
+			p, err := s.params(6)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			if p.Workers != 6 {
+				tb.Errorf("workers = %d", p.Workers)
+			}
+		}},
+		{"replication", 0.7, func(tb testing.TB, s *Spec) {
+			p, err := s.params(0.7)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			if p.Replication != 0.7 {
+				tb.Errorf("replication = %v", p.Replication)
+			}
+		}},
+		{"sf", 2.5, func(tb testing.TB, s *Spec) {
+			p, err := s.params(2.5)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			if p.SF != 2.5 {
+				tb.Errorf("sf = %v", p.SF)
+			}
+		}},
+		{"transactions", 300, func(tb testing.TB, s *Spec) {
+			p, err := s.params(300)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			if p.NumTransactions != 300 {
+				tb.Errorf("transactions = %d", p.NumTransactions)
+			}
+		}},
+		{"costNoise", 0.4, func(tb testing.TB, s *Spec) {
+			p, err := s.params(0.4)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			if p.CostNoise != 0.4 {
+				tb.Errorf("costNoise = %v", p.CostNoise)
+			}
+		}},
+		{"interArrivalMicros", 80, func(tb testing.TB, s *Spec) {
+			p, err := s.params(80)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			if p.MeanInterArrival.Microseconds() != 80 {
+				tb.Errorf("interarrival = %v", p.MeanInterArrival)
+			}
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.param, func(t *testing.T) {
+			s := parse(t, `{"sweep": {"param": "`+tt.param+`", "values": [1]}}`)
+			tt.check(t, s)
+		})
+	}
+}
+
+func TestBaseOverridesSurvivesWorkerSweep(t *testing.T) {
+	s := parse(t, `{
+		"base": {"replication": 0.5, "sf": 2, "transactions": 77},
+		"sweep": {"param": "workers", "values": [3]}
+	}`)
+	p, err := s.params(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Replication != 0.5 || p.SF != 2 || p.NumTransactions != 77 {
+		t.Errorf("base overrides lost across worker sweep: %+v", p)
+	}
+}
+
+func TestInvalidPointRejected(t *testing.T) {
+	s := parse(t, `{"sweep": {"param": "replication", "values": [2.0]}}`)
+	if _, err := s.Run(); err == nil {
+		t.Error("replication=2.0 accepted")
+	}
+}
+
+func TestRunProducesFigure(t *testing.T) {
+	s := parse(t, `{
+		"name": "mini",
+		"runs": 2,
+		"base": {"workers": 3, "transactions": 80},
+		"sweep": {"param": "sf", "values": [1, 3]}
+	}`)
+	fig, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "mini" || len(fig.Points) != 2 {
+		t.Fatalf("figure = %+v", fig)
+	}
+	lo := fig.Points[0].Aggs[experiment.RTSADS].HitRatio.Mean()
+	hi := fig.Points[1].Aggs[experiment.RTSADS].HitRatio.Mean()
+	if hi <= lo {
+		t.Errorf("SF=3 (%.3f) should beat SF=1 (%.3f)", hi, lo)
+	}
+	var b strings.Builder
+	if err := fig.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "mini") {
+		t.Error("render missing the spec name")
+	}
+}
+
+func TestRunConfigOverrides(t *testing.T) {
+	s := parse(t, `{
+		"runs": 4, "seed": 9, "vertexCostMicros": 2, "phaseCostMicros": 10,
+		"sweep": {"param": "sf", "values": [1]}
+	}`)
+	rc := s.runConfig()
+	if rc.Runs != 4 || rc.BaseSeed != 9 {
+		t.Errorf("rc = %+v", rc)
+	}
+	if rc.VertexCost.Microseconds() != 2 || rc.PhaseCost.Microseconds() != 10 {
+		t.Errorf("costs = %v/%v", rc.VertexCost, rc.PhaseCost)
+	}
+}
+
+func TestUnknownAlgorithmFailsAtRun(t *testing.T) {
+	s := parse(t, `{
+		"runs": 1,
+		"algorithms": ["nonsense"],
+		"base": {"workers": 2, "transactions": 20},
+		"sweep": {"param": "sf", "values": [1]}
+	}`)
+	if _, err := s.Run(); err == nil {
+		t.Error("unknown algorithm accepted at run time")
+	}
+}
+
+func TestRangeProbSweep(t *testing.T) {
+	s := parse(t, `{"sweep": {"param": "rangeProb", "values": [0.3]}}`)
+	p, err := s.params(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.RangeProb != 0.3 {
+		t.Errorf("rangeProb = %v", p.RangeProb)
+	}
+}
+
+func TestBaseExtraIndexes(t *testing.T) {
+	s := parse(t, `{
+		"base": {"extraIndexes": [4, 7], "rangeProb": 0.2},
+		"sweep": {"param": "workers", "values": [3]}
+	}`)
+	p, err := s.params(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.DB.ExtraIndexes) != 2 || p.RangeProb != 0.2 {
+		t.Errorf("base extensions lost: %+v", p)
+	}
+}
+
+func TestBasePlacement(t *testing.T) {
+	s := parse(t, `{
+		"base": {"placement": "clustered"},
+		"sweep": {"param": "workers", "values": [4]}
+	}`)
+	p, err := s.params(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Placement != affinity.Clustered {
+		t.Errorf("placement = %v", p.Placement)
+	}
+	if _, err := Parse(strings.NewReader(
+		`{"base": {"placement": "warped"}, "sweep": {"param": "sf", "values": [1]}}`)); err == nil {
+		t.Error("unknown placement accepted")
+	}
+}

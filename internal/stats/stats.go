@@ -1,0 +1,320 @@
+// Package stats provides the summary statistics and significance tests the
+// paper's evaluation methodology calls for: every experiment is run ten
+// times, the mean is reported, and two-tailed difference-of-means tests are
+// applied at a 0.01 significance level (99% confidence).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates a stream of float64 observations using Welford's
+// online algorithm. The zero value is an empty, ready-to-use accumulator.
+type Summary struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// AddAll records every observation in xs.
+func (s *Summary) AddAll(xs []float64) {
+	for _, x := range xs {
+		s.Add(x)
+	}
+}
+
+// N returns the number of observations recorded.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the sample mean, or NaN when empty.
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.mean
+}
+
+// Variance returns the unbiased sample variance, or NaN with fewer than two
+// observations.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return math.NaN()
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (s *Summary) StdErr() float64 {
+	if s.n < 2 {
+		return math.NaN()
+	}
+	return s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// Min returns the smallest observation, or NaN when empty.
+func (s *Summary) Min() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
+
+// Max returns the largest observation, or NaN when empty.
+func (s *Summary) Max() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
+
+// CI returns the half-width of the confidence interval on the mean at the
+// given confidence level (e.g. 0.99), using the Student-t distribution with
+// n-1 degrees of freedom. It returns an error with fewer than two
+// observations or a level outside (0, 1).
+func (s *Summary) CI(level float64) (float64, error) {
+	if s.n < 2 {
+		return 0, errors.New("stats: CI requires at least two observations")
+	}
+	t, err := TCritical(float64(s.n-1), 1-level)
+	if err != nil {
+		return 0, err
+	}
+	return t * s.StdErr(), nil
+}
+
+// String renders the summary as "mean ± stddev (n=...)".
+func (s *Summary) String() string {
+	if s.n == 0 {
+		return "empty"
+	}
+	if s.n == 1 {
+		return fmt.Sprintf("%.4g (n=1)", s.mean)
+	}
+	return fmt.Sprintf("%.4g ± %.3g (n=%d)", s.Mean(), s.StdDev(), s.n)
+}
+
+// Mean returns the arithmetic mean of xs, or NaN when xs is empty.
+func Mean(xs []float64) float64 {
+	var s Summary
+	s.AddAll(xs)
+	return s.Mean()
+}
+
+// Median returns the median of xs, or NaN when xs is empty. xs is not
+// modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	mid := len(cp) / 2
+	if len(cp)%2 == 1 {
+		return cp[mid]
+	}
+	return (cp[mid-1] + cp[mid]) / 2
+}
+
+// TTestResult is the outcome of a two-tailed Welch difference-of-means test.
+type TTestResult struct {
+	T  float64 // test statistic
+	DF float64 // Welch–Satterthwaite degrees of freedom
+	P  float64 // two-tailed p-value
+}
+
+// Significant reports whether the difference is significant at level alpha
+// (e.g. 0.01 for the paper's methodology).
+func (r TTestResult) Significant(alpha float64) bool { return r.P < alpha }
+
+// WelchTTest performs a two-tailed difference-of-means test between the two
+// samples without assuming equal variances. It returns an error when either
+// sample has fewer than two observations.
+func WelchTTest(a, b *Summary) (TTestResult, error) {
+	if a.N() < 2 || b.N() < 2 {
+		return TTestResult{}, errors.New("stats: WelchTTest requires two observations per sample")
+	}
+	va := a.Variance() / float64(a.N())
+	vb := b.Variance() / float64(b.N())
+	if va+vb == 0 {
+		// Identical constant samples: no evidence of difference if the
+		// means match, certain difference otherwise.
+		if a.Mean() == b.Mean() {
+			return TTestResult{T: 0, DF: float64(a.N() + b.N() - 2), P: 1}, nil
+		}
+		return TTestResult{T: math.Inf(sign(a.Mean() - b.Mean())), DF: float64(a.N() + b.N() - 2), P: 0}, nil
+	}
+	t := (a.Mean() - b.Mean()) / math.Sqrt(va+vb)
+	df := (va + vb) * (va + vb) /
+		(va*va/float64(a.N()-1) + vb*vb/float64(b.N()-1))
+	p := 2 * studentTTail(math.Abs(t), df)
+	return TTestResult{T: t, DF: df, P: p}, nil
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// studentTTail returns P(T > t) for a Student-t distribution with df degrees
+// of freedom, for t >= 0, via the regularized incomplete beta function.
+func studentTTail(t, df float64) float64 {
+	if math.IsInf(t, 1) {
+		return 0
+	}
+	x := df / (df + t*t)
+	return 0.5 * regIncBeta(df/2, 0.5, x)
+}
+
+// TCritical returns the two-tailed critical t value for the given degrees of
+// freedom and significance level alpha (e.g. 0.01 gives the 99% critical
+// value). It inverts the tail probability by bisection.
+func TCritical(df, alpha float64) (float64, error) {
+	if df <= 0 {
+		return 0, fmt.Errorf("stats: invalid degrees of freedom %v", df)
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return 0, fmt.Errorf("stats: invalid significance level %v", alpha)
+	}
+	target := alpha / 2
+	lo, hi := 0.0, 1.0
+	for studentTTail(hi, df) > target {
+		hi *= 2
+		if hi > 1e9 {
+			return 0, errors.New("stats: TCritical failed to bracket")
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if studentTTail(mid, df) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the continued-fraction expansion (Numerical Recipes style).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(math.Log(x)*a + math.Log(1-x)*b + lbeta)
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta function
+// by the modified Lentz method.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		tiny    = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// PairedTTest performs a two-tailed paired difference-of-means test on two
+// equal-length samples measured under matched conditions (the experiments
+// run every algorithm on the same seeds, so pairing removes the
+// between-workload variance). It returns an error when the samples differ
+// in length or have fewer than two pairs.
+func PairedTTest(a, b []float64) (TTestResult, error) {
+	if len(a) != len(b) {
+		return TTestResult{}, fmt.Errorf("stats: paired samples differ in length: %d vs %d", len(a), len(b))
+	}
+	if len(a) < 2 {
+		return TTestResult{}, errors.New("stats: PairedTTest requires at least two pairs")
+	}
+	var d Summary
+	for i := range a {
+		d.Add(a[i] - b[i])
+	}
+	df := float64(d.N() - 1)
+	se := d.StdErr()
+	if se == 0 {
+		if d.Mean() == 0 {
+			return TTestResult{T: 0, DF: df, P: 1}, nil
+		}
+		return TTestResult{T: math.Inf(sign(d.Mean())), DF: df, P: 0}, nil
+	}
+	t := d.Mean() / se
+	return TTestResult{T: t, DF: df, P: 2 * studentTTail(math.Abs(t), df)}, nil
+}

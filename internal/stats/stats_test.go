@@ -1,0 +1,328 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if !math.IsNaN(s.Mean()) || !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) {
+		t.Error("empty summary should report NaN")
+	}
+	s.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if !approx(s.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	// Sample variance of this classic set is 32/7.
+	if !approx(s.Variance(), 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %v", s.Variance())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSummarySingleObservation(t *testing.T) {
+	var s Summary
+	s.Add(3.5)
+	if s.Mean() != 3.5 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if !math.IsNaN(s.Variance()) {
+		t.Error("Variance with n=1 should be NaN")
+	}
+	if _, err := s.CI(0.99); err == nil {
+		t.Error("CI with n=1 should error")
+	}
+}
+
+func TestMeanAndMedian(t *testing.T) {
+	if !approx(Mean([]float64{1, 2, 3, 4}), 2.5, 1e-12) {
+		t.Error("Mean wrong")
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Error("odd median wrong")
+	}
+	if Median([]float64{4, 1, 3, 2}) != 2.5 {
+		t.Error("even median wrong")
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Error("Median(nil) should be NaN")
+	}
+	// Median must not reorder its input.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("Median modified its input")
+	}
+}
+
+func TestTCriticalKnownValues(t *testing.T) {
+	// Standard t-table values.
+	tests := []struct {
+		df    float64
+		alpha float64
+		want  float64
+	}{
+		{9, 0.01, 3.2498}, // the paper's setting: n=10 runs, 99% CI
+		{9, 0.05, 2.2622},
+		{1, 0.05, 12.7062},
+		{30, 0.01, 2.7500},
+		{100, 0.05, 1.9840},
+	}
+	for _, tt := range tests {
+		got, err := TCritical(tt.df, tt.alpha)
+		if err != nil {
+			t.Fatalf("TCritical(%v,%v): %v", tt.df, tt.alpha, err)
+		}
+		if !approx(got, tt.want, 2e-3) {
+			t.Errorf("TCritical(%v,%v) = %v, want %v", tt.df, tt.alpha, got, tt.want)
+		}
+	}
+}
+
+func TestTCriticalErrors(t *testing.T) {
+	if _, err := TCritical(0, 0.05); err == nil {
+		t.Error("df=0 accepted")
+	}
+	if _, err := TCritical(5, 0); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+	if _, err := TCritical(5, 1); err == nil {
+		t.Error("alpha=1 accepted")
+	}
+}
+
+func TestCIWidth(t *testing.T) {
+	var s Summary
+	s.AddAll([]float64{10, 12, 9, 11, 10, 12, 9, 11, 10, 11}) // n=10
+	ci99, err := s.CI(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci95, err := s.CI(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci99 <= ci95 {
+		t.Errorf("99%% CI (%v) should be wider than 95%% CI (%v)", ci99, ci95)
+	}
+	want := 3.2498 * s.StdErr()
+	if !approx(ci99, want, 1e-3) {
+		t.Errorf("CI99 = %v, want %v", ci99, want)
+	}
+}
+
+func TestWelchTTestSeparatesObviousDifference(t *testing.T) {
+	var a, b Summary
+	a.AddAll([]float64{10.1, 10.2, 9.9, 10.0, 10.1, 9.8, 10.0, 10.2, 9.9, 10.1})
+	b.AddAll([]float64{20.3, 19.8, 20.1, 20.0, 19.9, 20.2, 20.1, 19.7, 20.0, 20.2})
+	r, err := WelchTTest(&a, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Significant(0.01) {
+		t.Errorf("obvious difference not significant: p=%v", r.P)
+	}
+	if r.T >= 0 {
+		t.Errorf("T should be negative (a < b): %v", r.T)
+	}
+}
+
+func TestWelchTTestSameDistribution(t *testing.T) {
+	var a, b Summary
+	a.AddAll([]float64{5.0, 5.1, 4.9, 5.05, 4.95, 5.02, 4.98, 5.0})
+	b.AddAll([]float64{5.01, 4.99, 5.0, 5.04, 4.97, 5.03, 4.96, 5.0})
+	r, err := WelchTTest(&a, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Significant(0.01) {
+		t.Errorf("same distribution flagged significant: p=%v", r.P)
+	}
+}
+
+func TestWelchTTestConstantSamples(t *testing.T) {
+	var a, b Summary
+	a.AddAll([]float64{3, 3, 3})
+	b.AddAll([]float64{3, 3, 3})
+	r, err := WelchTTest(&a, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.P != 1 {
+		t.Errorf("identical constants: p=%v, want 1", r.P)
+	}
+	var c Summary
+	c.AddAll([]float64{4, 4, 4})
+	r, err = WelchTTest(&a, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.P != 0 {
+		t.Errorf("different constants: p=%v, want 0", r.P)
+	}
+}
+
+func TestWelchTTestErrors(t *testing.T) {
+	var a, b Summary
+	a.Add(1)
+	b.AddAll([]float64{1, 2, 3})
+	if _, err := WelchTTest(&a, &b); err == nil {
+		t.Error("n=1 sample accepted")
+	}
+}
+
+func TestRegIncBetaEdges(t *testing.T) {
+	if regIncBeta(2, 3, 0) != 0 {
+		t.Error("I_0 != 0")
+	}
+	if regIncBeta(2, 3, 1) != 1 {
+		t.Error("I_1 != 1")
+	}
+	// I_x(1,1) = x (uniform CDF).
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		if got := regIncBeta(1, 1, x); !approx(got, x, 1e-10) {
+			t.Errorf("I_%v(1,1) = %v", x, got)
+		}
+	}
+	// I_x(a,b) + I_{1-x}(b,a) = 1.
+	for _, x := range []float64{0.2, 0.4, 0.6, 0.8} {
+		sum := regIncBeta(2.5, 4.0, x) + regIncBeta(4.0, 2.5, 1-x)
+		if !approx(sum, 1, 1e-10) {
+			t.Errorf("symmetry violated at x=%v: %v", x, sum)
+		}
+	}
+}
+
+func TestStudentTailAgainstNormal(t *testing.T) {
+	// At large df, the t tail approaches the normal tail: P(Z>1.96)~0.025.
+	got := studentTTail(1.96, 1e6)
+	if !approx(got, 0.025, 5e-4) {
+		t.Errorf("tail(1.96, 1e6) = %v, want ~0.025", got)
+	}
+}
+
+// Property: Welford mean matches the naive mean.
+func TestWelfordMatchesNaive(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Summary
+		var sum float64
+		for _, v := range raw {
+			x := float64(v)
+			s.Add(x)
+			sum += x
+		}
+		return approx(s.Mean(), sum/float64(len(raw)), 1e-6*(1+math.Abs(sum)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CI half-width is non-negative and scales with stddev.
+func TestCINonNegative(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var s Summary
+		for _, v := range raw {
+			s.Add(float64(v))
+		}
+		ci, err := s.CI(0.99)
+		return err == nil && ci >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var s Summary
+	if s.String() != "empty" {
+		t.Errorf("empty String = %q", s.String())
+	}
+	s.Add(1)
+	if s.String() == "" {
+		t.Error("n=1 String empty")
+	}
+	s.Add(2)
+	if s.String() == "" {
+		t.Error("n=2 String empty")
+	}
+}
+
+func TestPairedTTest(t *testing.T) {
+	// Highly correlated pairs with a small consistent difference: the
+	// paired test must detect it even though the pooled variance is large.
+	a := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	b := []float64{11, 21, 31, 41, 51, 61, 71, 81, 91, 101}
+	r, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Significant(0.01) {
+		t.Errorf("consistent paired difference not significant: p=%v", r.P)
+	}
+	if r.T >= 0 {
+		t.Errorf("T should be negative (a < b): %v", r.T)
+	}
+	// The unpaired Welch test on the same data must NOT be significant —
+	// that contrast is the reason the paired test exists.
+	var sa, sb Summary
+	sa.AddAll(a)
+	sb.AddAll(b)
+	w, err := WelchTTest(&sa, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Significant(0.01) {
+		t.Errorf("Welch unexpectedly significant on noisy pairs: p=%v", w.P)
+	}
+}
+
+func TestPairedTTestIdentical(t *testing.T) {
+	a := []float64{1, 2, 3}
+	r, err := PairedTTest(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.P != 1 || r.T != 0 {
+		t.Errorf("identical pairs: T=%v P=%v", r.T, r.P)
+	}
+}
+
+func TestPairedTTestConstantShift(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{2, 3, 4} // exactly +1 everywhere: zero variance in d
+	r, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.P != 0 {
+		t.Errorf("constant shift: p=%v, want 0", r.P)
+	}
+}
+
+func TestPairedTTestErrors(t *testing.T) {
+	if _, err := PairedTTest([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := PairedTTest([]float64{1}, []float64{2}); err == nil {
+		t.Error("single pair accepted")
+	}
+}

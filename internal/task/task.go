@@ -1,0 +1,226 @@
+// Package task defines the real-time task model of the paper: aperiodic,
+// non-preemptable, independent tasks with arrival times, processing times,
+// deadlines and processor affinities, plus the batch bookkeeping used by the
+// phase-based schedulers.
+package task
+
+import (
+	"fmt"
+	"time"
+
+	"rtsads/internal/affinity"
+	"rtsads/internal/simtime"
+)
+
+// ID identifies a task within one workload.
+type ID int32
+
+// Task is one aperiodic real-time task (in the evaluation: one read-only
+// database transaction). Tasks are immutable once generated; schedulers and
+// machines share pointers to them.
+type Task struct {
+	ID       ID
+	Arrival  simtime.Instant // a_i: when the task reaches the host
+	Proc     time.Duration   // p_i: worst-case processing time
+	Deadline simtime.Instant // d_i: absolute deadline
+	Affinity affinity.Set    // processors that hold the task's data locally
+
+	// Actual is the task's true processing time, revealed only at
+	// execution: the scheduler plans with the worst case Proc, and workers
+	// that finish early can have the difference reclaimed (the resource
+	// reclaiming of the paper's refs [3][5]). Zero means exactly Proc.
+	Actual time.Duration
+
+	// Payload optionally carries the domain object behind the task (for the
+	// database application, the transaction index into the workload).
+	Payload int32
+}
+
+// ActualProc returns the task's true processing time: Actual when set,
+// otherwise the worst case Proc.
+func (t *Task) ActualProc() time.Duration {
+	if t.Actual > 0 {
+		return t.Actual
+	}
+	return t.Proc
+}
+
+// Slack returns the maximum time the task's execution start can be delayed
+// past now without missing its deadline, ignoring communication costs:
+// d_i - now - p_i. It may be negative.
+func (t *Task) Slack(now simtime.Instant) time.Duration {
+	return t.Deadline.Sub(now) - t.Proc
+}
+
+// Missed reports whether the task can no longer meet its deadline even if
+// executed immediately at now with zero communication cost — the paper's
+// batch purge condition p_i + t_c > d_i.
+func (t *Task) Missed(now simtime.Instant) bool {
+	return now.Add(t.Proc).After(t.Deadline)
+}
+
+// String renders a compact description for logs and test failures.
+func (t *Task) String() string {
+	return fmt.Sprintf("T%d{p=%v d=%s aff=%s}", t.ID, t.Proc, t.Deadline, t.Affinity)
+}
+
+// Batch is the mutable working set of tasks the scheduler considers during
+// one scheduling phase: Batch(j+1) is formed from Batch(j) by removing the
+// tasks scheduled in phase j and the tasks whose deadlines were missed, and
+// adding the tasks that arrived during phase j.
+type Batch struct {
+	tasks []*Task
+}
+
+// NewBatch returns a batch seeded with the given tasks.
+func NewBatch(tasks ...*Task) *Batch {
+	b := &Batch{tasks: make([]*Task, 0, len(tasks))}
+	b.tasks = append(b.tasks, tasks...)
+	return b
+}
+
+// Len returns the number of tasks in the batch.
+func (b *Batch) Len() int { return len(b.tasks) }
+
+// Tasks returns the batch's backing slice. Callers must treat it as
+// read-only; it is invalidated by the next mutating call.
+func (b *Batch) Tasks() []*Task { return b.tasks }
+
+// Add appends arriving tasks to the batch.
+func (b *Batch) Add(tasks ...*Task) { b.tasks = append(b.tasks, tasks...) }
+
+// PurgeMissed removes and returns every task that has already missed its
+// deadline at now (p_i + t_c > d_i).
+func (b *Batch) PurgeMissed(now simtime.Instant) []*Task {
+	return b.removeIf(func(t *Task) bool { return t.Missed(now) })
+}
+
+// RemoveScheduled removes the given tasks from the batch. Tasks scheduled in
+// phase j never enter Batch(j+1). It returns the number removed.
+func (b *Batch) RemoveScheduled(scheduled []*Task) int {
+	if len(scheduled) == 0 {
+		return 0
+	}
+	drop := make(map[ID]struct{}, len(scheduled))
+	for _, t := range scheduled {
+		drop[t.ID] = struct{}{}
+	}
+	removed := b.removeIf(func(t *Task) bool {
+		_, ok := drop[t.ID]
+		return ok
+	})
+	return len(removed)
+}
+
+// removeIf removes every task matching pred, preserving the order of the
+// remainder, and returns the removed tasks.
+func (b *Batch) removeIf(pred func(*Task) bool) []*Task {
+	var removed []*Task
+	keep := b.tasks[:0]
+	for _, t := range b.tasks {
+		if pred(t) {
+			removed = append(removed, t)
+		} else {
+			keep = append(keep, t)
+		}
+	}
+	// Clear the tail so removed tasks are not pinned by the backing array.
+	for i := len(keep); i < len(b.tasks); i++ {
+		b.tasks[i] = nil
+	}
+	b.tasks = keep
+	return removed
+}
+
+// MinSlack returns the smallest slack among the batch's tasks at now — the
+// paper's Min_Slack term of the quantum criterion. The second result is
+// false when the batch is empty.
+func (b *Batch) MinSlack(now simtime.Instant) (time.Duration, bool) {
+	if len(b.tasks) == 0 {
+		return 0, false
+	}
+	min := b.tasks[0].Slack(now)
+	for _, t := range b.tasks[1:] {
+		if s := t.Slack(now); s < min {
+			min = s
+		}
+	}
+	return min, true
+}
+
+// SortEDF orders the batch by ascending deadline (earliest deadline first),
+// breaking ties by task ID for determinism.
+func (b *Batch) SortEDF() {
+	SortEDF(b.tasks)
+}
+
+// SortLLF orders the batch by ascending static laxity (deadline minus
+// processing time) — least-laxity-first, the classic alternative to EDF for
+// the scheduling-priority heuristic. With a common reference time the
+// dynamic laxity d - now - p orders identically, so the static key
+// suffices.
+func (b *Batch) SortLLF() {
+	SortLLF(b.tasks)
+}
+
+// SortLLF orders tasks by ascending laxity (Deadline - Proc), breaking ties
+// by ID.
+func SortLLF(tasks []*Task) {
+	sortSlice(tasks, func(a, b *Task) bool {
+		la := a.Deadline.Add(-a.Proc)
+		lb := b.Deadline.Add(-b.Proc)
+		if la != lb {
+			return la < lb
+		}
+		return a.ID < b.ID
+	})
+}
+
+// SortEDF orders tasks by ascending deadline, breaking ties by ID. It is the
+// scheduling-priority heuristic both search representations use to decide
+// which task to consider next.
+func SortEDF(tasks []*Task) {
+	// Insertion-friendly three-way comparison via sort.Slice would allocate
+	// a closure per call site; batches are sorted once per phase so the
+	// simple approach is fine.
+	sortSlice(tasks, func(a, b *Task) bool {
+		if a.Deadline != b.Deadline {
+			return a.Deadline < b.Deadline
+		}
+		return a.ID < b.ID
+	})
+}
+
+// sortSlice is a small pattern-defeating-free quicksort over task pointers.
+// It exists so this hot path does not depend on reflection-based sort.Slice.
+func sortSlice(ts []*Task, less func(a, b *Task) bool) {
+	if len(ts) < 2 {
+		return
+	}
+	// Heapsort: O(n log n) worst case, in place, no recursion.
+	n := len(ts)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(ts, i, n, less)
+	}
+	for end := n - 1; end > 0; end-- {
+		ts[0], ts[end] = ts[end], ts[0]
+		siftDown(ts, 0, end, less)
+	}
+}
+
+func siftDown(ts []*Task, root, end int, less func(a, b *Task) bool) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && less(ts[child], ts[child+1]) {
+			child++
+		}
+		if !less(ts[root], ts[child]) {
+			return
+		}
+		ts[root], ts[child] = ts[child], ts[root]
+		root = child
+	}
+}

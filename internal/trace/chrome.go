@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"rtsads/internal/simtime"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format (the JSON array
+// flavour), loadable in chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name     string            `json:"name"`
+	Phase    string            `json:"ph"`
+	TimeUS   float64           `json:"ts"` // microseconds
+	DurUS    float64           `json:"dur,omitempty"`
+	PID      int               `json:"pid"`
+	TID      int               `json:"tid"`
+	Args     map[string]string `json:"args,omitempty"`
+	Category string            `json:"cat,omitempty"`
+}
+
+const (
+	// hostTID is the synthetic thread id of the scheduling host; worker k
+	// renders as thread k.
+	hostTID  = -1
+	tracePID = 1
+)
+
+// WriteChromeTrace exports the log in Chrome trace-event JSON: scheduling
+// phases appear as spans on the host track, task executions as spans on
+// their worker's track, and arrivals/purges as instant events.
+func (l *Log) WriteChromeTrace(w io.Writer) error {
+	events := make([]chromeEvent, 0, l.Len()+2)
+	events = append(events,
+		metaThread(hostTID, "host (scheduler)"),
+	)
+	seenWorkers := map[int]bool{}
+
+	var openPhase *Event
+	for i := range l.Events() {
+		e := &l.Events()[i]
+		switch e.Kind {
+		case PhaseStart:
+			openPhase = e
+		case PhaseEnd:
+			start := e.At.Add(-e.Dur)
+			if openPhase != nil && openPhase.Phase == e.Phase {
+				start = openPhase.At
+			}
+			events = append(events, chromeEvent{
+				Name:     fmt.Sprintf("phase %d", e.Phase),
+				Phase:    "X",
+				Category: "scheduling",
+				TimeUS:   us(start),
+				DurUS:    float64(e.Dur) / float64(time.Microsecond),
+				PID:      tracePID,
+				TID:      hostTID,
+			})
+			openPhase = nil
+		case Exec:
+			if !seenWorkers[e.Proc] {
+				seenWorkers[e.Proc] = true
+				events = append(events, metaThread(e.Proc, fmt.Sprintf("worker %d", e.Proc)))
+			}
+			verdict := "hit"
+			if !e.Hit {
+				verdict = "miss"
+			}
+			events = append(events, chromeEvent{
+				Name:     fmt.Sprintf("task %d", e.Task),
+				Phase:    "X",
+				Category: "execution",
+				TimeUS:   us(e.At),
+				DurUS:    float64(e.Dur) / float64(time.Microsecond),
+				PID:      tracePID,
+				TID:      e.Proc,
+				Args:     map[string]string{"deadline": verdict},
+			})
+		case Arrival:
+			events = append(events, instant("arrival", e, hostTID))
+		case Purge:
+			events = append(events, instant(fmt.Sprintf("purge task %d", e.Task), e, hostTID))
+		case Deliver:
+			// Deliveries are implied by the execution spans; skip to keep
+			// the trace readable.
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}
+
+func metaThread(tid int, name string) chromeEvent {
+	return chromeEvent{
+		Name:  "thread_name",
+		Phase: "M",
+		PID:   tracePID,
+		TID:   tid,
+		Args:  map[string]string{"name": name},
+	}
+}
+
+func instant(name string, e *Event, tid int) chromeEvent {
+	return chromeEvent{
+		Name:     name,
+		Phase:    "i",
+		Category: "lifecycle",
+		TimeUS:   us(e.At),
+		PID:      tracePID,
+		TID:      tid,
+		Args:     map[string]string{"task": fmt.Sprintf("%d", e.Task)},
+	}
+}
+
+// us converts a virtual instant to trace-event microseconds.
+func us(t simtime.Instant) float64 {
+	return float64(t) / float64(time.Microsecond)
+}

@@ -1,0 +1,195 @@
+// Package trace records the timeline of a simulation run — scheduling
+// phases, deliveries, task executions, purges — and renders it as an event
+// log or a per-worker Gantt chart. Tracing is optional and costs nothing
+// when disabled.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"rtsads/internal/simtime"
+	"rtsads/internal/task"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds, in rough lifecycle order.
+const (
+	Arrival    Kind = iota + 1 // a task reached the host
+	PhaseStart                 // a scheduling phase began
+	PhaseEnd                   // a scheduling phase finished
+	Deliver                    // an assignment was delivered to a worker
+	Exec                       // a task executed on a worker (Start..End)
+	Purge                      // a task was dropped with its deadline missed
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case Arrival:
+		return "arrival"
+	case PhaseStart:
+		return "phase-start"
+	case PhaseEnd:
+		return "phase-end"
+	case Deliver:
+		return "deliver"
+	case Exec:
+		return "exec"
+	case Purge:
+		return "purge"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one timeline entry. Fields that do not apply to the kind are
+// zero.
+type Event struct {
+	At    simtime.Instant // when the event occurred (Exec: start time)
+	Kind  Kind
+	Phase int           // scheduling phase number (PhaseStart/PhaseEnd/Deliver)
+	Task  task.ID       // task involved (Deliver/Exec/Purge/Arrival)
+	Proc  int           // worker involved (Deliver/Exec), else -1
+	Dur   time.Duration // Exec: processing+communication time; PhaseEnd: consumed
+	Hit   bool          // Exec: whether the deadline was met
+}
+
+// Log is an append-only event recorder. The zero value is ready to use. It
+// is not safe for concurrent use; the deterministic machine is
+// single-threaded.
+type Log struct {
+	events []Event
+	limit  int
+}
+
+// NewLog returns a log that keeps at most limit events (0 = unlimited).
+func NewLog(limit int) *Log { return &Log{limit: limit} }
+
+// Add appends an event, dropping it silently once the limit is reached.
+func (l *Log) Add(e Event) {
+	if l == nil {
+		return
+	}
+	if l.limit > 0 && len(l.events) >= l.limit {
+		return
+	}
+	l.events = append(l.events, e)
+}
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.events)
+}
+
+// Events returns the recorded events in order. The slice is shared; treat
+// it as read-only.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	return l.events
+}
+
+// Filter returns the events of one kind, in order.
+func (l *Log) Filter(k Kind) []Event {
+	var out []Event
+	for _, e := range l.Events() {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Render writes the log as a chronological table, at most limit rows
+// (0 = all).
+func (l *Log) Render(w io.Writer, limit int) error {
+	var b strings.Builder
+	n := l.Len()
+	if limit > 0 && n > limit {
+		n = limit
+	}
+	for _, e := range l.Events()[:n] {
+		fmt.Fprintf(&b, "%-12s %-12s", e.At, e.Kind)
+		switch e.Kind {
+		case PhaseStart:
+			fmt.Fprintf(&b, " phase=%d", e.Phase)
+		case PhaseEnd:
+			fmt.Fprintf(&b, " phase=%d used=%v", e.Phase, e.Dur)
+		case Deliver:
+			fmt.Fprintf(&b, " phase=%d task=%d -> worker %d", e.Phase, e.Task, e.Proc)
+		case Exec:
+			verdict := "hit"
+			if !e.Hit {
+				verdict = "MISS"
+			}
+			fmt.Fprintf(&b, " task=%d on worker %d for %v (%s)", e.Task, e.Proc, e.Dur, verdict)
+		case Purge, Arrival:
+			fmt.Fprintf(&b, " task=%d", e.Task)
+		}
+		b.WriteString("\n")
+	}
+	if l.Len() > n {
+		fmt.Fprintf(&b, "... %d more events\n", l.Len()-n)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Gantt renders the Exec events as a per-worker timeline of the given
+// width in characters. Each worker's row shows busy spans as '#' (deadline
+// met) or 'x' (missed); '.' is idle time.
+func (l *Log) Gantt(w io.Writer, workers, width int) error {
+	if width <= 0 {
+		width = 80
+	}
+	execs := l.Filter(Exec)
+	var end simtime.Instant
+	for _, e := range execs {
+		if fin := e.At.Add(e.Dur); fin.After(end) {
+			end = fin
+		}
+	}
+	var b strings.Builder
+	if end == 0 {
+		fmt.Fprintln(&b, "(no executions)")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	scale := float64(width) / float64(end)
+	fmt.Fprintf(&b, "timeline: 0 .. %v (%d cols, '#'=hit 'x'=miss)\n", time.Duration(end), width)
+	for k := 0; k < workers; k++ {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, e := range execs {
+			if e.Proc != k {
+				continue
+			}
+			lo := int(float64(e.At) * scale)
+			hi := int(float64(e.At.Add(e.Dur)) * scale)
+			if hi >= width {
+				hi = width - 1
+			}
+			mark := byte('#')
+			if !e.Hit {
+				mark = 'x'
+			}
+			for i := lo; i <= hi; i++ {
+				row[i] = mark
+			}
+		}
+		fmt.Fprintf(&b, "worker %2d |%s|\n", k, row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

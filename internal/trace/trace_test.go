@@ -1,0 +1,213 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"rtsads/internal/simtime"
+)
+
+const ms = time.Millisecond
+
+func TestKindStrings(t *testing.T) {
+	kinds := map[Kind]string{
+		Arrival:    "arrival",
+		PhaseStart: "phase-start",
+		PhaseEnd:   "phase-end",
+		Deliver:    "deliver",
+		Exec:       "exec",
+		Purge:      "purge",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("Kind %d String = %q, want %q", k, k.String(), want)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind has empty name")
+	}
+}
+
+func TestNilLogSafe(t *testing.T) {
+	var l *Log
+	l.Add(Event{Kind: Arrival}) // must not panic
+	if l.Len() != 0 {
+		t.Error("nil log has events")
+	}
+	if l.Events() != nil {
+		t.Error("nil log events not nil")
+	}
+}
+
+func TestAddAndFilter(t *testing.T) {
+	l := NewLog(0)
+	l.Add(Event{At: 1, Kind: Arrival, Task: 1})
+	l.Add(Event{At: 2, Kind: PhaseStart, Phase: 0})
+	l.Add(Event{At: 3, Kind: Exec, Task: 1, Proc: 0, Dur: ms, Hit: true})
+	l.Add(Event{At: 4, Kind: Purge, Task: 2})
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	execs := l.Filter(Exec)
+	if len(execs) != 1 || execs[0].Task != 1 {
+		t.Errorf("Filter(Exec) = %+v", execs)
+	}
+	if got := l.Filter(Deliver); got != nil {
+		t.Errorf("Filter(Deliver) = %+v, want none", got)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	l := NewLog(2)
+	for i := 0; i < 5; i++ {
+		l.Add(Event{At: simtime.Instant(i), Kind: Arrival})
+	}
+	if l.Len() != 2 {
+		t.Errorf("limited log kept %d events, want 2", l.Len())
+	}
+}
+
+func TestRender(t *testing.T) {
+	l := NewLog(0)
+	l.Add(Event{At: 0, Kind: Arrival, Task: 7})
+	l.Add(Event{At: simtime.Instant(ms), Kind: PhaseStart, Phase: 0})
+	l.Add(Event{At: simtime.Instant(2 * ms), Kind: PhaseEnd, Phase: 0, Dur: ms})
+	l.Add(Event{At: simtime.Instant(2 * ms), Kind: Deliver, Phase: 0, Task: 7, Proc: 1})
+	l.Add(Event{At: simtime.Instant(2 * ms), Kind: Exec, Task: 7, Proc: 1, Dur: 3 * ms, Hit: true})
+	l.Add(Event{At: simtime.Instant(9 * ms), Kind: Exec, Task: 8, Proc: 1, Dur: ms, Hit: false})
+	l.Add(Event{At: simtime.Instant(9 * ms), Kind: Purge, Task: 9})
+
+	var b strings.Builder
+	if err := l.Render(&b, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"arrival", "task=7", "phase=0", "worker 1", "hit", "MISS", "purge"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderLimit(t *testing.T) {
+	l := NewLog(0)
+	for i := 0; i < 10; i++ {
+		l.Add(Event{At: simtime.Instant(i), Kind: Arrival, Task: 1})
+	}
+	var b strings.Builder
+	if err := l.Render(&b, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "7 more events") {
+		t.Errorf("render limit note missing:\n%s", b.String())
+	}
+}
+
+func TestGantt(t *testing.T) {
+	l := NewLog(0)
+	l.Add(Event{At: 0, Kind: Exec, Task: 1, Proc: 0, Dur: 5 * ms, Hit: true})
+	l.Add(Event{At: simtime.Instant(5 * ms), Kind: Exec, Task: 2, Proc: 1, Dur: 5 * ms, Hit: false})
+	var b strings.Builder
+	if err := l.Gantt(&b, 2, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "worker  0") || !strings.Contains(out, "worker  1") {
+		t.Fatalf("gantt rows missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("gantt has %d lines, want 3", len(lines))
+	}
+	// Worker 0's busy half must be '#', worker 1's 'x'.
+	if !strings.Contains(lines[1], "#") || strings.Contains(lines[1], "x") {
+		t.Errorf("worker 0 row wrong: %s", lines[1])
+	}
+	if !strings.Contains(lines[2], "x") {
+		t.Errorf("worker 1 row wrong: %s", lines[2])
+	}
+	// Worker 0 idles in the second half.
+	if !strings.Contains(lines[1], ".") {
+		t.Errorf("worker 0 shows no idle time: %s", lines[1])
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	l := NewLog(0)
+	var b strings.Builder
+	if err := l.Gantt(&b, 2, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no executions") {
+		t.Errorf("empty gantt output: %q", b.String())
+	}
+}
+
+func TestGanttDefaultWidth(t *testing.T) {
+	l := NewLog(0)
+	l.Add(Event{At: 0, Kind: Exec, Task: 1, Proc: 0, Dur: ms, Hit: true})
+	var b strings.Builder
+	if err := l.Gantt(&b, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "80 cols") {
+		t.Errorf("default width not applied: %q", b.String())
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	l := NewLog(0)
+	l.Add(Event{At: 0, Kind: Arrival, Task: 1, Proc: -1})
+	l.Add(Event{At: simtime.Instant(10 * time.Microsecond), Kind: PhaseStart, Phase: 0, Proc: -1})
+	l.Add(Event{At: simtime.Instant(60 * time.Microsecond), Kind: PhaseEnd, Phase: 0, Proc: -1, Dur: 50 * time.Microsecond})
+	l.Add(Event{At: simtime.Instant(60 * time.Microsecond), Kind: Deliver, Phase: 0, Task: 1, Proc: 0})
+	l.Add(Event{At: simtime.Instant(60 * time.Microsecond), Kind: Exec, Task: 1, Proc: 0, Dur: ms, Hit: true})
+	l.Add(Event{At: simtime.Instant(2 * ms), Kind: Purge, Task: 2, Proc: -1})
+
+	var b strings.Builder
+	if err := l.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &events); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, b.String())
+	}
+	var phases, execs, instants, metas int
+	for _, e := range events {
+		switch e["ph"] {
+		case "X":
+			if e["cat"] == "scheduling" {
+				phases++
+				if e["dur"].(float64) != 50 {
+					t.Errorf("phase span dur = %v, want 50µs", e["dur"])
+				}
+			} else {
+				execs++
+				if e["ts"].(float64) != 60 {
+					t.Errorf("exec span ts = %v, want 60µs", e["ts"])
+				}
+			}
+		case "i":
+			instants++
+		case "M":
+			metas++
+		}
+	}
+	if phases != 1 || execs != 1 || instants != 2 || metas < 2 {
+		t.Errorf("span counts: phases=%d execs=%d instants=%d metas=%d", phases, execs, instants, metas)
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	l := NewLog(0)
+	var b strings.Builder
+	if err := l.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &events); err != nil {
+		t.Fatalf("empty trace not valid JSON: %v", err)
+	}
+}

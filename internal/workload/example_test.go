@@ -1,0 +1,27 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"rtsads/internal/workload"
+)
+
+// Example generates the paper's §5.1 workload and inspects its shape.
+func Example() {
+	params := workload.DefaultParams(10) // 10 working processors
+	w, err := workload.Generate(params)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("transactions: %d\n", len(w.Tasks))
+	fmt.Printf("sub-databases: %d\n", len(w.Placement))
+
+	// Every task's deadline is SF × 10 × its estimated cost.
+	t := w.Tasks[0]
+	fmt.Printf("deadline/cost ratio: %d\n", t.Deadline.Sub(t.Arrival)/t.Proc)
+	// Output:
+	// transactions: 1000
+	// sub-databases: 10
+	// deadline/cost ratio: 10
+}

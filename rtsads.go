@@ -1,0 +1,17 @@
+// Package rtsads reproduces "A Scalable Scheduling Algorithm for Real-Time
+// Distributed Systems" (Atif & Hamidzadeh, ICDCS 1998): the RT-SADS
+// dynamic scheduler for aperiodic real-time tasks on distributed-memory
+// multiprocessors, its sequence-oriented baseline D-COLS, and the
+// distributed real-time database evaluation the paper runs on an Intel
+// Paragon.
+//
+// The implementation lives under internal/ (see DESIGN.md for the module
+// map); the runnable surfaces are:
+//
+//   - cmd/rtsched — regenerates every figure and table of the paper's
+//     evaluation on the deterministic virtual-time machine;
+//   - cmd/rtcluster — runs the same scheduler live, with worker goroutines
+//     or TCP worker processes really executing database transactions;
+//   - examples/ — five walkthroughs of the public API;
+//   - bench_test.go — testing.B benchmarks, one per figure/table.
+package rtsads
