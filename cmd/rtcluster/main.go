@@ -12,6 +12,11 @@
 //	rtcluster -role worker -listen 127.0.0.1:9101
 //	rtcluster -role worker -listen 127.0.0.1:9102
 //	rtcluster -role host -connect 127.0.0.1:9101,127.0.0.1:9102
+//
+// Deterministic fault injection (kill worker 1 at virtual time 40ms, drop
+// two messages to worker 0):
+//
+//	rtcluster -workers 4 -txns 200 -faults "kill=1@40ms;drop=0:2@10ms"
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"time"
 
 	"rtsads/internal/experiment"
+	"rtsads/internal/faultinject"
 	"rtsads/internal/livecluster"
 	"rtsads/internal/workload"
 )
@@ -48,7 +54,14 @@ func run(args []string, out io.Writer) error {
 	listen := fs.String("listen", "", "worker role: address to listen on")
 	serve := fs.Bool("serve", false, "worker role: keep serving host sessions instead of exiting after one")
 	connect := fs.String("connect", "", "host role: comma-separated worker addresses")
+	faults := fs.String("faults", "", `fault-injection spec, e.g. "kill=1@40ms;drop=0:2@10ms;stall=2@30ms:25ms"`)
+	heartbeat := fs.Duration("heartbeat", 0, "liveness heartbeat interval (0 = default)")
+	timeout := fs.Duration("timeout", 0, "liveness timeout before a peer is presumed dead (0 = default)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	plan, err := faultinject.Parse(*faults)
+	if err != nil {
 		return err
 	}
 
@@ -95,10 +108,18 @@ func run(args []string, out io.Writer) error {
 			Workload:  w,
 			Algorithm: experiment.Algorithm(*algo),
 			Scale:     *scale,
+			Faults:    plan,
+			Liveness: livecluster.Liveness{
+				HeartbeatEvery: *heartbeat,
+				Timeout:        *timeout,
+			},
 		}
 		if *role == "host" {
-			cfg.Backend = func(clock *livecluster.Clock) (livecluster.Backend, error) {
-				return livecluster.NewTCPBackend(clock, w, addrs)
+			cfg.Backend = func(clock *livecluster.Clock, inj *faultinject.Injector) (livecluster.Backend, error) {
+				return livecluster.NewTCPBackend(clock, w, addrs, livecluster.TCPOptions{
+					Liveness: cfg.Liveness,
+					Inject:   inj,
+				})
 			}
 		}
 		c, err := livecluster.New(cfg)
@@ -113,6 +134,10 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "%s\n", res)
 		fmt.Fprintf(out, "hit ratio: %.1f%%  makespan: %v (virtual)  wall time: %v\n",
 			100*res.HitRatio(), time.Duration(res.Makespan), time.Since(start).Round(time.Millisecond))
+		if res.WorkerFailures > 0 || res.Rerouted > 0 || res.LostToFailure > 0 {
+			fmt.Fprintf(out, "faults: %d worker(s) failed, %d task(s) re-routed, %d lost to failure\n",
+				res.WorkerFailures, res.Rerouted, res.LostToFailure)
+		}
 		return nil
 
 	default:

@@ -16,6 +16,25 @@ func TestRunInproc(t *testing.T) {
 	}
 }
 
+func TestRunInprocWithFaults(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-workers", "3", "-txns", "60", "-scale", "50", "-sf", "4",
+		"-faults", "kill=0@500us"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "faults: 1 worker(s) failed") {
+		t.Errorf("output missing fault summary: %q", out.String())
+	}
+}
+
+func TestRunBadFaultSpec(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-faults", "explode=now"}, &out); err == nil {
+		t.Error("bad fault spec accepted")
+	}
+}
+
 func TestRunBadRole(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-role", "nope"}, &out); err == nil {

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"rtsads/internal/experiment"
+	"rtsads/internal/faultinject"
 	"rtsads/internal/livecluster"
 	"rtsads/internal/workload"
 )
@@ -52,8 +53,8 @@ func run() error {
 		Workload:  w,
 		Algorithm: experiment.RTSADS,
 		Scale:     20,
-		Backend: func(clock *livecluster.Clock) (livecluster.Backend, error) {
-			return livecluster.NewTCPBackend(clock, w, addrs)
+		Backend: func(clock *livecluster.Clock, inj *faultinject.Injector) (livecluster.Backend, error) {
+			return livecluster.NewTCPBackend(clock, w, addrs, livecluster.TCPOptions{Inject: inj})
 		},
 	})
 	if err != nil {

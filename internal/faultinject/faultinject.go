@@ -1,0 +1,477 @@
+// Package faultinject provides a deterministic fault-injection harness for
+// the live cluster: a Plan describes worker crashes, message drops, message
+// delays and connection stalls in terms of virtual time, and an Injector
+// binds that plan to a running clock so that transports can consult it at
+// each send.
+//
+// Plans are deterministic: the same spec, seed and worker count always
+// resolve to the same concrete faults, so a failure scenario is as
+// reproducible as the workload it runs against. Times in a spec are virtual
+// (workload) time offsets; durations applied to real transports are
+// converted to wall time with the clock's scale.
+//
+// The spec grammar is a semicolon- (or comma-) separated list of clauses:
+//
+//	kill=K@T        worker K dies permanently at virtual time T (K may be
+//	                "rand": a worker picked deterministically from the seed)
+//	drop=K:N[@T]    the next N messages to worker K at/after T are dropped
+//	delay=K:N:D[@T] the next N messages to worker K at/after T are delayed
+//	                by virtual duration D before sending
+//	stall=K@T:D     the link to worker K stalls for virtual duration D
+//	                starting at T (no messages flow in that window)
+//	seed=N          seed for resolving "rand" victims (default 1)
+//
+// Example: "kill=1@40ms;drop=0:2@10ms;stall=2@30ms:25ms".
+package faultinject
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"rtsads/internal/rng"
+	"rtsads/internal/simtime"
+)
+
+// RandWorker marks a fault whose victim is chosen from the plan's seed when
+// the plan is bound to a concrete worker count.
+const RandWorker = -1
+
+// Kill crashes a worker permanently at a virtual time.
+type Kill struct {
+	Worker int // victim, or RandWorker
+	At     simtime.Instant
+}
+
+// Drop silently discards the next Count messages to a worker, starting at
+// virtual time After.
+type Drop struct {
+	Worker int
+	Count  int
+	After  simtime.Instant
+}
+
+// Delay holds the next Count messages to a worker for Dur (virtual time)
+// before sending, starting at virtual time After.
+type Delay struct {
+	Worker int
+	Count  int
+	Dur    time.Duration
+	After  simtime.Instant
+}
+
+// Stall blocks the link to a worker for Dur (virtual time) starting at At.
+type Stall struct {
+	Worker int
+	At     simtime.Instant
+	Dur    time.Duration
+}
+
+// Plan is a declarative fault schedule. The zero value injects nothing.
+type Plan struct {
+	Seed   uint64
+	Kills  []Kill
+	Drops  []Drop
+	Delays []Delay
+	Stalls []Stall
+}
+
+// Empty reports whether the plan injects no faults.
+func (p *Plan) Empty() bool {
+	return p == nil || len(p.Kills)+len(p.Drops)+len(p.Delays)+len(p.Stalls) == 0
+}
+
+// Parse builds a plan from a spec string. An empty spec yields an empty
+// plan.
+func Parse(spec string) (*Plan, error) {
+	p := &Plan{Seed: 1}
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return p, nil
+	}
+	for _, clause := range strings.FieldsFunc(spec, func(r rune) bool { return r == ';' || r == ',' }) {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(clause, "=")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: clause %q is not key=value", clause)
+		}
+		var err error
+		switch key {
+		case "kill":
+			err = p.parseKill(val)
+		case "drop":
+			err = p.parseDrop(val)
+		case "delay":
+			err = p.parseDelay(val)
+		case "stall":
+			err = p.parseStall(val)
+		case "seed":
+			p.Seed, err = strconv.ParseUint(val, 10, 64)
+		default:
+			err = fmt.Errorf("unknown fault %q", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: clause %q: %w", clause, err)
+		}
+	}
+	return p, nil
+}
+
+// parseKill parses "K@T".
+func (p *Plan) parseKill(val string) error {
+	who, at, ok := strings.Cut(val, "@")
+	if !ok {
+		return fmt.Errorf("want K@T")
+	}
+	k, err := parseWorker(who)
+	if err != nil {
+		return err
+	}
+	t, err := parseInstant(at)
+	if err != nil {
+		return err
+	}
+	p.Kills = append(p.Kills, Kill{Worker: k, At: t})
+	return nil
+}
+
+// parseDrop parses "K:N[@T]".
+func (p *Plan) parseDrop(val string) error {
+	val, after, err := splitAfter(val)
+	if err != nil {
+		return err
+	}
+	who, n, ok := strings.Cut(val, ":")
+	if !ok {
+		return fmt.Errorf("want K:N[@T]")
+	}
+	k, err := parseWorker(who)
+	if err != nil {
+		return err
+	}
+	count, err := parseCount(n)
+	if err != nil {
+		return err
+	}
+	p.Drops = append(p.Drops, Drop{Worker: k, Count: count, After: after})
+	return nil
+}
+
+// parseDelay parses "K:N:D[@T]".
+func (p *Plan) parseDelay(val string) error {
+	val, after, err := splitAfter(val)
+	if err != nil {
+		return err
+	}
+	parts := strings.Split(val, ":")
+	if len(parts) != 3 {
+		return fmt.Errorf("want K:N:D[@T]")
+	}
+	k, err := parseWorker(parts[0])
+	if err != nil {
+		return err
+	}
+	count, err := parseCount(parts[1])
+	if err != nil {
+		return err
+	}
+	d, err := time.ParseDuration(parts[2])
+	if err != nil {
+		return err
+	}
+	if d <= 0 {
+		return fmt.Errorf("delay %v must be positive", d)
+	}
+	p.Delays = append(p.Delays, Delay{Worker: k, Count: count, Dur: d, After: after})
+	return nil
+}
+
+// parseStall parses "K@T:D".
+func (p *Plan) parseStall(val string) error {
+	who, rest, ok := strings.Cut(val, "@")
+	if !ok {
+		return fmt.Errorf("want K@T:D")
+	}
+	at, dur, ok := strings.Cut(rest, ":")
+	if !ok {
+		return fmt.Errorf("want K@T:D")
+	}
+	k, err := parseWorker(who)
+	if err != nil {
+		return err
+	}
+	t, err := parseInstant(at)
+	if err != nil {
+		return err
+	}
+	d, err := time.ParseDuration(dur)
+	if err != nil {
+		return err
+	}
+	if d <= 0 {
+		return fmt.Errorf("stall %v must be positive", d)
+	}
+	p.Stalls = append(p.Stalls, Stall{Worker: k, At: t, Dur: d})
+	return nil
+}
+
+func splitAfter(val string) (string, simtime.Instant, error) {
+	head, at, ok := strings.Cut(val, "@")
+	if !ok {
+		return val, 0, nil
+	}
+	t, err := parseInstant(at)
+	return head, t, err
+}
+
+func parseWorker(s string) (int, error) {
+	if s == "rand" {
+		return RandWorker, nil
+	}
+	k, err := strconv.Atoi(s)
+	if err != nil || k < 0 {
+		return 0, fmt.Errorf("worker %q must be a non-negative integer or \"rand\"", s)
+	}
+	return k, nil
+}
+
+func parseCount(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("count %q must be a positive integer", s)
+	}
+	return n, nil
+}
+
+func parseInstant(s string) (simtime.Instant, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("time %v must be non-negative", d)
+	}
+	return simtime.Instant(0).Add(d), nil
+}
+
+// String renders the plan back as a canonical spec (rand victims already
+// resolved render as their index; unresolved render as "rand").
+func (p *Plan) String() string {
+	if p.Empty() {
+		return ""
+	}
+	var parts []string
+	worker := func(k int) string {
+		if k == RandWorker {
+			return "rand"
+		}
+		return strconv.Itoa(k)
+	}
+	off := func(t simtime.Instant) string { return time.Duration(t).String() }
+	for _, k := range p.Kills {
+		parts = append(parts, fmt.Sprintf("kill=%s@%s", worker(k.Worker), off(k.At)))
+	}
+	for _, d := range p.Drops {
+		parts = append(parts, fmt.Sprintf("drop=%s:%d@%s", worker(d.Worker), d.Count, off(d.After)))
+	}
+	for _, d := range p.Delays {
+		parts = append(parts, fmt.Sprintf("delay=%s:%d:%s@%s", worker(d.Worker), d.Count, d.Dur, off(d.After)))
+	}
+	for _, s := range p.Stalls {
+		parts = append(parts, fmt.Sprintf("stall=%s@%s:%s", worker(s.Worker), off(s.At), s.Dur))
+	}
+	if p.Seed != 1 {
+		parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
+	}
+	return strings.Join(parts, ";")
+}
+
+// Clock is the virtual-time source an injector consults. *livecluster.Clock
+// satisfies it; so does any test stub.
+type Clock interface {
+	Now() simtime.Instant
+}
+
+// scaler is implemented by clocks that map virtual durations to wall time.
+type scaler interface {
+	Scale() float64
+}
+
+// SendFault is the injector's verdict for one outbound message.
+type SendFault struct {
+	// Drop discards the message entirely.
+	Drop bool
+	// Delay holds the message for this long (wall time) before sending.
+	Delay time.Duration
+}
+
+// Injector is a plan bound to a clock and a concrete worker count. All
+// methods are safe on a nil receiver (inject nothing) and for concurrent
+// use.
+type Injector struct {
+	clock Clock
+	scale float64
+
+	kills map[int]simtime.Instant
+
+	mu     sync.Mutex
+	drops  map[int][]*dropState
+	delays map[int][]*delayState
+	stalls map[int][]Stall
+}
+
+type dropState struct {
+	after     simtime.Instant
+	remaining int
+}
+
+type delayState struct {
+	after     simtime.Instant
+	remaining int
+	dur       time.Duration
+}
+
+// Bind resolves the plan against a worker count and clock. Rand victims are
+// drawn deterministically from the plan's seed, in declaration order (kills
+// first, then drops, delays, stalls).
+func (p *Plan) Bind(clock Clock, workers int) (*Injector, error) {
+	if p.Empty() {
+		return nil, nil
+	}
+	if clock == nil {
+		return nil, fmt.Errorf("faultinject: nil clock")
+	}
+	if workers <= 0 {
+		return nil, fmt.Errorf("faultinject: %d workers", workers)
+	}
+	src := rng.New(p.Seed)
+	pick := func(k int) (int, error) {
+		if k == RandWorker {
+			return int(src.Uint64() % uint64(workers)), nil
+		}
+		if k >= workers {
+			return 0, fmt.Errorf("faultinject: worker %d out of range (have %d)", k, workers)
+		}
+		return k, nil
+	}
+	in := &Injector{
+		clock:  clock,
+		scale:  1,
+		kills:  make(map[int]simtime.Instant),
+		drops:  make(map[int][]*dropState),
+		delays: make(map[int][]*delayState),
+		stalls: make(map[int][]Stall),
+	}
+	if s, ok := clock.(scaler); ok {
+		in.scale = s.Scale()
+	}
+	for _, f := range p.Kills {
+		k, err := pick(f.Worker)
+		if err != nil {
+			return nil, err
+		}
+		if at, dup := in.kills[k]; !dup || f.At.Before(at) {
+			in.kills[k] = f.At
+		}
+	}
+	for _, f := range p.Drops {
+		k, err := pick(f.Worker)
+		if err != nil {
+			return nil, err
+		}
+		in.drops[k] = append(in.drops[k], &dropState{after: f.After, remaining: f.Count})
+	}
+	for _, f := range p.Delays {
+		k, err := pick(f.Worker)
+		if err != nil {
+			return nil, err
+		}
+		in.delays[k] = append(in.delays[k], &delayState{after: f.After, remaining: f.Count, dur: f.Dur})
+	}
+	for _, f := range p.Stalls {
+		k, err := pick(f.Worker)
+		if err != nil {
+			return nil, err
+		}
+		in.stalls[k] = append(in.stalls[k], Stall{Worker: k, At: f.At, Dur: f.Dur})
+		sort.Slice(in.stalls[k], func(i, j int) bool { return in.stalls[k][i].At < in.stalls[k][j].At })
+	}
+	return in, nil
+}
+
+// KillAt returns the virtual time at which the worker is scheduled to die.
+func (in *Injector) KillAt(worker int) (simtime.Instant, bool) {
+	if in == nil {
+		return 0, false
+	}
+	at, ok := in.kills[worker]
+	return at, ok
+}
+
+// Killed reports whether the worker's kill time has passed — transports use
+// it to refuse reconnection to a worker that is meant to stay dead.
+func (in *Injector) Killed(worker int) bool {
+	if in == nil {
+		return false
+	}
+	at, ok := in.kills[worker]
+	return ok && !in.clock.Now().Before(at)
+}
+
+// OnSend returns the fault, if any, to apply to the next message bound for
+// the worker. Budgeted faults (drop, delay) are consumed by the call, so
+// transports must call it exactly once per message.
+func (in *Injector) OnSend(worker int) SendFault {
+	if in == nil {
+		return SendFault{}
+	}
+	now := in.clock.Now()
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, d := range in.drops[worker] {
+		if d.remaining > 0 && !now.Before(d.after) {
+			d.remaining--
+			return SendFault{Drop: true}
+		}
+	}
+	for _, d := range in.delays[worker] {
+		if d.remaining > 0 && !now.Before(d.after) {
+			d.remaining--
+			return SendFault{Delay: in.Wall(d.dur)}
+		}
+	}
+	return SendFault{}
+}
+
+// StallUntil returns the virtual time at which the current stall on the
+// worker's link ends, if one is active now.
+func (in *Injector) StallUntil(worker int) (simtime.Instant, bool) {
+	if in == nil {
+		return 0, false
+	}
+	now := in.clock.Now()
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, s := range in.stalls[worker] {
+		end := s.At.Add(s.Dur)
+		if !now.Before(s.At) && now.Before(end) {
+			return end, true
+		}
+	}
+	return 0, false
+}
+
+// Wall converts a virtual duration to wall time using the bound clock's
+// scale.
+func (in *Injector) Wall(d time.Duration) time.Duration {
+	if in == nil {
+		return d
+	}
+	return time.Duration(float64(d) * in.scale)
+}

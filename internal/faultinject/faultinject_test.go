@@ -1,0 +1,250 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rtsads/internal/simtime"
+)
+
+// fakeClock is a settable virtual clock with a scale.
+type fakeClock struct {
+	now   simtime.Instant
+	scale float64
+}
+
+func (c *fakeClock) Now() simtime.Instant { return c.now }
+func (c *fakeClock) Scale() float64       { return c.scale }
+
+func TestParseEmpty(t *testing.T) {
+	for _, spec := range []string{"", "  ", ";;"} {
+		p, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if !p.Empty() {
+			t.Errorf("Parse(%q) not empty: %+v", spec, p)
+		}
+		if p.String() != "" {
+			t.Errorf("empty plan renders %q", p.String())
+		}
+	}
+}
+
+func TestParseFull(t *testing.T) {
+	p, err := Parse("kill=1@40ms; drop=0:2@10ms, delay=2:3:5ms; stall=1@30ms:25ms; seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Kills) != 1 || p.Kills[0] != (Kill{Worker: 1, At: simtime.Instant(40 * time.Millisecond)}) {
+		t.Errorf("kills = %+v", p.Kills)
+	}
+	if len(p.Drops) != 1 || p.Drops[0] != (Drop{Worker: 0, Count: 2, After: simtime.Instant(10 * time.Millisecond)}) {
+		t.Errorf("drops = %+v", p.Drops)
+	}
+	if len(p.Delays) != 1 || p.Delays[0] != (Delay{Worker: 2, Count: 3, Dur: 5 * time.Millisecond}) {
+		t.Errorf("delays = %+v", p.Delays)
+	}
+	if len(p.Stalls) != 1 || p.Stalls[0] != (Stall{Worker: 1, At: simtime.Instant(30 * time.Millisecond), Dur: 25 * time.Millisecond}) {
+		t.Errorf("stalls = %+v", p.Stalls)
+	}
+	if p.Seed != 7 {
+		t.Errorf("seed = %d", p.Seed)
+	}
+	// The canonical rendering reparses to the same plan.
+	q, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", p.String(), err)
+	}
+	if q.String() != p.String() {
+		t.Errorf("round trip: %q != %q", q.String(), p.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"kill=1",          // missing @T
+		"kill=x@10ms",     // bad worker
+		"kill=1@-5ms",     // negative time
+		"drop=1",          // missing count
+		"drop=1:0",        // zero count
+		"delay=1:2",       // missing duration
+		"delay=1:2:-1ms",  // negative duration
+		"stall=1@10ms",    // missing duration
+		"stall=1@10ms:0s", // zero duration
+		"seed=banana",
+		"bogus=1",
+		"noequals",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
+func TestBindResolvesRandDeterministically(t *testing.T) {
+	clock := &fakeClock{scale: 1}
+	p, err := Parse("kill=rand@10ms;seed=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := p.Bind(clock, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := p.Bind(clock, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var victims []int
+	for k := 0; k < 8; k++ {
+		if _, ok := first.KillAt(k); ok {
+			victims = append(victims, k)
+			if _, ok := second.KillAt(k); !ok {
+				t.Errorf("rand victim differs between binds")
+			}
+		}
+	}
+	if len(victims) != 1 {
+		t.Fatalf("victims = %v, want exactly one", victims)
+	}
+}
+
+func TestBindRejectsOutOfRange(t *testing.T) {
+	p, err := Parse("kill=5@10ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Bind(&fakeClock{scale: 1}, 3); err == nil {
+		t.Error("out-of-range worker accepted")
+	}
+}
+
+func TestBindEmptyPlanIsNil(t *testing.T) {
+	var p *Plan
+	in, err := p.Bind(&fakeClock{scale: 1}, 2)
+	if err != nil || in != nil {
+		t.Fatalf("nil plan bind = (%v, %v)", in, err)
+	}
+	// All injector methods are nil-safe.
+	if _, ok := in.KillAt(0); ok {
+		t.Error("nil injector kills")
+	}
+	if in.Killed(0) {
+		t.Error("nil injector killed")
+	}
+	if f := in.OnSend(0); f.Drop || f.Delay != 0 {
+		t.Error("nil injector faults sends")
+	}
+	if _, ok := in.StallUntil(0); ok {
+		t.Error("nil injector stalls")
+	}
+}
+
+func TestInjectorKill(t *testing.T) {
+	clock := &fakeClock{scale: 1}
+	p, err := Parse("kill=1@10ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := p.Bind(clock, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, ok := in.KillAt(1)
+	if !ok || at != simtime.Instant(10*time.Millisecond) {
+		t.Errorf("KillAt(1) = %v, %v", at, ok)
+	}
+	if _, ok := in.KillAt(0); ok {
+		t.Error("worker 0 has a kill")
+	}
+	if in.Killed(1) {
+		t.Error("killed before its time")
+	}
+	clock.now = simtime.Instant(10 * time.Millisecond)
+	if !in.Killed(1) {
+		t.Error("not killed at its time")
+	}
+}
+
+func TestInjectorDropBudget(t *testing.T) {
+	clock := &fakeClock{scale: 1}
+	p, err := Parse("drop=0:2@10ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := p.Bind(clock, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.OnSend(0).Drop {
+		t.Error("dropped before the trigger time")
+	}
+	clock.now = simtime.Instant(10 * time.Millisecond)
+	if !in.OnSend(0).Drop || !in.OnSend(0).Drop {
+		t.Error("first two sends after trigger not dropped")
+	}
+	if in.OnSend(0).Drop {
+		t.Error("budget not exhausted after two drops")
+	}
+}
+
+func TestInjectorDelayScalesToWall(t *testing.T) {
+	clock := &fakeClock{now: simtime.Instant(time.Millisecond), scale: 20}
+	p, err := Parse("delay=0:1:2ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := p.Bind(clock, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := in.OnSend(0)
+	if f.Drop {
+		t.Fatal("delay clause dropped")
+	}
+	if f.Delay != 40*time.Millisecond {
+		t.Errorf("delay = %v, want 2ms virtual x20 = 40ms wall", f.Delay)
+	}
+	if d := in.OnSend(0).Delay; d != 0 {
+		t.Errorf("second send delayed %v after budget spent", d)
+	}
+}
+
+func TestInjectorStallWindow(t *testing.T) {
+	clock := &fakeClock{scale: 1}
+	p, err := Parse("stall=0@10ms:5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := p.Bind(clock, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := in.StallUntil(0); ok {
+		t.Error("stalled before the window")
+	}
+	clock.now = simtime.Instant(12 * time.Millisecond)
+	until, ok := in.StallUntil(0)
+	if !ok || until != simtime.Instant(15*time.Millisecond) {
+		t.Errorf("StallUntil = %v, %v; want 15ms", until, ok)
+	}
+	clock.now = simtime.Instant(15 * time.Millisecond)
+	if _, ok := in.StallUntil(0); ok {
+		t.Error("stalled after the window")
+	}
+}
+
+func TestStringMentionsEveryFault(t *testing.T) {
+	p, err := Parse("kill=rand@1ms;drop=0:1;delay=0:1:1ms;stall=0@1ms:1ms;seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.String()
+	for _, want := range []string{"kill=rand@1ms", "drop=0:1@0s", "delay=0:1:1ms@0s", "stall=0@1ms:1ms", "seed=3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

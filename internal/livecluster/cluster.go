@@ -2,11 +2,13 @@ package livecluster
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"rtsads/internal/core"
 	"rtsads/internal/experiment"
+	"rtsads/internal/faultinject"
 	"rtsads/internal/metrics"
 	"rtsads/internal/simtime"
 	"rtsads/internal/task"
@@ -16,14 +18,87 @@ import (
 // Backend delivers jobs to workers and surfaces their completions. The
 // in-process backend uses channels; the TCP backend (tcp.go) uses gob
 // streams over the network.
+//
+// Transport-level problems (a dead connection, a crashed worker) must not
+// surface as Deliver errors: they are reported asynchronously on Failures,
+// and the cluster reclaims and re-routes the affected jobs. Deliver returns
+// an error only for programming mistakes such as an out-of-range worker.
 type Backend interface {
 	// Deliver enqueues jobs on worker proc's ready queue, in order.
 	Deliver(proc int, jobs []Job) error
 	// Done is the stream of completions from all workers.
 	Done() <-chan Done
+	// Failures is the stream of detected worker failures. It is never
+	// closed; backends that cannot fail may return a channel that never
+	// sends.
+	Failures() <-chan Failure
 	// Close shuts the workers down and releases resources. It must be
 	// called exactly once, after the final Deliver.
 	Close() error
+}
+
+// Failure reports that a worker was detected dead or unreachable. Fatal
+// failures remove the processor from the machine for the rest of the run;
+// non-fatal failures (a connection that was successfully re-established, a
+// straggling worker) only trigger reclaim and re-delivery of the worker's
+// outstanding jobs.
+type Failure struct {
+	Worker int
+	At     simtime.Instant
+	Fatal  bool
+	Err    string
+}
+
+// Liveness bounds the failure detectors. Zero values select the defaults.
+type Liveness struct {
+	// HeartbeatEvery is the wall-clock interval between heartbeat
+	// envelopes on a TCP session, in both directions (default 100ms).
+	HeartbeatEvery time.Duration
+	// Timeout is the wall-clock silence after which a TCP peer is
+	// presumed dead (default 5 x HeartbeatEvery).
+	Timeout time.Duration
+	// HelloTimeout bounds how long a serving worker waits for the hello
+	// after accepting a connection (default 30s).
+	HelloTimeout time.Duration
+	// Redials is how many reconnection attempts the host makes when a
+	// worker connection breaks mid-run; negative disables reconnection
+	// (default 2).
+	Redials int
+	// RedialBackoff is the wall-clock delay before the first redial; it
+	// doubles per attempt (default 50ms).
+	RedialBackoff time.Duration
+	// StragglerGrace is the virtual time past a job's planned completion
+	// before the host declares its worker unresponsive and reclaims the
+	// worker's outstanding jobs (default 250ms virtual).
+	StragglerGrace time.Duration
+	// StragglerStrikes is how many straggler reclaims a worker survives
+	// before it is removed from the machine for good (default 2).
+	StragglerStrikes int
+}
+
+func (l Liveness) withDefaults() Liveness {
+	if l.HeartbeatEvery <= 0 {
+		l.HeartbeatEvery = 100 * time.Millisecond
+	}
+	if l.Timeout <= 0 {
+		l.Timeout = 5 * l.HeartbeatEvery
+	}
+	if l.HelloTimeout <= 0 {
+		l.HelloTimeout = 30 * time.Second
+	}
+	if l.Redials == 0 {
+		l.Redials = 2
+	}
+	if l.RedialBackoff <= 0 {
+		l.RedialBackoff = 50 * time.Millisecond
+	}
+	if l.StragglerGrace <= 0 {
+		l.StragglerGrace = 250 * time.Millisecond
+	}
+	if l.StragglerStrikes <= 0 {
+		l.StragglerStrikes = 2
+	}
+	return l
 }
 
 // Config configures a live cluster run.
@@ -39,8 +114,16 @@ type Config struct {
 	// criterion).
 	Policy core.QuantumPolicy
 	// Backend overrides the in-process channel backend (used for TCP
-	// workers). Optional.
-	Backend func(clock *Clock) (Backend, error)
+	// workers). The injector is non-nil only when Faults is set. Optional.
+	Backend func(clock *Clock, inj *faultinject.Injector) (Backend, error)
+	// Faults injects deterministic failures (worker crashes, message
+	// drops/delays, link stalls) into the run. Optional.
+	Faults *faultinject.Plan
+	// Liveness tunes failure detection; zero values select defaults.
+	Liveness Liveness
+	// RecordCompletions retains a per-task completion record on the run
+	// result (costs memory on large workloads).
+	RecordCompletions bool
 }
 
 // Cluster drives a live run: one host (the caller's goroutine) plus worker
@@ -76,7 +159,45 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Policy == nil {
 		cfg.Policy = core.NewAdaptive()
 	}
+	cfg.Liveness = cfg.Liveness.withDefaults()
 	return &Cluster{cfg: cfg}, nil
+}
+
+// flight is one delivered-but-unfinished job the host tracks so it can be
+// reclaimed if its worker dies.
+type flight struct {
+	t      *task.Task
+	worker int
+	due    simtime.Instant // planned completion on the worker's queue
+}
+
+// runState is the mutable state of one Run. The host goroutine owns the
+// scheduling fields (batch, freeAt, alive, planner); mu guards the fields
+// shared with the completion collector (res, inflight).
+type runState struct {
+	c       *Cluster
+	clock   *Clock
+	backend Backend
+	live    Liveness
+	pc      *phaseClock
+
+	mu       sync.Mutex
+	res      *metrics.RunResult
+	inflight map[task.ID]*flight
+
+	doneTick  chan struct{}
+	failCh    <-chan Failure
+	collectWG sync.WaitGroup
+
+	// Host-only scheduling state.
+	alive        []bool
+	strikes      []int
+	freeAt       []simtime.Instant
+	batch        *task.Batch
+	pending      []*task.Task
+	next         int
+	planner      core.Planner
+	plannerStale bool
 }
 
 // Run executes the workload to completion and returns the run's metrics.
@@ -84,148 +205,77 @@ func New(cfg Config) (*Cluster, error) {
 // missed tasks, run a scheduling phase under a wall-clock quantum budget,
 // and deliver the schedule — except that time is real and workers really
 // execute transactions.
+//
+// Unlike the deterministic machine, the live host also survives worker
+// failure: when a worker is detected dead (or a connection cannot be
+// re-established), the host marks the processor failed, reclaims its
+// delivered-but-unfinished jobs, and feeds them back into the next
+// scheduling phase against the shrunken machine. Re-routed tasks pass the
+// same feasibility test as everything else, so they either provably meet
+// their deadlines on a surviving worker or are counted honestly as lost.
 func (c *Cluster) Run() (*metrics.RunResult, error) {
 	w := c.cfg.Workload
 	clock, err := NewClock(c.cfg.Scale)
 	if err != nil {
 		return nil, err
 	}
-
-	backend, err := c.makeBackend(clock)
+	inj, err := c.cfg.Faults.Bind(clock, w.Params.Workers)
 	if err != nil {
 		return nil, err
 	}
 
-	pc := &phaseClock{clock: clock}
-	planner, err := c.makePlanner(pc)
+	backend, err := c.makeBackend(clock, inj)
 	if err != nil {
-		backend.Close()
 		return nil, err
 	}
 
 	res := &metrics.RunResult{
-		Algorithm:  planner.Name() + "/live",
+		Algorithm:  "", // set below once the planner is built
 		Workers:    w.Params.Workers,
 		Total:      len(w.Tasks),
 		WorkerBusy: make([]time.Duration, w.Params.Workers),
 	}
 
-	// Collect completions concurrently with scheduling.
-	var collectWG sync.WaitGroup
-	var mu sync.Mutex
-	collectWG.Add(1)
-	go func() {
-		defer collectWG.Done()
-		for d := range backend.Done() {
-			mu.Lock()
-			if d.Err != "" {
-				res.ScheduledMissed++ // execution errors count against the run
-			} else if d.Hit {
-				res.Hits++
-			} else {
-				res.ScheduledMissed++
-			}
-			if d.Finish.After(res.Makespan) {
-				res.Makespan = d.Finish
-			}
-			res.WorkerBusy[d.Worker] += d.Finish.Sub(d.Start)
-			mu.Unlock()
-		}
-	}()
+	r := &runState{
+		c:        c,
+		clock:    clock,
+		backend:  backend,
+		live:     c.cfg.Liveness,
+		pc:       &phaseClock{clock: clock},
+		res:      res,
+		inflight: make(map[task.ID]*flight),
+		doneTick: make(chan struct{}, 1),
+		failCh:   backend.Failures(),
+		alive:    make([]bool, w.Params.Workers),
+		strikes:  make([]int, w.Params.Workers),
+		freeAt:   make([]simtime.Instant, w.Params.Workers),
+		batch:    task.NewBatch(),
+		pending:  append([]*task.Task(nil), w.Tasks...),
+	}
+	for k := range r.alive {
+		r.alive[k] = true
+	}
+	task.SortEDF(r.pending) // stable starting order; arrival absorb below re-checks times
 
-	// Host bookkeeping of worker backlogs, mirroring the machine's model.
-	freeAt := make([]simtime.Instant, w.Params.Workers)
-	pending := append([]*task.Task(nil), w.Tasks...)
-	task.SortEDF(pending) // stable starting order; arrival absorb below re-checks times
-	batch := task.NewBatch()
-	next := 0
+	r.collectWG.Add(1)
+	go r.collect()
 
-	hostErr := func() error {
-		for {
-			now := clock.Now()
-			for next < len(pending) && !pending[next].Arrival.After(now) {
-				batch.Add(pending[next])
-				next++
-			}
-			res.Purged += len(batch.PurgeMissed(now))
-			if batch.Len() == 0 {
-				if next >= len(pending) {
-					return nil
-				}
-				clock.SleepUntil(pending[next].Arrival)
-				continue
-			}
-
-			loads := make([]time.Duration, w.Params.Workers)
-			for k, f := range freeAt {
-				loads[k] = simtime.NonNeg(f.Sub(now))
-			}
-			pc.Reset()
-			out, err := planner.PlanPhase(core.PhaseInput{Now: now, Batch: batch.Tasks(), Loads: loads})
-			if err != nil {
-				return fmt.Errorf("livecluster: phase %d: %w", res.Phases, err)
-			}
-			res.Phases++
-			res.SchedulingTime += out.Used
-			res.VerticesGenerated += out.Stats.Generated
-			res.Backtracks += out.Stats.Backtracks
-			if out.Stats.DeadEnd {
-				res.DeadEnds++
-			}
-			if out.Stats.Expired {
-				res.QuantaExpired++
-			}
-
-			deliverAt := clock.Now()
-			perProc := make(map[int][]Job)
-			scheduled := make([]*task.Task, 0, len(out.Schedule))
-			for _, a := range out.Schedule {
-				start := deliverAt.Max(freeAt[a.Proc])
-				freeAt[a.Proc] = start.Add(a.Task.Proc + a.Comm)
-				perProc[a.Proc] = append(perProc[a.Proc], Job{
-					Task: int32(a.Task.ID),
-					Txn:  a.Task.Payload,
-					// Workers occupy the task's actual processing time;
-					// the host planned with the worst case, so early
-					// finishes are reclaimed by the next queued job.
-					Proc:     a.Task.ActualProc(),
-					Comm:     a.Comm,
-					Deadline: a.Task.Deadline,
-				})
-				scheduled = append(scheduled, a.Task)
-			}
-			for proc, jobs := range perProc {
-				if err := backend.Deliver(proc, jobs); err != nil {
-					return fmt.Errorf("livecluster: deliver to worker %d: %w", proc, err)
-				}
-			}
-			batch.RemoveScheduled(scheduled)
-
-			if len(out.Schedule) == 0 {
-				// Everything currently infeasible: wait for the earliest
-				// event that can change that (worker completion, arrival,
-				// or the nearest purge point).
-				event := simtime.Never
-				for _, f := range freeAt {
-					if f.After(now) {
-						event = event.Min(f)
-					}
-				}
-				if next < len(pending) {
-					event = event.Min(pending[next].Arrival)
-				}
-				for _, t := range batch.Tasks() {
-					event = event.Min(t.Deadline.Add(-t.Proc + 1))
-				}
-				if event != simtime.Never {
-					clock.SleepUntil(event)
-				}
-			}
-		}
-	}()
+	hostErr := r.loop()
 
 	closeErr := backend.Close() // closing drains worker queues, then Done closes
-	collectWG.Wait()
+	r.collectWG.Wait()
+
+	// Reconcile: any job still registered after the backend drained never
+	// completed and was never reclaimed — count it lost rather than let the
+	// books quietly not balance.
+	r.mu.Lock()
+	for id, fl := range r.inflight {
+		delete(r.inflight, id)
+		res.LostToFailure++
+		r.record(metrics.Completion{Task: fl.t.ID, Proc: fl.worker})
+	}
+	r.mu.Unlock()
+
 	if hostErr != nil {
 		return nil, hostErr
 	}
@@ -235,20 +285,331 @@ func (c *Cluster) Run() (*metrics.RunResult, error) {
 	return res, nil
 }
 
-func (c *Cluster) makeBackend(clock *Clock) (Backend, error) {
-	if c.cfg.Backend != nil {
-		return c.cfg.Backend(clock)
+// collect consumes the backend's completion stream. The host re-verifies
+// each completion against the task's authoritative deadline; the worker's
+// Hit flag is advisory. Completions for tasks no longer in flight (already
+// reclaimed from a worker declared failed) are dropped so every task is
+// counted exactly once.
+func (r *runState) collect() {
+	defer r.collectWG.Done()
+	for d := range r.backend.Done() {
+		r.mu.Lock()
+		fl, ok := r.inflight[task.ID(d.Task)]
+		if !ok {
+			r.mu.Unlock()
+			continue
+		}
+		delete(r.inflight, task.ID(d.Task))
+		hit := d.Err == "" && !d.Finish.After(fl.t.Deadline)
+		if hit {
+			r.res.Hits++
+		} else {
+			r.res.ScheduledMissed++
+		}
+		if d.Finish.After(r.res.Makespan) {
+			r.res.Makespan = d.Finish
+		}
+		if d.Worker >= 0 && d.Worker < len(r.res.WorkerBusy) {
+			r.res.WorkerBusy[d.Worker] += d.Finish.Sub(d.Start)
+		}
+		r.res.Response.Add(d.Finish.Sub(fl.t.Arrival))
+		r.record(metrics.Completion{
+			Task: fl.t.ID, Proc: d.Worker, Start: d.Start, Finish: d.Finish,
+			Hit: hit, Executed: true,
+		})
+		r.mu.Unlock()
+		select {
+		case r.doneTick <- struct{}{}:
+		default:
+		}
 	}
-	return NewChannelBackend(clock, c.cfg.Workload), nil
 }
 
-func (c *Cluster) makePlanner(pc *phaseClock) (core.Planner, error) {
+// record appends a completion record when enabled. Callers hold mu.
+func (r *runState) record(c metrics.Completion) {
+	if !r.c.cfg.RecordCompletions {
+		return
+	}
+	r.res.Completions = append(r.res.Completions, c)
+}
+
+// loop is the host's scheduling loop.
+func (r *runState) loop() error {
+	for {
+		// Absorb any failure notifications before scheduling.
+	drainFailures:
+		for {
+			select {
+			case f := <-r.failCh:
+				r.handleFailure(f)
+			default:
+				break drainFailures
+			}
+		}
+
+		now := r.clock.Now()
+		for r.next < len(r.pending) && !r.pending[r.next].Arrival.After(now) {
+			r.batch.Add(r.pending[r.next])
+			r.next++
+		}
+		if purged := r.batch.PurgeMissed(now); len(purged) > 0 {
+			r.mu.Lock()
+			r.res.Purged += len(purged)
+			for _, t := range purged {
+				r.record(metrics.Completion{Task: t.ID, Proc: -1})
+			}
+			r.mu.Unlock()
+		}
+		r.checkStragglers(now)
+
+		if r.batch.Len() == 0 {
+			if r.next >= len(r.pending) && r.inflightCount() == 0 {
+				return nil // all work delivered and accounted for
+			}
+			r.wait(r.nextEvent(now))
+			continue
+		}
+
+		active := r.activeWorkers()
+		if len(active) == 0 {
+			// Every worker is gone: the remaining work is honestly
+			// unservable.
+			lost := append(r.batch.PurgeMissed(simtime.Never), r.pending[r.next:]...)
+			r.next = len(r.pending)
+			r.mu.Lock()
+			r.res.LostToFailure += len(lost)
+			for _, t := range lost {
+				r.record(metrics.Completion{Task: t.ID, Proc: -1})
+			}
+			r.mu.Unlock()
+			return nil
+		}
+		if r.planner == nil || r.plannerStale {
+			p, err := r.c.makePlanner(r.pc, active)
+			if err != nil {
+				return err
+			}
+			r.planner = p
+			r.plannerStale = false
+			r.mu.Lock()
+			r.res.Algorithm = p.Name() + "/live"
+			r.mu.Unlock()
+		}
+
+		// Plan against the surviving machine: slot s of the search maps to
+		// working processor active[s].
+		loads := make([]time.Duration, len(active))
+		for s, k := range active {
+			loads[s] = simtime.NonNeg(r.freeAt[k].Sub(now))
+		}
+		r.pc.Reset()
+		out, err := r.planner.PlanPhase(core.PhaseInput{Now: now, Batch: r.batch.Tasks(), Loads: loads})
+		if err != nil {
+			return fmt.Errorf("livecluster: phase %d: %w", r.res.Phases, err)
+		}
+		r.mu.Lock()
+		r.res.Phases++
+		r.res.SchedulingTime += out.Used
+		r.res.VerticesGenerated += out.Stats.Generated
+		r.res.Backtracks += out.Stats.Backtracks
+		if out.Stats.DeadEnd {
+			r.res.DeadEnds++
+		}
+		if out.Stats.Expired {
+			r.res.QuantaExpired++
+		}
+		r.mu.Unlock()
+
+		deliverAt := r.clock.Now()
+		perWorker := make(map[int][]Job)
+		scheduled := make([]*task.Task, 0, len(out.Schedule))
+		r.mu.Lock()
+		for _, a := range out.Schedule {
+			k := active[a.Proc]
+			start := deliverAt.Max(r.freeAt[k])
+			due := start.Add(a.Task.Proc + a.Comm)
+			r.freeAt[k] = due
+			r.inflight[a.Task.ID] = &flight{t: a.Task, worker: k, due: due}
+			perWorker[k] = append(perWorker[k], Job{
+				Task: int32(a.Task.ID),
+				Txn:  a.Task.Payload,
+				// Workers occupy the task's actual processing time;
+				// the host planned with the worst case, so early
+				// finishes are reclaimed by the next queued job.
+				Proc:     a.Task.ActualProc(),
+				Comm:     a.Comm,
+				Deadline: a.Task.Deadline,
+			})
+			scheduled = append(scheduled, a.Task)
+		}
+		r.mu.Unlock()
+		for k, jobs := range perWorker {
+			if err := r.backend.Deliver(k, jobs); err != nil {
+				return fmt.Errorf("livecluster: deliver to worker %d: %w", k, err)
+			}
+		}
+		r.batch.RemoveScheduled(scheduled)
+
+		if len(out.Schedule) == 0 {
+			// Everything currently infeasible: wait for the earliest event
+			// that can change that (worker completion, arrival, a failure,
+			// or the nearest purge point).
+			r.wait(r.nextEvent(now))
+		}
+	}
+}
+
+// handleFailure marks the worker (fatally failed workers leave the machine),
+// reclaims its delivered-but-unfinished jobs, and feeds the ones that can
+// still meet their deadlines back into the batch. Host goroutine only.
+func (r *runState) handleFailure(f Failure) {
+	if f.Worker < 0 || f.Worker >= len(r.alive) {
+		return
+	}
+	now := r.clock.Now()
+	var reclaimed []*task.Task
+	r.mu.Lock()
+	if f.Fatal && r.alive[f.Worker] {
+		r.alive[f.Worker] = false
+		r.res.WorkerFailures++
+		r.plannerStale = true
+	}
+	for id, fl := range r.inflight {
+		if fl.worker != f.Worker {
+			continue
+		}
+		delete(r.inflight, id)
+		if fl.t.Missed(now) {
+			// Too late to restart anywhere: the failure cost this task.
+			r.res.LostToFailure++
+			r.record(metrics.Completion{Task: fl.t.ID, Proc: fl.worker})
+		} else {
+			r.res.Rerouted++
+			reclaimed = append(reclaimed, fl.t)
+		}
+	}
+	r.mu.Unlock()
+	// Map iteration order is random; keep the re-fed batch deterministic.
+	task.SortEDF(reclaimed)
+	r.batch.Add(reclaimed...)
+	if r.alive[f.Worker] {
+		// The worker survived (reconnected or merely straggling) but its
+		// queue state is unknown; the host's backlog model restarts empty.
+		r.freeAt[f.Worker] = now
+	}
+}
+
+// checkStragglers reclaims from workers whose oldest in-flight job is
+// overdue by more than the straggler grace — the transport-agnostic second
+// line of defence behind heartbeats (and the only one the in-process
+// backend needs for dropped messages). Repeat offenders are removed from
+// the machine.
+func (r *runState) checkStragglers(now simtime.Instant) {
+	grace := r.live.StragglerGrace
+	var overdue []int
+	r.mu.Lock()
+	seen := make(map[int]bool)
+	for _, fl := range r.inflight {
+		if r.alive[fl.worker] && !seen[fl.worker] && now.After(fl.due.Add(grace)) {
+			seen[fl.worker] = true
+			overdue = append(overdue, fl.worker)
+		}
+	}
+	r.mu.Unlock()
+	sort.Ints(overdue)
+	for _, k := range overdue {
+		r.strikes[k]++
+		r.handleFailure(Failure{
+			Worker: k,
+			At:     now,
+			Fatal:  r.strikes[k] >= r.live.StragglerStrikes,
+			Err:    fmt.Sprintf("livecluster: worker %d overdue by more than %v", k, grace),
+		})
+	}
+}
+
+// nextEvent returns the earliest virtual time at which the host's view can
+// change: an arrival, a purge point, a worker freeing up, or a straggler
+// deadline.
+func (r *runState) nextEvent(now simtime.Instant) simtime.Instant {
+	event := simtime.Never
+	if r.next < len(r.pending) {
+		event = event.Min(r.pending[r.next].Arrival)
+	}
+	for _, t := range r.batch.Tasks() {
+		event = event.Min(t.Deadline.Add(-t.Proc + 1))
+	}
+	for k, f := range r.freeAt {
+		if r.alive[k] && f.After(now) {
+			event = event.Min(f)
+		}
+	}
+	r.mu.Lock()
+	for _, fl := range r.inflight {
+		event = event.Min(fl.due.Add(r.live.StragglerGrace + 1))
+	}
+	r.mu.Unlock()
+	return event
+}
+
+// wait sleeps until the virtual event time, a completion, or a failure —
+// whichever comes first. Failures are handled before returning.
+func (r *runState) wait(until simtime.Instant) {
+	if until == simtime.Never {
+		// Nothing scheduled to happen: poll at a coarse safety tick so an
+		// unforeseen state change cannot strand the host.
+		until = r.clock.Now().Add(10 * time.Millisecond)
+	}
+	d := r.clock.WallUntil(until)
+	if d <= 0 {
+		return
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case f := <-r.failCh:
+		r.handleFailure(f)
+	case <-r.doneTick:
+	}
+}
+
+// activeWorkers returns the surviving processor IDs, ascending.
+func (r *runState) activeWorkers() []int {
+	out := make([]int, 0, len(r.alive))
+	for k, a := range r.alive {
+		if a {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func (r *runState) inflightCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.inflight)
+}
+
+func (c *Cluster) makeBackend(clock *Clock, inj *faultinject.Injector) (Backend, error) {
+	if c.cfg.Backend != nil {
+		return c.cfg.Backend(clock, inj)
+	}
+	return NewChannelBackend(clock, c.cfg.Workload, inj), nil
+}
+
+// makePlanner builds the planner over the surviving machine: search slot s
+// is working processor active[s], so after a failure the same feasibility
+// test (t_c + RQs(j) + se_lk <= d_l) re-routes tasks across the survivors
+// with their true communication costs.
+func (c *Cluster) makePlanner(pc *phaseClock, active []int) (core.Planner, error) {
 	w := c.cfg.Workload
 	cost := w.Cost
+	procs := append([]int(nil), active...)
 	scfg := core.SearchConfig{
-		Workers: w.Params.Workers,
-		Comm: func(t *task.Task, proc int) time.Duration {
-			return cost.Cost(t.Affinity, proc)
+		Workers: len(procs),
+		Comm: func(t *task.Task, slot int) time.Duration {
+			return cost.Cost(t.Affinity, procs[slot])
 		},
 		Policy: c.cfg.Policy,
 		// Wall-clock quantum budget: the host's real scheduling speed,
@@ -275,29 +636,57 @@ func buildPlanner(a experiment.Algorithm, scfg core.SearchConfig) (core.Planner,
 }
 
 // ChannelBackend runs one goroutine per worker, connected by channels — the
-// in-process interconnect.
+// in-process interconnect. With an injector it simulates crashes (the
+// worker goroutine stops consuming at the kill time and a fatal Failure is
+// reported), dropped and delayed deliveries, and stalled links.
 type ChannelBackend struct {
-	jobs []chan Job
-	done chan Done
-	wg   sync.WaitGroup
+	clock    *Clock
+	inj      *faultinject.Injector
+	jobs     []chan Job
+	done     chan Done
+	failures chan Failure
+	stop     chan struct{}
+	wg       sync.WaitGroup
 }
 
-// NewChannelBackend spawns the workers for the workload.
-func NewChannelBackend(clock *Clock, w *workload.Workload) *ChannelBackend {
+// NewChannelBackend spawns the workers for the workload. inj may be nil.
+func NewChannelBackend(clock *Clock, w *workload.Workload, inj *faultinject.Injector) *ChannelBackend {
 	b := &ChannelBackend{
-		jobs: make([]chan Job, w.Params.Workers),
-		done: make(chan Done, w.Params.Workers),
+		clock:    clock,
+		inj:      inj,
+		jobs:     make([]chan Job, w.Params.Workers),
+		done:     make(chan Done, w.Params.Workers),
+		failures: make(chan Failure, w.Params.Workers),
+		stop:     make(chan struct{}),
 	}
 	for i := range b.jobs {
 		b.jobs[i] = make(chan Job, len(w.Tasks)) // ready queue capacity
+		var quit chan struct{}
+		if killAt, ok := inj.KillAt(i); ok {
+			quit = make(chan struct{})
+			go b.killer(i, killAt, quit)
+		}
 		wk := NewWorker(i, clock, w)
 		b.wg.Add(1)
-		go func(ch <-chan Job) {
+		go func(ch <-chan Job, quit <-chan struct{}) {
 			defer b.wg.Done()
-			wk.Run(ch, b.done)
-		}(b.jobs[i])
+			wk.RunUntil(ch, b.done, quit)
+		}(b.jobs[i], quit)
 	}
 	return b
+}
+
+// killer crashes worker i at its injected kill time: the worker goroutine
+// stops consuming and the failure is reported as if a detector had fired.
+func (b *ChannelBackend) killer(i int, at simtime.Instant, quit chan struct{}) {
+	timer := time.NewTimer(b.clock.WallUntil(at))
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		close(quit)
+		b.failures <- Failure{Worker: i, At: b.clock.Now(), Fatal: true, Err: "faultinject: worker killed"}
+	case <-b.stop:
+	}
 }
 
 // Deliver implements Backend.
@@ -305,7 +694,17 @@ func (b *ChannelBackend) Deliver(proc int, jobs []Job) error {
 	if proc < 0 || proc >= len(b.jobs) {
 		return fmt.Errorf("livecluster: worker %d out of range", proc)
 	}
+	if until, ok := b.inj.StallUntil(proc); ok {
+		b.clock.SleepUntil(until)
+	}
 	for _, j := range jobs {
+		f := b.inj.OnSend(proc)
+		if f.Drop {
+			continue
+		}
+		if f.Delay > 0 {
+			time.Sleep(f.Delay)
+		}
 		b.jobs[proc] <- j
 	}
 	return nil
@@ -314,9 +713,13 @@ func (b *ChannelBackend) Deliver(proc int, jobs []Job) error {
 // Done implements Backend.
 func (b *ChannelBackend) Done() <-chan Done { return b.done }
 
+// Failures implements Backend.
+func (b *ChannelBackend) Failures() <-chan Failure { return b.failures }
+
 // Close implements Backend: close the ready queues, wait for workers to
 // drain them, then close the completion stream.
 func (b *ChannelBackend) Close() error {
+	close(b.stop)
 	for _, ch := range b.jobs {
 		close(ch)
 	}

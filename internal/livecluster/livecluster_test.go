@@ -7,6 +7,7 @@ import (
 
 	"rtsads/internal/db"
 	"rtsads/internal/experiment"
+	"rtsads/internal/faultinject"
 	"rtsads/internal/simtime"
 	"rtsads/internal/workload"
 )
@@ -231,8 +232,8 @@ func TestClusterRunTCP(t *testing.T) {
 	c, err := New(Config{
 		Workload: w,
 		Scale:    50,
-		Backend: func(clock *Clock) (Backend, error) {
-			return NewTCPBackend(clock, w, addrs)
+		Backend: func(clock *Clock, inj *faultinject.Injector) (Backend, error) {
+			return NewTCPBackend(clock, w, addrs, TCPOptions{Inject: inj})
 		},
 	})
 	if err != nil {
@@ -269,7 +270,7 @@ func TestTCPBackendAddressMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewTCPBackend(clock, w, []string{"127.0.0.1:1"}); err == nil {
+	if _, err := NewTCPBackend(clock, w, []string{"127.0.0.1:1"}, TCPOptions{}); err == nil {
 		t.Error("address/worker count mismatch accepted")
 	}
 }
@@ -283,7 +284,7 @@ func TestChannelBackendDeliverRange(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b := NewChannelBackend(clock, w)
+	b := NewChannelBackend(clock, w, nil)
 	if err := b.Deliver(5, nil); err == nil {
 		t.Error("out-of-range worker accepted")
 	}
@@ -329,7 +330,7 @@ func TestTCPDeliverOutOfRange(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := NewTCPBackend(clock, w, []string{lis.Addr().String()})
+	b, err := NewTCPBackend(clock, w, []string{lis.Addr().String()}, TCPOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,25 +1,29 @@
 package livecluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"encoding/gob"
 
+	"rtsads/internal/faultinject"
+	"rtsads/internal/simtime"
 	"rtsads/internal/workload"
 )
 
 // envelope is the single wire message type exchanged between the host and
 // TCP workers, gob-encoded. Exactly one field is set per message.
 type envelope struct {
-	Hello   *helloMsg
-	Deliver *deliverMsg
-	Done    *Done
-	Bye     bool
+	Hello     *helloMsg
+	Deliver   *deliverMsg
+	Done      *Done
+	Heartbeat bool
+	Bye       bool
 }
 
 // helloMsg opens a host→worker session. The worker regenerates the
@@ -31,11 +35,24 @@ type helloMsg struct {
 	WorkerID      int
 	Scale         float64
 	StartUnixNano int64 // the host clock's wall epoch (shared time base)
+	// HeartbeatNano and TimeoutNano carry the host's liveness settings so
+	// both sides agree: each side sends a heartbeat every HeartbeatNano and
+	// treats TimeoutNano of silence as a dead peer. Zero selects defaults.
+	HeartbeatNano int64
+	TimeoutNano   int64
 }
 
 // deliverMsg appends jobs to the worker's ready queue.
 type deliverMsg struct {
 	Jobs []Job
+}
+
+// ServeOptions tunes ServeWorkerContext.
+type ServeOptions struct {
+	// HelloTimeout bounds how long an accepted connection may take to send
+	// its hello before the worker gives up on it (default 30s). It also
+	// rejects connections that never identify themselves.
+	HelloTimeout time.Duration
 }
 
 // ServeWorker handles one host session on the listener: it accepts a
@@ -44,16 +61,62 @@ type deliverMsg struct {
 // goodbye. It serves exactly one session; callers wanting a long-lived
 // worker loop around it.
 func ServeWorker(lis net.Listener) error {
+	return ServeWorkerContext(context.Background(), lis, ServeOptions{})
+}
+
+// ServeWorkerContext is ServeWorker with bounded waits: cancelling ctx
+// closes the listener (and any live session connection) so an orphaned
+// worker process exits instead of blocking in Accept or Decode forever, and
+// a connection that never sends its hello is dropped after
+// opt.HelloTimeout. Silence from the host longer than the session's
+// liveness timeout (agreed in the hello) also ends the session.
+func ServeWorkerContext(ctx context.Context, lis net.Listener, opt ServeOptions) error {
+	helloTimeout := opt.HelloTimeout
+	if helloTimeout <= 0 {
+		helloTimeout = 30 * time.Second
+	}
+
+	// The watcher makes Accept and the session reads interruptible: on ctx
+	// cancellation it closes the listener and the session's connection.
+	var connMu sync.Mutex
+	var liveConn net.Conn
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			lis.Close()
+			connMu.Lock()
+			if liveConn != nil {
+				liveConn.Close()
+			}
+			connMu.Unlock()
+		case <-watchDone:
+		}
+	}()
+
 	conn, err := lis.Accept()
 	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
 		return fmt.Errorf("livecluster: accept: %w", err)
 	}
+	connMu.Lock()
+	liveConn = conn
+	connMu.Unlock()
 	defer conn.Close()
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
 
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	var encMu sync.Mutex
 
+	// A connection that never says hello (or says it malformed) must not
+	// park the worker forever.
+	conn.SetReadDeadline(time.Now().Add(helloTimeout))
 	var hello envelope
 	if err := dec.Decode(&hello); err != nil {
 		return fmt.Errorf("livecluster: read hello: %w", err)
@@ -62,6 +125,14 @@ func ServeWorker(lis net.Listener) error {
 		return errors.New("livecluster: first message was not a hello")
 	}
 	h := hello.Hello
+	heartbeat := time.Duration(h.HeartbeatNano)
+	if heartbeat <= 0 {
+		heartbeat = 100 * time.Millisecond
+	}
+	idle := time.Duration(h.TimeoutNano)
+	if idle <= 0 {
+		idle = 5 * heartbeat
+	}
 	w, err := workload.Generate(h.Params)
 	if err != nil {
 		return fmt.Errorf("livecluster: regenerate workload: %w", err)
@@ -69,6 +140,14 @@ func ServeWorker(lis net.Listener) error {
 	clock, err := NewClockAt(time.Unix(0, h.StartUnixNano), h.Scale)
 	if err != nil {
 		return err
+	}
+
+	// Every write is bounded so a stalled host cannot park the session.
+	send := func(e envelope) error {
+		encMu.Lock()
+		defer encMu.Unlock()
+		conn.SetWriteDeadline(time.Now().Add(idle))
+		return enc.Encode(e)
 	}
 
 	worker := NewWorker(h.WorkerID, clock, w)
@@ -87,20 +166,44 @@ func ServeWorker(lis net.Listener) error {
 		defer wg.Done()
 		for d := range done {
 			d := d
-			encMu.Lock()
-			err := enc.Encode(envelope{Done: &d})
-			encMu.Unlock()
-			if err != nil && writeErr == nil {
+			if err := send(envelope{Done: &d}); err != nil && writeErr == nil {
 				writeErr = err
+			}
+		}
+	}()
+
+	// Heartbeats tell the host this worker is alive even when its queue is
+	// busy for a long stretch; they keep flowing through the final drain so
+	// the host's read deadline does not fire while we finish up.
+	hbStop := make(chan struct{})
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		ticker := time.NewTicker(heartbeat)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-ticker.C:
+				if err := send(envelope{Heartbeat: true}); err != nil {
+					return
+				}
 			}
 		}
 	}()
 
 	var readErr error
 	for {
+		// A host silent for longer than the agreed timeout is presumed
+		// dead; the session ends so an orphaned worker does not leak.
+		conn.SetReadDeadline(time.Now().Add(idle))
 		var msg envelope
 		if err := dec.Decode(&msg); err != nil {
-			if !errors.Is(err, io.EOF) {
+			if ctx.Err() != nil {
+				readErr = ctx.Err()
+			} else {
 				readErr = fmt.Errorf("livecluster: read: %w", err)
 			}
 			break
@@ -110,6 +213,8 @@ func ServeWorker(lis net.Listener) error {
 			for _, j := range msg.Deliver.Jobs {
 				jobs <- j
 			}
+		case msg.Heartbeat:
+			// Liveness only; the deadline reset above is the point.
 		case msg.Bye:
 			readErr = nil
 			goto drain
@@ -122,9 +227,9 @@ drain:
 	close(jobs)
 	wg.Wait()
 	// Acknowledge completion so the host can close cleanly.
-	encMu.Lock()
-	ackErr := enc.Encode(envelope{Bye: true})
-	encMu.Unlock()
+	ackErr := send(envelope{Bye: true})
+	close(hbStop)
+	hbWG.Wait()
 	switch {
 	case readErr != nil:
 		return readErr
@@ -136,100 +241,333 @@ drain:
 	return nil
 }
 
-// workerConn is the host's handle on one remote worker.
+// errConnDown marks sends attempted while a worker's connection is being
+// re-established or is gone for good.
+var errConnDown = errors.New("livecluster: connection down")
+
+// workerConn is the host's handle on one remote worker. The connection
+// behind it can be swapped by a successful redial.
 type workerConn struct {
+	addr string
+
+	mu   sync.Mutex
 	conn net.Conn
 	enc  *gob.Encoder
-	mu   sync.Mutex
+	dead bool // set when the worker is given up on for good
 }
 
-func (c *workerConn) send(e envelope) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.enc.Encode(e)
+// send encodes one envelope with a bounded write. On error the connection
+// is closed so the reader notices and the supervisor takes over.
+func (wc *workerConn) send(e envelope, timeout time.Duration) error {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	if wc.conn == nil {
+		return errConnDown
+	}
+	wc.conn.SetWriteDeadline(time.Now().Add(timeout))
+	if err := wc.enc.Encode(e); err != nil {
+		wc.conn.Close()
+		return err
+	}
+	return nil
+}
+
+// session snapshots the current connection and starts a fresh gob stream
+// reader for it.
+func (wc *workerConn) session() (net.Conn, *gob.Decoder) {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	if wc.conn == nil {
+		return nil, nil
+	}
+	return wc.conn, gob.NewDecoder(wc.conn)
+}
+
+// swap installs a freshly-dialled connection (with its encoder) in place of
+// the old one.
+func (wc *workerConn) swap(conn net.Conn, enc *gob.Encoder) {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	if wc.conn != nil {
+		wc.conn.Close()
+	}
+	wc.conn = conn
+	wc.enc = enc
+}
+
+// closeConn tears the current connection down (the reader notices).
+func (wc *workerConn) closeConn() {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	if wc.conn != nil {
+		wc.conn.Close()
+	}
+}
+
+// markDead closes the connection and refuses future sends.
+func (wc *workerConn) markDead() {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	if wc.conn != nil {
+		wc.conn.Close()
+		wc.conn = nil
+	}
+	wc.dead = true
+}
+
+func (wc *workerConn) isDead() bool {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	return wc.dead
+}
+
+// TCPOptions configures the TCP backend beyond its worker addresses.
+type TCPOptions struct {
+	// Liveness tunes heartbeats, timeouts and reconnection; zero values
+	// select the defaults.
+	Liveness Liveness
+	// Inject applies a fault plan to the transport. Optional.
+	Inject *faultinject.Injector
 }
 
 // TCPBackend connects the host to one remote worker process per working
-// processor.
+// processor. Each connection carries heartbeats in both directions and
+// enforces read/write deadlines, so a dead worker is detected within the
+// liveness timeout instead of blocking the run forever; broken connections
+// are redialled with bounded backoff, and workers that cannot be reached
+// again are reported as fatally failed so the cluster re-routes their work.
 type TCPBackend struct {
-	conns []*workerConn
-	done  chan Done
-	wg    sync.WaitGroup
+	clock    *Clock
+	live     Liveness
+	inj      *faultinject.Injector
+	hello    helloMsg
+	conns    []*workerConn
+	done     chan Done
+	failures chan Failure
+	stop     chan struct{}
+	closing  atomic.Bool
+	wg       sync.WaitGroup
 }
 
 // NewTCPBackend dials one address per worker and performs the hello
 // handshake. The worker at addrs[i] becomes working processor i.
-func NewTCPBackend(clock *Clock, w *workload.Workload, addrs []string) (*TCPBackend, error) {
+func NewTCPBackend(clock *Clock, w *workload.Workload, addrs []string, opts TCPOptions) (*TCPBackend, error) {
 	if len(addrs) != w.Params.Workers {
 		return nil, fmt.Errorf("livecluster: %d worker addresses for %d workers", len(addrs), w.Params.Workers)
 	}
-	b := &TCPBackend{done: make(chan Done, len(addrs))}
-	for i, addr := range addrs {
-		conn, err := net.Dial("tcp", addr)
-		if err != nil {
-			b.abort()
-			return nil, fmt.Errorf("livecluster: dial worker %d at %s: %w", i, addr, err)
-		}
-		wc := &workerConn{conn: conn, enc: gob.NewEncoder(conn)}
-		hello := envelope{Hello: &helloMsg{
+	live := opts.Liveness.withDefaults()
+	b := &TCPBackend{
+		clock: clock,
+		live:  live,
+		inj:   opts.Inject,
+		hello: helloMsg{
 			Params:        w.Params,
-			WorkerID:      i,
 			Scale:         clock.Scale(),
 			StartUnixNano: clock.Start().UnixNano(),
-		}}
-		if err := wc.send(hello); err != nil {
-			conn.Close()
+			HeartbeatNano: live.HeartbeatEvery.Nanoseconds(),
+			TimeoutNano:   live.Timeout.Nanoseconds(),
+		},
+		done:     make(chan Done, len(addrs)),
+		failures: make(chan Failure, 4*len(addrs)+4),
+		stop:     make(chan struct{}),
+	}
+	for i, addr := range addrs {
+		wc := &workerConn{addr: addr}
+		if err := b.dial(i, wc); err != nil {
 			b.abort()
-			return nil, fmt.Errorf("livecluster: hello to worker %d: %w", i, err)
+			return nil, err
 		}
 		b.conns = append(b.conns, wc)
+	}
+	for i := range b.conns {
 		b.wg.Add(1)
-		go b.readLoop(conn)
+		go b.supervise(i)
+		go b.heartbeats(i)
+		if killAt, ok := b.inj.KillAt(i); ok {
+			go b.killer(i, killAt)
+		}
 	}
 	return b, nil
 }
 
-// readLoop forwards a worker's completions until its bye (or EOF).
-func (b *TCPBackend) readLoop(conn net.Conn) {
+// dial establishes (or re-establishes) worker i's connection and performs
+// the hello handshake.
+func (b *TCPBackend) dial(i int, wc *workerConn) error {
+	conn, err := net.DialTimeout("tcp", wc.addr, b.live.Timeout)
+	if err != nil {
+		return fmt.Errorf("livecluster: dial worker %d at %s: %w", i, wc.addr, err)
+	}
+	enc := gob.NewEncoder(conn)
+	hello := b.hello
+	hello.WorkerID = i
+	conn.SetWriteDeadline(time.Now().Add(b.live.Timeout))
+	if err := enc.Encode(envelope{Hello: &hello}); err != nil {
+		conn.Close()
+		return fmt.Errorf("livecluster: hello to worker %d: %w", i, err)
+	}
+	wc.swap(conn, enc)
+	return nil
+}
+
+// supervise owns worker i's read side: it forwards completions until the
+// session ends, and on a broken session redials with backoff. Every broken
+// session is reported as a Failure — non-fatal when a fresh session was
+// established (the cluster reclaims and re-delivers the worker's jobs),
+// fatal when the worker is gone for good.
+func (b *TCPBackend) supervise(i int) {
 	defer b.wg.Done()
-	dec := gob.NewDecoder(conn)
+	wc := b.conns[i]
 	for {
+		err := b.readSession(i)
+		if err == nil || b.closing.Load() {
+			return // clean bye, or shutdown in progress
+		}
+		if b.redial(i) {
+			b.failures <- Failure{Worker: i, At: b.clock.Now(), Fatal: false,
+				Err: fmt.Sprintf("livecluster: worker %d reconnected after: %v", i, err)}
+			continue
+		}
+		if b.closing.Load() {
+			return // shutdown raced the redial; not a worker failure
+		}
+		wc.markDead()
+		b.failures <- Failure{Worker: i, At: b.clock.Now(), Fatal: true,
+			Err: fmt.Sprintf("livecluster: worker %d lost: %v", i, err)}
+		return
+	}
+}
+
+// readSession forwards one session's completions. It returns nil on a clean
+// bye and the transport error otherwise. Reads are bounded: a worker silent
+// for longer than the liveness timeout (it should heartbeat far more often)
+// is treated as dead.
+func (b *TCPBackend) readSession(i int) error {
+	conn, dec := b.conns[i].session()
+	if conn == nil {
+		return errConnDown
+	}
+	for {
+		conn.SetReadDeadline(time.Now().Add(b.live.Timeout))
 		var msg envelope
 		if err := dec.Decode(&msg); err != nil {
-			return
+			return fmt.Errorf("livecluster: read from worker %d: %w", i, err)
 		}
 		switch {
 		case msg.Done != nil:
 			b.done <- *msg.Done
+		case msg.Heartbeat:
+			// Liveness only.
 		case msg.Bye:
-			return
+			return nil
 		}
 	}
 }
 
-// Deliver implements Backend.
+// redial tries to re-establish worker i's session, with exponential
+// backoff, up to the configured attempt budget. Workers under an injected
+// kill are never redialled — the fault plan wants them dead.
+func (b *TCPBackend) redial(i int) bool {
+	if b.live.Redials < 0 || b.inj.Killed(i) {
+		return false
+	}
+	backoff := b.live.RedialBackoff
+	for attempt := 0; attempt < b.live.Redials; attempt++ {
+		timer := time.NewTimer(backoff)
+		select {
+		case <-timer.C:
+		case <-b.stop:
+			timer.Stop()
+			return false
+		}
+		backoff *= 2
+		if b.closing.Load() || b.inj.Killed(i) {
+			return false
+		}
+		if err := b.dial(i, b.conns[i]); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// heartbeats keeps worker i's connection warm so its idle-timeout detector
+// only fires when the host is really gone. Suppressed while the link is
+// stalled by fault injection (that is the point of a stall).
+func (b *TCPBackend) heartbeats(i int) {
+	ticker := time.NewTicker(b.live.HeartbeatEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-b.stop:
+			return
+		case <-ticker.C:
+			if _, stalled := b.inj.StallUntil(i); stalled {
+				continue
+			}
+			// Send errors close the conn; the supervisor handles recovery.
+			b.conns[i].send(envelope{Heartbeat: true}, b.live.Timeout)
+		}
+	}
+}
+
+// killer enforces an injected worker crash: at the kill time the connection
+// is severed, and redial (checked against the injector) is refused, so the
+// failure propagates through the same detection path a real crash would.
+func (b *TCPBackend) killer(i int, at simtime.Instant) {
+	timer := time.NewTimer(b.clock.WallUntil(at))
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		b.conns[i].closeConn()
+	case <-b.stop:
+	}
+}
+
+// Deliver implements Backend. Transport errors are not returned: they sever
+// the connection, and the supervisor reports the failure so the cluster
+// reclaims the worker's jobs.
 func (b *TCPBackend) Deliver(proc int, jobs []Job) error {
 	if proc < 0 || proc >= len(b.conns) {
 		return fmt.Errorf("livecluster: worker %d out of range", proc)
 	}
-	return b.conns[proc].send(envelope{Deliver: &deliverMsg{Jobs: jobs}})
+	if until, ok := b.inj.StallUntil(proc); ok {
+		b.clock.SleepUntil(until)
+	}
+	f := b.inj.OnSend(proc)
+	if f.Drop {
+		return nil
+	}
+	if f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+	b.conns[proc].send(envelope{Deliver: &deliverMsg{Jobs: jobs}}, b.live.Timeout)
+	return nil
 }
 
 // Done implements Backend.
 func (b *TCPBackend) Done() <-chan Done { return b.done }
 
-// Close implements Backend: say goodbye, wait for the workers to drain and
-// acknowledge, then close the completion stream.
+// Failures implements Backend.
+func (b *TCPBackend) Failures() <-chan Failure { return b.failures }
+
+// Close implements Backend: say goodbye, wait for the live workers to drain
+// and acknowledge, then close the completion stream. Workers already given
+// up on are skipped.
 func (b *TCPBackend) Close() error {
+	b.closing.Store(true)
+	close(b.stop)
 	var firstErr error
 	for i, wc := range b.conns {
-		if err := wc.send(envelope{Bye: true}); err != nil && firstErr == nil {
+		if wc.isDead() {
+			continue
+		}
+		if err := wc.send(envelope{Bye: true}, b.live.Timeout); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("livecluster: bye to worker %d: %w", i, err)
 		}
 	}
 	b.wg.Wait()
 	for _, wc := range b.conns {
-		wc.conn.Close()
+		wc.closeConn()
 	}
 	close(b.done)
 	return firstErr
@@ -238,6 +576,6 @@ func (b *TCPBackend) Close() error {
 // abort tears down partially-dialled connections during construction.
 func (b *TCPBackend) abort() {
 	for _, wc := range b.conns {
-		wc.conn.Close()
+		wc.closeConn()
 	}
 }

@@ -1,0 +1,192 @@
+package livecluster
+
+import (
+	"context"
+	"encoding/gob"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"rtsads/internal/workload"
+)
+
+// serveOne runs ServeWorkerContext on a fresh loopback listener and returns
+// the listener address plus the channel its error lands on.
+func serveOne(t *testing.T, ctx context.Context, opt ServeOptions) (string, <-chan error) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	errc := make(chan error, 1)
+	go func() { errc <- ServeWorkerContext(ctx, lis, opt) }()
+	return lis.Addr().String(), errc
+}
+
+// waitErr fails the test unless the serve goroutine returns within the
+// deadline — these are exactly the paths that used to block forever.
+func waitErr(t *testing.T, errc <-chan error, within time.Duration) error {
+	t.Helper()
+	select {
+	case err := <-errc:
+		return err
+	case <-time.After(within):
+		t.Fatal("ServeWorker did not return")
+		return nil
+	}
+}
+
+func TestServeWorkerHelloTimeout(t *testing.T) {
+	addr, errc := serveOne(t, context.Background(), ServeOptions{HelloTimeout: 100 * time.Millisecond})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Say nothing: the worker must give up on us instead of waiting forever.
+	if err := waitErr(t, errc, 5*time.Second); err == nil {
+		t.Error("connection that never sent a hello was accepted")
+	} else if !strings.Contains(err.Error(), "hello") {
+		t.Errorf("error %q does not mention the hello", err)
+	}
+}
+
+func TestServeWorkerMalformedEnvelope(t *testing.T) {
+	addr, errc := serveOne(t, context.Background(), ServeOptions{HelloTimeout: time.Second})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("this is not a gob stream\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := waitErr(t, errc, 5*time.Second); err == nil {
+		t.Error("malformed envelope accepted as a hello")
+	}
+}
+
+func TestServeWorkerRejectsNonHello(t *testing.T) {
+	addr, errc := serveOne(t, context.Background(), ServeOptions{HelloTimeout: time.Second})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := gob.NewEncoder(conn).Encode(envelope{Heartbeat: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := waitErr(t, errc, 5*time.Second); err == nil {
+		t.Error("non-hello first message accepted")
+	}
+}
+
+// dialHello opens a host-side connection and completes the handshake with
+// the given liveness settings, returning the live connection.
+func dialHello(t *testing.T, addr string, heartbeat, timeout time.Duration) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hello := envelope{Hello: &helloMsg{
+		Params:        liveParams(1),
+		WorkerID:      0,
+		Scale:         50,
+		StartUnixNano: time.Now().UnixNano(),
+		HeartbeatNano: int64(heartbeat),
+		TimeoutNano:   int64(timeout),
+	}}
+	if err := gob.NewEncoder(conn).Encode(hello); err != nil {
+		conn.Close()
+		t.Fatal(err)
+	}
+	return conn
+}
+
+func TestServeWorkerMidRunConnClose(t *testing.T) {
+	addr, errc := serveOne(t, context.Background(), ServeOptions{HelloTimeout: time.Second})
+	conn := dialHello(t, addr, 20*time.Millisecond, 150*time.Millisecond)
+	// Hang up without a bye, as a crashed host would.
+	time.Sleep(50 * time.Millisecond)
+	conn.Close()
+	if err := waitErr(t, errc, 5*time.Second); err == nil {
+		t.Error("worker treated an abrupt host hangup as a clean shutdown")
+	}
+}
+
+func TestServeWorkerHostSilence(t *testing.T) {
+	addr, errc := serveOne(t, context.Background(), ServeOptions{HelloTimeout: time.Second})
+	conn := dialHello(t, addr, 20*time.Millisecond, 150*time.Millisecond)
+	defer conn.Close()
+	// Keep the connection open but never send another byte. The worker's
+	// idle deadline (agreed in the hello) must end the session.
+	if err := waitErr(t, errc, 5*time.Second); err == nil {
+		t.Error("silent host kept the worker session alive past the timeout")
+	}
+}
+
+func TestServeWorkerContextCancelInAccept(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	_, errc := serveOne(t, ctx, ServeOptions{})
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	// No connection ever arrives; cancellation must still unblock Accept.
+	waitErr(t, errc, 5*time.Second)
+}
+
+func TestServeWorkerContextCancelMidSession(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	addr, errc := serveOne(t, ctx, ServeOptions{HelloTimeout: time.Second})
+	conn := dialHello(t, addr, 50*time.Millisecond, 10*time.Second)
+	defer conn.Close()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	// The watcher closes the session connection, so the orphaned worker
+	// exits even though its idle timeout is far away.
+	waitErr(t, errc, 5*time.Second)
+}
+
+func TestServeWorkerHeartbeatsKeepSessionAlive(t *testing.T) {
+	const workers = 1
+	w, err := workload.Generate(liveParams(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	errc := make(chan error, 1)
+	go func() { errc <- ServeWorker(lis) }()
+
+	live := Liveness{HeartbeatEvery: 10 * time.Millisecond, Timeout: 60 * time.Millisecond}
+	clock, err := NewClock(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTCPBackend(clock, w, []string{lis.Addr().String()}, TCPOptions{Liveness: live})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An idle but heartbeating session must survive far longer than the
+	// liveness timeout without either side declaring the other dead.
+	deadline := time.After(400 * time.Millisecond)
+	for alive := true; alive; {
+		select {
+		case f := <-b.Failures():
+			t.Fatalf("healthy idle session reported failure: %+v", f)
+		case <-deadline:
+			alive = false
+		}
+	}
+	if err := b.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	if err := waitErr(t, errc, 5*time.Second); err != nil {
+		t.Errorf("worker exited with: %v", err)
+	}
+}

@@ -55,10 +55,20 @@ func (c *Clock) Now() simtime.Instant {
 
 // SleepUntil blocks until virtual time v has been reached.
 func (c *Clock) SleepUntil(v simtime.Instant) {
-	wall := c.start.Add(time.Duration(float64(v) * c.scale))
-	if d := time.Until(wall); d > 0 {
+	if d := c.WallUntil(v); d > 0 {
 		time.Sleep(d)
 	}
+}
+
+// WallUntil returns the wall-clock duration from now until virtual time v
+// (non-positive when v has already passed). Never maps to a far-future
+// duration rather than overflowing.
+func (c *Clock) WallUntil(v simtime.Instant) time.Duration {
+	if v == simtime.Never {
+		return 1 << 56 // ~2.3 years: effectively forever, safely finite
+	}
+	wall := c.start.Add(time.Duration(float64(v) * c.scale))
+	return time.Until(wall)
 }
 
 // WallBudget returns a function reporting virtual time elapsed since the
@@ -123,23 +133,39 @@ func (wk *Worker) HasReplica(sub int) bool {
 // Run consumes jobs until the channel closes, sending one Done per job.
 // It never closes done; the cluster owns that channel.
 func (wk *Worker) Run(jobs <-chan Job, done chan<- Done) {
+	wk.RunUntil(jobs, done, nil)
+}
+
+// RunUntil is Run with a crash switch: when quit closes, the worker stops
+// consuming immediately and abandons whatever is still queued — the
+// behaviour of a crashed processor. The job being executed when quit fires
+// still completes (workers are non-preemptive). A nil quit never fires.
+func (wk *Worker) RunUntil(jobs <-chan Job, done chan<- Done, quit <-chan struct{}) {
 	var freeAt simtime.Instant
-	for j := range jobs {
-		start := wk.clock.Now().Max(freeAt)
-		res := wk.execute(j)
-		// Occupy the modelled duration: the real scan above is measured in
-		// microseconds of wall time; the model's p + c dominates.
-		finish := start.Add(j.Proc + j.Comm)
-		wk.clock.SleepUntil(finish)
-		now := wk.clock.Now()
-		if now.After(finish) {
-			finish = now // report honestly if the sleep overshot
+	for {
+		select {
+		case <-quit:
+			return
+		case j, ok := <-jobs:
+			if !ok {
+				return
+			}
+			start := wk.clock.Now().Max(freeAt)
+			res := wk.execute(j)
+			// Occupy the modelled duration: the real scan above is measured in
+			// microseconds of wall time; the model's p + c dominates.
+			finish := start.Add(j.Proc + j.Comm)
+			wk.clock.SleepUntil(finish)
+			now := wk.clock.Now()
+			if now.After(finish) {
+				finish = now // report honestly if the sleep overshot
+			}
+			freeAt = finish
+			res.Start = start
+			res.Finish = finish
+			res.Hit = !finish.After(j.Deadline)
+			done <- res
 		}
-		freeAt = finish
-		res.Start = start
-		res.Finish = finish
-		res.Hit = !finish.After(j.Deadline)
-		done <- res
 	}
 }
 

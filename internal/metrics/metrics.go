@@ -43,6 +43,14 @@ type RunResult struct {
 	// LostToFailure counts tasks dropped because their worker crashed
 	// before they completed (failure-injection runs only).
 	LostToFailure int
+	// WorkerFailures counts workers that permanently failed during the
+	// run (live cluster under fault injection).
+	WorkerFailures int
+	// Rerouted counts tasks reclaimed from a failed or unresponsive
+	// worker and fed back into scheduling against the surviving machine.
+	// A rerouted task's eventual fate still lands in Hits, Purged,
+	// ScheduledMissed or LostToFailure.
+	Rerouted int
 
 	Phases            int
 	SchedulingTime    time.Duration // Σ Used over phases: the paper's scheduling cost
@@ -108,6 +116,12 @@ func (r *RunResult) String() string {
 	if r.LostToFailure > 0 {
 		s += fmt.Sprintf(" lostToFailure=%d", r.LostToFailure)
 	}
+	if r.WorkerFailures > 0 {
+		s += fmt.Sprintf(" workerFailures=%d", r.WorkerFailures)
+	}
+	if r.Rerouted > 0 {
+		s += fmt.Sprintf(" rerouted=%d", r.Rerouted)
+	}
 	return s
 }
 
@@ -125,6 +139,8 @@ type Aggregate struct {
 	IdleWorkers     stats.Summary
 	Utilization     stats.Summary
 	LostToFailure   stats.Summary
+	WorkerFailures  stats.Summary
+	Rerouted        stats.Summary
 	ScheduledMissed int // summed; must stay zero
 	// Response pools the per-run response-time distributions.
 	Response histogram.Histogram
@@ -150,6 +166,8 @@ func (a *Aggregate) Add(r *RunResult) {
 	a.IdleWorkers.Add(float64(r.IdleWorkers()))
 	a.Utilization.Add(r.Utilization())
 	a.LostToFailure.Add(float64(r.LostToFailure))
+	a.WorkerFailures.Add(float64(r.WorkerFailures))
+	a.Rerouted.Add(float64(r.Rerouted))
 	a.ScheduledMissed += r.ScheduledMissed
 	a.Response.Merge(&r.Response)
 }

@@ -104,3 +104,36 @@ func TestAggregateCountsTheoremViolations(t *testing.T) {
 		t.Errorf("ScheduledMissed = %d, want 3", a.ScheduledMissed)
 	}
 }
+
+func TestStringFaultCounters(t *testing.T) {
+	r := sample()
+	if s := r.String(); strings.Contains(s, "workerFailures") || strings.Contains(s, "rerouted") {
+		t.Errorf("fault counters shown on a fault-free run: %q", s)
+	}
+	r.WorkerFailures = 1
+	r.Rerouted = 4
+	r.LostToFailure = 2
+	s := r.String()
+	for _, want := range []string{"workerFailures=1", "rerouted=4", "lostToFailure=2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestAggregateFoldsFaultCounters(t *testing.T) {
+	var a Aggregate
+	r1 := sample()
+	r1.WorkerFailures = 1
+	r1.Rerouted = 6
+	r2 := sample()
+	r2.Rerouted = 2
+	a.Add(r1)
+	a.Add(r2)
+	if got := a.WorkerFailures.Mean(); got != 0.5 {
+		t.Errorf("mean worker failures = %v, want 0.5", got)
+	}
+	if got := a.Rerouted.Mean(); got != 4 {
+		t.Errorf("mean rerouted = %v, want 4", got)
+	}
+}
