@@ -17,6 +17,13 @@
 // two messages to worker 0):
 //
 //	rtcluster -workers 4 -txns 200 -faults "kill=1@40ms;drop=0:2@10ms"
+//
+// Observability: serve live /metrics, /healthz, expvar and pprof while the
+// run is in flight, report progress to stderr, and write a Chrome trace of
+// the run for chrome://tracing or Perfetto:
+//
+//	rtcluster -workers 4 -txns 600 -sf 6 -faults "kill=1@40ms" \
+//	    -debug-addr :8077 -progress 1s -trace out.json
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 	"rtsads/internal/experiment"
 	"rtsads/internal/faultinject"
 	"rtsads/internal/livecluster"
+	"rtsads/internal/obs"
 	"rtsads/internal/workload"
 )
 
@@ -57,6 +65,11 @@ func run(args []string, out io.Writer) error {
 	faults := fs.String("faults", "", `fault-injection spec, e.g. "kill=1@40ms;drop=0:2@10ms;stall=2@30ms:25ms"`)
 	heartbeat := fs.Duration("heartbeat", 0, "liveness heartbeat interval (0 = default)")
 	timeout := fs.Duration("timeout", 0, "liveness timeout before a peer is presumed dead (0 = default)")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /healthz, /journal, expvar and pprof on this address while the run is live (e.g. :8077 or :0)")
+	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON file of the live run (chrome://tracing, Perfetto)")
+	traceLimit := fs.Int("trace-limit", 0, "maximum trace events to keep (0 = unlimited)")
+	progress := fs.Duration("progress", 0, "report run progress to stderr at this wall-clock interval (0 = off)")
+	journalOut := fs.String("journal", "", "write the structured event journal as JSON Lines to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -104,11 +117,21 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		// Observability: one observer feeds the registry, the journal, the
+		// trace sink, the debug endpoint and the progress reporter.
+		var observer *obs.Observer
+		if *debugAddr != "" || *traceOut != "" || *journalOut != "" || *progress > 0 {
+			observer = obs.New(0)
+			if *traceOut != "" {
+				observer.EnableTrace(*traceLimit)
+			}
+		}
 		cfg := livecluster.Config{
 			Workload:  w,
 			Algorithm: experiment.Algorithm(*algo),
 			Scale:     *scale,
 			Faults:    plan,
+			Obs:       observer,
 			Liveness: livecluster.Liveness{
 				HeartbeatEvery: *heartbeat,
 				Timeout:        *timeout,
@@ -119,6 +142,7 @@ func run(args []string, out io.Writer) error {
 				return livecluster.NewTCPBackend(clock, w, addrs, livecluster.TCPOptions{
 					Liveness: cfg.Liveness,
 					Inject:   inj,
+					Obs:      observer,
 				})
 			}
 		}
@@ -126,8 +150,18 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		if *debugAddr != "" {
+			srv, err := obs.Serve(*debugAddr, observer)
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Fprintf(out, "debug endpoint: %s (/metrics /healthz /journal /debug/pprof)\n", srv.URL())
+		}
+		stopProgress := observer.StartProgress(os.Stderr, *progress)
 		start := time.Now()
 		res, err := c.Run()
+		stopProgress()
 		if err != nil {
 			return err
 		}
@@ -138,11 +172,55 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "faults: %d worker(s) failed, %d task(s) re-routed, %d lost to failure\n",
 				res.WorkerFailures, res.Rerouted, res.LostToFailure)
 		}
+		if *traceOut != "" {
+			if err := writeTrace(*traceOut, observer, out); err != nil {
+				return err
+			}
+		}
+		if *journalOut != "" {
+			if err := writeJournal(*journalOut, observer, out); err != nil {
+				return err
+			}
+		}
 		return nil
 
 	default:
 		return fmt.Errorf("unknown role %q (want inproc, host or worker)", *role)
 	}
+}
+
+// writeTrace exports the observer's trace sink as Chrome trace-event JSON.
+func writeTrace(path string, observer *obs.Observer, out io.Writer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer f.Close()
+	log := observer.TraceSink().Snapshot()
+	if err := log.WriteChromeTrace(f); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	note := ""
+	if d := log.Dropped(); d > 0 {
+		note = fmt.Sprintf(" (%d events dropped at the limit)", d)
+	}
+	fmt.Fprintf(out, "wrote %s (%d events)%s — open in chrome://tracing or Perfetto\n", path, log.Len(), note)
+	return nil
+}
+
+// writeJournal exports the observer's structured event journal as JSONL.
+func writeJournal(path string, observer *obs.Observer, out io.Writer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer f.Close()
+	j := observer.Journal()
+	if err := j.WriteJSONL(f); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	fmt.Fprintf(out, "wrote %s (%d journal entries, %d evicted)\n", path, j.Len(), j.Evicted())
+	return nil
 }
 
 func splitAddrs(s string) []string {

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -69,5 +72,89 @@ func TestSplitAddrs(t *testing.T) {
 	}
 	if splitAddrs("") != nil {
 		t.Error("empty input should return nil")
+	}
+}
+
+// TestRunObservability is the issue's acceptance command: a faulted run
+// with the debug endpoint, trace and journal on must produce a valid
+// Perfetto-loadable Chrome trace and a JSONL journal, and report the files.
+func TestRunObservability(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "out.json")
+	journalPath := filepath.Join(dir, "run.jsonl")
+	var out strings.Builder
+	err := run([]string{"-workers", "3", "-txns", "60", "-scale", "50", "-sf", "4",
+		"-faults", "kill=0@500us", "-debug-addr", "127.0.0.1:0",
+		"-trace", tracePath, "-journal", journalPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "debug endpoint: http://") {
+		t.Errorf("output missing debug endpoint line: %q", out.String())
+	}
+	if !strings.Contains(out.String(), "wrote "+tracePath) {
+		t.Errorf("output missing trace note: %q", out.String())
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	var sawPhase, sawExec, sawDown, sawReroute bool
+	for _, e := range events {
+		name, _ := e["name"].(string)
+		switch {
+		case strings.HasPrefix(name, "phase "):
+			sawPhase = true
+		case strings.HasPrefix(name, "task "):
+			sawExec = true
+		case strings.Contains(name, "down"):
+			sawDown = true
+		case strings.HasPrefix(name, "reroute"):
+			sawReroute = true
+		}
+	}
+	if !sawPhase || !sawExec || !sawDown || !sawReroute {
+		t.Errorf("trace missing events: phase=%v exec=%v down=%v reroute=%v",
+			sawPhase, sawExec, sawDown, sawReroute)
+	}
+
+	jraw, err := os.ReadFile(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(jraw)), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("journal line %q is not valid JSON: %v", line, err)
+		}
+	}
+	if !strings.Contains(string(jraw), `"worker-down"`) {
+		t.Error("journal has no worker-down entry")
+	}
+}
+
+func TestRunTraceLimit(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "out.json")
+	var out strings.Builder
+	err := run([]string{"-workers", "2", "-txns", "60", "-scale", "50",
+		"-trace", tracePath, "-trace-limit", "10"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "events dropped at the limit") {
+		t.Errorf("truncated trace not reported: %q", out.String())
+	}
+}
+
+func TestRunBadDebugAddr(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-workers", "2", "-txns", "10", "-debug-addr", "256.0.0.1:-1"}, &out); err == nil {
+		t.Error("bad debug address accepted")
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"rtsads/internal/core"
 	"rtsads/internal/experiment"
 	"rtsads/internal/machine"
+	"rtsads/internal/obs"
 	"rtsads/internal/spec"
 	"rtsads/internal/task"
 	"rtsads/internal/trace"
@@ -49,18 +50,33 @@ func run(args []string, out io.Writer) error {
 	dumpTasks := fs.String("dumptasks", "", "write the default workload's task set as JSON to this file and exit")
 	runTasks := fs.String("runtasks", "", "run RT-SADS over a task set previously written with -dumptasks (or an external trace)")
 	taskWorkers := fs.Int("workers", 10, "working processors for -dumptasks/-runtasks")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, expvar and pprof on this address while experiments run (e.g. :8077 or :0)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	// The debug endpoint profiles long experiment sweeps; single-machine
+	// runs (-chrometrace, -runtasks) also feed it live scheduling metrics
+	// through the same obs hooks the live cluster uses.
+	var observer *obs.Observer
+	if *debugAddr != "" {
+		observer = obs.New(0)
+		srv, err := obs.Serve(*debugAddr, observer)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "debug endpoint: %s (/metrics /debug/pprof /debug/vars)\n", srv.URL())
+	}
+
 	if *chromeOut != "" {
-		return writeChromeTrace(*chromeOut, *seed, out)
+		return writeChromeTrace(*chromeOut, *seed, observer, out)
 	}
 	if *dumpTasks != "" {
 		return dumpTaskSet(*dumpTasks, *taskWorkers, *seed, out)
 	}
 	if *runTasks != "" {
-		return runTaskSet(*runTasks, *taskWorkers, out)
+		return runTaskSet(*runTasks, *taskWorkers, observer, out)
 	}
 
 	if *specPath != "" {
@@ -245,7 +261,7 @@ func (r runner) poisson() error {
 
 // writeChromeTrace runs one default traced RT-SADS run and exports its
 // timeline in Chrome trace-event JSON (chrome://tracing, Perfetto).
-func writeChromeTrace(path string, seed uint64, out io.Writer) error {
+func writeChromeTrace(path string, seed uint64, observer *obs.Observer, out io.Writer) error {
 	p := workload.DefaultParams(10)
 	p.Seed = seed
 	w, err := workload.Generate(p)
@@ -257,7 +273,7 @@ func writeChromeTrace(path string, seed uint64, out io.Writer) error {
 		return err
 	}
 	timeline := trace.NewLog(0)
-	m, err := machine.New(machine.Config{Workers: p.Workers, Planner: planner, Trace: timeline})
+	m, err := machine.New(machine.Config{Workers: p.Workers, Planner: planner, Trace: timeline, Obs: observer})
 	if err != nil {
 		return err
 	}
@@ -309,7 +325,7 @@ func dumpTaskSet(path string, workers int, seed uint64, out io.Writer) error {
 
 // runTaskSet replays an imported task set under RT-SADS on the
 // deterministic machine — the bring-your-own-trace path.
-func runTaskSet(path string, workers int, out io.Writer) error {
+func runTaskSet(path string, workers int, observer *obs.Observer, out io.Writer) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return fmt.Errorf("open %s: %w", path, err)
@@ -332,7 +348,7 @@ func runTaskSet(path string, workers int, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	m, err := machine.New(machine.Config{Workers: workers, Planner: planner})
+	m, err := machine.New(machine.Config{Workers: workers, Planner: planner, Obs: observer})
 	if err != nil {
 		return err
 	}

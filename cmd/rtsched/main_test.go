@@ -154,3 +154,17 @@ func TestRunTasksMissingFile(t *testing.T) {
 		t.Error("missing task file accepted")
 	}
 }
+
+// TestRunDebugAddr: the simulator command can serve its observer while a
+// traced run executes; the endpoint line names the resolved port.
+func TestRunDebugAddr(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "trace.json")
+	var buf strings.Builder
+	if err := run([]string{"-chrometrace", out, "-debug-addr", "127.0.0.1:0"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "debug endpoint: http://127.0.0.1:") {
+		t.Errorf("output missing debug endpoint line: %q", buf.String())
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"rtsads/internal/experiment"
 	"rtsads/internal/faultinject"
 	"rtsads/internal/metrics"
+	"rtsads/internal/obs"
 	"rtsads/internal/simtime"
 	"rtsads/internal/task"
 	"rtsads/internal/workload"
@@ -124,6 +125,11 @@ type Config struct {
 	// RecordCompletions retains a per-task completion record on the run
 	// result (costs memory on large workloads).
 	RecordCompletions bool
+	// Obs observes the run: every counter mirrored from RunResult is
+	// incremented at exactly the point the result field is, so the
+	// registry totals reconcile with the final metrics. Optional; nil
+	// disables observability at the cost of a pointer check per event.
+	Obs *obs.Observer
 }
 
 // Cluster drives a live run: one host (the caller's goroutine) plus worker
@@ -180,6 +186,8 @@ type runState struct {
 	backend Backend
 	live    Liveness
 	pc      *phaseClock
+
+	o *obs.Observer
 
 	mu       sync.Mutex
 	res      *metrics.RunResult
@@ -238,6 +246,7 @@ func (c *Cluster) Run() (*metrics.RunResult, error) {
 
 	r := &runState{
 		c:        c,
+		o:        c.cfg.Obs,
 		clock:    clock,
 		backend:  backend,
 		live:     c.cfg.Liveness,
@@ -255,6 +264,7 @@ func (c *Cluster) Run() (*metrics.RunResult, error) {
 	for k := range r.alive {
 		r.alive[k] = true
 	}
+	r.o.SetWorkers(w.Params.Workers)
 	task.SortEDF(r.pending) // stable starting order; arrival absorb below re-checks times
 
 	r.collectWG.Add(1)
@@ -272,9 +282,12 @@ func (c *Cluster) Run() (*metrics.RunResult, error) {
 	for id, fl := range r.inflight {
 		delete(r.inflight, id)
 		res.LostToFailure++
+		r.o.Lost(fl.t.ID, fl.worker, clock.Now())
 		r.record(metrics.Completion{Task: fl.t.ID, Proc: fl.worker})
 	}
+	r.o.Inflight(len(r.inflight))
 	r.mu.Unlock()
+	r.o.RunEnd(clock.Now(), res.String())
 
 	if hostErr != nil {
 		return nil, hostErr
@@ -313,6 +326,8 @@ func (r *runState) collect() {
 			r.res.WorkerBusy[d.Worker] += d.Finish.Sub(d.Start)
 		}
 		r.res.Response.Add(d.Finish.Sub(fl.t.Arrival))
+		r.o.Exec(fl.t.ID, d.Worker, d.Start, d.Finish, hit, d.Finish.Sub(fl.t.Arrival))
+		r.o.Inflight(len(r.inflight))
 		r.record(metrics.Completion{
 			Task: fl.t.ID, Proc: d.Worker, Start: d.Start, Finish: d.Finish,
 			Hit: hit, Executed: true,
@@ -349,6 +364,7 @@ func (r *runState) loop() error {
 
 		now := r.clock.Now()
 		for r.next < len(r.pending) && !r.pending[r.next].Arrival.After(now) {
+			r.o.Arrival(r.pending[r.next].ID, r.pending[r.next].Arrival)
 			r.batch.Add(r.pending[r.next])
 			r.next++
 		}
@@ -356,6 +372,7 @@ func (r *runState) loop() error {
 			r.mu.Lock()
 			r.res.Purged += len(purged)
 			for _, t := range purged {
+				r.o.Purge(t.ID, now)
 				r.record(metrics.Completion{Task: t.ID, Proc: -1})
 			}
 			r.mu.Unlock()
@@ -379,6 +396,7 @@ func (r *runState) loop() error {
 			r.mu.Lock()
 			r.res.LostToFailure += len(lost)
 			for _, t := range lost {
+				r.o.Lost(t.ID, -1, now)
 				r.record(metrics.Completion{Task: t.ID, Proc: -1})
 			}
 			r.mu.Unlock()
@@ -403,6 +421,7 @@ func (r *runState) loop() error {
 			loads[s] = simtime.NonNeg(r.freeAt[k].Sub(now))
 		}
 		r.pc.Reset()
+		r.o.PhaseStart(r.res.Phases, r.batch.Len(), now)
 		out, err := r.planner.PlanPhase(core.PhaseInput{Now: now, Batch: r.batch.Tasks(), Loads: loads})
 		if err != nil {
 			return fmt.Errorf("livecluster: phase %d: %w", r.res.Phases, err)
@@ -418,7 +437,16 @@ func (r *runState) loop() error {
 		if out.Stats.Expired {
 			r.res.QuantaExpired++
 		}
+		phase := r.res.Phases - 1
 		r.mu.Unlock()
+		r.o.PhaseEnd(phase, r.clock.Now(), obs.PhaseStats{
+			Quantum:    out.Quantum,
+			Used:       out.Used,
+			Generated:  out.Stats.Generated,
+			Backtracks: out.Stats.Backtracks,
+			DeadEnd:    out.Stats.DeadEnd,
+			Expired:    out.Stats.Expired,
+		})
 
 		deliverAt := r.clock.Now()
 		perWorker := make(map[int][]Job)
@@ -440,8 +468,10 @@ func (r *runState) loop() error {
 				Comm:     a.Comm,
 				Deadline: a.Task.Deadline,
 			})
+			r.o.Deliver(phase, a.Task.ID, k, deliverAt)
 			scheduled = append(scheduled, a.Task)
 		}
+		r.o.Inflight(len(r.inflight))
 		r.mu.Unlock()
 		for k, jobs := range perWorker {
 			if err := r.backend.Deliver(k, jobs); err != nil {
@@ -472,7 +502,10 @@ func (r *runState) handleFailure(f Failure) {
 	if f.Fatal && r.alive[f.Worker] {
 		r.alive[f.Worker] = false
 		r.res.WorkerFailures++
+		r.o.WorkerDown(f.Worker, true, f.Err, f.At)
 		r.plannerStale = true
+	} else if !f.Fatal {
+		r.o.WorkerDown(f.Worker, false, f.Err, f.At)
 	}
 	for id, fl := range r.inflight {
 		if fl.worker != f.Worker {
@@ -482,12 +515,15 @@ func (r *runState) handleFailure(f Failure) {
 		if fl.t.Missed(now) {
 			// Too late to restart anywhere: the failure cost this task.
 			r.res.LostToFailure++
+			r.o.Lost(fl.t.ID, fl.worker, now)
 			r.record(metrics.Completion{Task: fl.t.ID, Proc: fl.worker})
 		} else {
 			r.res.Rerouted++
+			r.o.Reroute(fl.t.ID, fl.worker, now)
 			reclaimed = append(reclaimed, fl.t)
 		}
 	}
+	r.o.Inflight(len(r.inflight))
 	r.mu.Unlock()
 	// Map iteration order is random; keep the re-fed batch deterministic.
 	task.SortEDF(reclaimed)
@@ -518,6 +554,7 @@ func (r *runState) checkStragglers(now simtime.Instant) {
 	r.mu.Unlock()
 	sort.Ints(overdue)
 	for _, k := range overdue {
+		r.o.StragglerReclaim(k, now)
 		r.strikes[k]++
 		r.handleFailure(Failure{
 			Worker: k,
@@ -595,7 +632,7 @@ func (c *Cluster) makeBackend(clock *Clock, inj *faultinject.Injector) (Backend,
 	if c.cfg.Backend != nil {
 		return c.cfg.Backend(clock, inj)
 	}
-	return NewChannelBackend(clock, c.cfg.Workload, inj), nil
+	return NewChannelBackend(clock, c.cfg.Workload, inj, c.cfg.Obs), nil
 }
 
 // makePlanner builds the planner over the surviving machine: search slot s
@@ -649,8 +686,9 @@ type ChannelBackend struct {
 	wg       sync.WaitGroup
 }
 
-// NewChannelBackend spawns the workers for the workload. inj may be nil.
-func NewChannelBackend(clock *Clock, w *workload.Workload, inj *faultinject.Injector) *ChannelBackend {
+// NewChannelBackend spawns the workers for the workload. inj and o may be
+// nil.
+func NewChannelBackend(clock *Clock, w *workload.Workload, inj *faultinject.Injector, o *obs.Observer) *ChannelBackend {
 	b := &ChannelBackend{
 		clock:    clock,
 		inj:      inj,
@@ -666,14 +704,37 @@ func NewChannelBackend(clock *Clock, w *workload.Workload, inj *faultinject.Inje
 			quit = make(chan struct{})
 			go b.killer(i, killAt, quit)
 		}
-		wk := NewWorker(i, clock, w)
+		wk := NewWorker(i, clock, w).Observe(o)
 		b.wg.Add(1)
 		go func(ch <-chan Job, quit <-chan struct{}) {
 			defer b.wg.Done()
 			wk.RunUntil(ch, b.done, quit)
 		}(b.jobs[i], quit)
+		if o != nil {
+			go b.heartbeats(i, o, quit)
+		}
 	}
 	return b
+}
+
+// heartbeats reports worker i alive at the default liveness cadence while
+// it runs. In-process goroutines cannot really die silently, so this is
+// simulated liveness evidence — it exists so an observed inproc run
+// carries the same event stream (heartbeat instants in the journal, trace
+// and counters) as a TCP run, and stops when the worker is killed.
+func (b *ChannelBackend) heartbeats(i int, o *obs.Observer, quit <-chan struct{}) {
+	ticker := time.NewTicker(Liveness{}.withDefaults().HeartbeatEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			o.HeartbeatRecv(i, b.clock.Now())
+		case <-quit: // a killed worker stops heartbeating (nil when no kill)
+			return
+		case <-b.stop:
+			return
+		}
+	}
 }
 
 // killer crashes worker i at its injected kill time: the worker goroutine

@@ -202,9 +202,11 @@ func TestClusterDropRecovery(t *testing.T) {
 }
 
 // TestClusterDelayInjection delays messages without dropping them; the run
-// completes and every task is still accounted for.
+// completes and every task is still accounted for. Uses the loosened
+// fault workload: with SF=1 deadlines, wall-clock jitter under load can
+// wipe out every hit regardless of the injected delays.
 func TestClusterDelayInjection(t *testing.T) {
-	w, err := workload.Generate(liveParams(3))
+	w, err := workload.Generate(faultParams(3))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -284,7 +284,7 @@ func TestChannelBackendDeliverRange(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b := NewChannelBackend(clock, w, nil)
+	b := NewChannelBackend(clock, w, nil, nil)
 	if err := b.Deliver(5, nil); err == nil {
 		t.Error("out-of-range worker accepted")
 	}

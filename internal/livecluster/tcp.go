@@ -12,6 +12,7 @@ import (
 	"encoding/gob"
 
 	"rtsads/internal/faultinject"
+	"rtsads/internal/obs"
 	"rtsads/internal/simtime"
 	"rtsads/internal/workload"
 )
@@ -328,6 +329,9 @@ type TCPOptions struct {
 	Liveness Liveness
 	// Inject applies a fault plan to the transport. Optional.
 	Inject *faultinject.Injector
+	// Obs records transport-level liveness events: heartbeats in both
+	// directions and redial outcomes. Optional.
+	Obs *obs.Observer
 }
 
 // TCPBackend connects the host to one remote worker process per working
@@ -340,6 +344,7 @@ type TCPBackend struct {
 	clock    *Clock
 	live     Liveness
 	inj      *faultinject.Injector
+	o        *obs.Observer
 	hello    helloMsg
 	conns    []*workerConn
 	done     chan Done
@@ -360,6 +365,7 @@ func NewTCPBackend(clock *Clock, w *workload.Workload, addrs []string, opts TCPO
 		clock: clock,
 		live:  live,
 		inj:   opts.Inject,
+		o:     opts.Obs,
 		hello: helloMsg{
 			Params:        w.Params,
 			Scale:         clock.Scale(),
@@ -423,6 +429,7 @@ func (b *TCPBackend) supervise(i int) {
 			return // clean bye, or shutdown in progress
 		}
 		if b.redial(i) {
+			b.o.Redial(i, true, b.clock.Now())
 			b.failures <- Failure{Worker: i, At: b.clock.Now(), Fatal: false,
 				Err: fmt.Sprintf("livecluster: worker %d reconnected after: %v", i, err)}
 			continue
@@ -430,6 +437,7 @@ func (b *TCPBackend) supervise(i int) {
 		if b.closing.Load() {
 			return // shutdown raced the redial; not a worker failure
 		}
+		b.o.Redial(i, false, b.clock.Now())
 		wc.markDead()
 		b.failures <- Failure{Worker: i, At: b.clock.Now(), Fatal: true,
 			Err: fmt.Sprintf("livecluster: worker %d lost: %v", i, err)}
@@ -456,7 +464,7 @@ func (b *TCPBackend) readSession(i int) error {
 		case msg.Done != nil:
 			b.done <- *msg.Done
 		case msg.Heartbeat:
-			// Liveness only.
+			b.o.HeartbeatRecv(i, b.clock.Now())
 		case msg.Bye:
 			return nil
 		}
@@ -505,7 +513,9 @@ func (b *TCPBackend) heartbeats(i int) {
 				continue
 			}
 			// Send errors close the conn; the supervisor handles recovery.
-			b.conns[i].send(envelope{Heartbeat: true}, b.live.Timeout)
+			if b.conns[i].send(envelope{Heartbeat: true}, b.live.Timeout) == nil {
+				b.o.HeartbeatSent(i)
+			}
 		}
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"rtsads/internal/db"
+	"rtsads/internal/obs"
 	"rtsads/internal/simtime"
 	"rtsads/internal/workload"
 )
@@ -110,6 +111,14 @@ type Worker struct {
 	clock *Clock
 	w     *workload.Workload
 	local map[int]*db.SubDB // sub-database ID -> local replica
+	o     *obs.Observer
+}
+
+// Observe attaches an observer recording the worker's executed jobs (nil
+// detaches). Call before starting Run.
+func (wk *Worker) Observe(o *obs.Observer) *Worker {
+	wk.o = o
+	return wk
 }
 
 // NewWorker builds worker id for the given workload, holding replicas of
@@ -164,6 +173,7 @@ func (wk *Worker) RunUntil(jobs <-chan Job, done chan<- Done, quit <-chan struct
 			res.Start = start
 			res.Finish = finish
 			res.Hit = !finish.After(j.Deadline)
+			wk.o.WorkerExecuted(wk.ID, finish.Sub(start))
 			done <- res
 		}
 	}

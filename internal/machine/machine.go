@@ -18,6 +18,7 @@ import (
 
 	"rtsads/internal/core"
 	"rtsads/internal/metrics"
+	"rtsads/internal/obs"
 	"rtsads/internal/simtime"
 	"rtsads/internal/task"
 	"rtsads/internal/trace"
@@ -42,6 +43,11 @@ type Config struct {
 	// Trace, when non-nil, records the run's timeline (phases,
 	// deliveries, executions, purges).
 	Trace *trace.Log
+	// Obs, when non-nil, mirrors the live cluster's observability hooks
+	// on the deterministic machine — the same named metrics and journal
+	// entries, for simulator/live parity. Virtual timestamps are exact;
+	// wall timestamps are the (meaningless) recording times.
+	Obs *obs.Observer
 	// NoReclaim disables resource reclaiming: a worker holds each task's
 	// slot for its full worst-case time even when the task finishes early.
 	// The default (reclaiming on) lets the next queued task start as soon
@@ -103,6 +109,19 @@ func (m *Machine) Run(tasks []*task.Task) (*metrics.RunResult, error) {
 		WorkerBusy: make([]time.Duration, m.cfg.Workers),
 	}
 
+	m.cfg.Obs.SetWorkers(m.cfg.Workers)
+	// failed marks each injected crash once it manifests, so
+	// res.WorkerFailures counts dead workers (not lost tasks) — the same
+	// contract the live cluster keeps.
+	failed := make(map[int]bool, len(m.cfg.FailAt))
+	markFailed := func(k int, at simtime.Instant) {
+		if failed[k] {
+			return
+		}
+		failed[k] = true
+		res.WorkerFailures++
+		m.cfg.Obs.WorkerDown(k, true, "machine: injected crash", at)
+	}
 	batch := task.NewBatch()
 	freeAt := make([]simtime.Instant, m.cfg.Workers)
 	now := simtime.Instant(0)
@@ -112,6 +131,7 @@ func (m *Machine) Run(tasks []*task.Task) (*metrics.RunResult, error) {
 		// Absorb every arrival at or before the current time.
 		for next < len(pending) && !pending[next].Arrival.After(now) {
 			m.cfg.Trace.Add(trace.Event{At: pending[next].Arrival, Kind: trace.Arrival, Task: pending[next].ID, Proc: -1})
+			m.cfg.Obs.Arrival(pending[next].ID, pending[next].Arrival)
 			batch.Add(pending[next])
 			next++
 		}
@@ -119,6 +139,7 @@ func (m *Machine) Run(tasks []*task.Task) (*metrics.RunResult, error) {
 		for _, t := range batch.PurgeMissed(now) {
 			res.Purged++
 			m.cfg.Trace.Add(trace.Event{At: now, Kind: trace.Purge, Task: t.ID, Proc: -1})
+			m.cfg.Obs.Purge(t.ID, now)
 			m.record(res, metrics.Completion{Task: t.ID, Proc: -1})
 		}
 		if batch.Len() == 0 {
@@ -142,14 +163,24 @@ func (m *Machine) Run(tasks []*task.Task) (*metrics.RunResult, error) {
 				// feasibility tests also guard against saturated loads
 				// wrapping; freeAt may already be Never here.)
 				loads[k] = unreachableLoad
+				markFailed(k, failAt)
 			}
 		}
 		m.cfg.Trace.Add(trace.Event{At: now, Kind: trace.PhaseStart, Phase: res.Phases, Proc: -1})
+		m.cfg.Obs.PhaseStart(res.Phases, batch.Len(), now)
 		out, err := m.cfg.Planner.PlanPhase(core.PhaseInput{Now: now, Batch: batch.Tasks(), Loads: loads})
 		if err != nil {
 			return nil, fmt.Errorf("machine: phase %d: %w", res.Phases, err)
 		}
 		m.cfg.Trace.Add(trace.Event{At: now.Add(out.Used), Kind: trace.PhaseEnd, Phase: res.Phases, Proc: -1, Dur: out.Used})
+		m.cfg.Obs.PhaseEnd(res.Phases, now.Add(out.Used), obs.PhaseStats{
+			Quantum:    out.Quantum,
+			Used:       out.Used,
+			Generated:  out.Stats.Generated,
+			Backtracks: out.Stats.Backtracks,
+			DeadEnd:    out.Stats.DeadEnd,
+			Expired:    out.Stats.Expired,
+		})
 
 		res.Phases++
 		res.SchedulingTime += out.Used
@@ -181,6 +212,8 @@ func (m *Machine) Run(tasks []*task.Task) (*metrics.RunResult, error) {
 				// is lost, and the worker never frees again.
 				freeAt[a.Proc] = simtime.Never
 				res.LostToFailure++
+				markFailed(a.Proc, failAt)
+				m.cfg.Obs.Lost(a.Task.ID, a.Proc, failAt)
 				scheduled = append(scheduled, a.Task)
 				m.record(res, metrics.Completion{Task: a.Task.ID, Proc: a.Proc, Start: start})
 				continue
@@ -207,6 +240,8 @@ func (m *Machine) Run(tasks []*task.Task) (*metrics.RunResult, error) {
 			scheduled = append(scheduled, a.Task)
 			m.cfg.Trace.Add(trace.Event{At: deliver, Kind: trace.Deliver, Phase: res.Phases - 1, Task: a.Task.ID, Proc: a.Proc})
 			m.cfg.Trace.Add(trace.Event{At: start, Kind: trace.Exec, Task: a.Task.ID, Proc: a.Proc, Dur: finish.Sub(start), Hit: hit})
+			m.cfg.Obs.Deliver(res.Phases-1, a.Task.ID, a.Proc, deliver)
+			m.cfg.Obs.Exec(a.Task.ID, a.Proc, start, finish, hit, finish.Sub(a.Task.Arrival))
 			m.record(res, metrics.Completion{
 				Task: a.Task.ID, Proc: a.Proc, Start: start, Finish: finish,
 				Hit: hit, Executed: true,

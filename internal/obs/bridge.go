@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"io"
+
+	"rtsads/internal/task"
+	"rtsads/internal/trace"
+)
+
+// TraceEvents converts journal entries into trace events. Entry types that
+// are trace kinds (arrival, phase-start, phase-end, deliver, exec, purge,
+// heartbeat, worker-down, reroute) map one-to-one; observability-only
+// types (run-start, lost, redial, straggler, ...) are skipped, since the
+// trace timeline has no track for them.
+func TraceEvents(entries []Entry) []trace.Event {
+	out := make([]trace.Event, 0, len(entries))
+	for _, e := range entries {
+		k := trace.KindFromString(e.Type)
+		if k == 0 {
+			continue
+		}
+		out = append(out, trace.Event{
+			At:     e.Virtual,
+			Kind:   k,
+			Phase:  e.Phase,
+			Task:   task.ID(e.Task),
+			Proc:   e.Worker,
+			Dur:    e.Dur,
+			Hit:    e.Hit,
+			Detail: e.Detail,
+		})
+	}
+	return out
+}
+
+// TraceLog renders the journal as a trace.Log, ready for the package's
+// exporters (WriteChromeTrace, Gantt, Render). limit bounds the log
+// (0 = unlimited).
+func (j *Journal) TraceLog(limit int) *trace.Log {
+	l := trace.NewLog(limit)
+	for _, e := range TraceEvents(j.Snapshot()) {
+		l.Add(e)
+	}
+	return l
+}
+
+// WriteChromeTrace renders the journal's traceable entries straight into
+// Chrome trace-event JSON — the bridge from a live run's journal to
+// chrome://tracing and Perfetto.
+func (j *Journal) WriteChromeTrace(w io.Writer) error {
+	return j.TraceLog(0).WriteChromeTrace(w)
+}

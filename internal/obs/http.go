@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// expvarReg is the registry the process-wide expvar view reads from;
+// publishing into expvar is once-per-process (expvar.Publish panics on
+// duplicates), so Serve swaps the pointer instead of re-publishing.
+var (
+	expvarReg  atomic.Pointer[Registry]
+	expvarOnce sync.Once
+)
+
+func publishExpvar() {
+	expvar.Publish("rtsads", expvar.Func(func() any {
+		return expvarReg.Load().Snapshot()
+	}))
+}
+
+// Server is the HTTP debug endpoint: /metrics (Prometheus text
+// exposition), /healthz (per-worker liveness as JSON), /journal (the event
+// journal as JSON Lines), /debug/vars (expvar) and /debug/pprof. It binds
+// eagerly so ":0" works, and serves in the background until Close.
+type Server struct {
+	lis net.Listener
+	srv *http.Server
+}
+
+// Serve starts the debug endpoint on addr (host:port; port 0 picks a free
+// port) over the observer's registry, journal and health view.
+func Serve(addr string, o *Observer) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	expvarReg.Store(o.Registry())
+	expvarOnce.Do(publishExpvar)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		o.Registry().WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		workers := o.Health()
+		alive := 0
+		for _, h := range workers {
+			if h.Alive {
+				alive++
+			}
+		}
+		status := "ok"
+		if alive < len(workers) {
+			status = "degraded"
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Status  string         `json:"status"`
+			Alive   int            `json:"alive"`
+			Total   int            `json:"total"`
+			Workers []WorkerHealth `json:"workers"`
+		}{status, alive, len(workers), workers})
+	})
+	mux.HandleFunc("/journal", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/jsonl")
+		o.Journal().WriteJSONL(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{
+		lis: lis,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go s.srv.Serve(lis)
+	return s, nil
+}
+
+// Addr returns the bound address (resolving ":0" to the actual port).
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.lis.Addr().String()
+}
+
+// URL returns the endpoint's base URL.
+func (s *Server) URL() string {
+	if s == nil {
+		return ""
+	}
+	return "http://" + s.Addr()
+}
+
+// Close stops the server immediately.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"rtsads/internal/simtime"
+)
+
+// Entry is one structured journal record: what happened, to which task or
+// worker, and when — in both wall-clock and virtual time. Fields that do
+// not apply carry their zero value and are omitted from the JSONL export.
+type Entry struct {
+	Seq     int64           `json:"seq"`
+	Wall    time.Time       `json:"wall"`
+	Virtual simtime.Instant `json:"virtual"`
+	Type    string          `json:"type"`
+	Phase   int             `json:"phase,omitempty"`
+	Task    int             `json:"task,omitempty"`
+	Worker  int             `json:"worker"` // -1 = the host
+	Dur     time.Duration   `json:"dur,omitempty"`
+	Hit     bool            `json:"hit,omitempty"`
+	Detail  string          `json:"detail,omitempty"`
+}
+
+// DefaultJournalCap bounds the journal when no capacity is given: enough
+// for every event of a sizeable run, small enough to never matter.
+const DefaultJournalCap = 65536
+
+// Journal is a bounded, concurrency-safe ring of Entries recording a live
+// run's lifecycle. When full it evicts the oldest entries (the interesting
+// tail of a run is the recent past) and counts the evictions, so exports
+// report the truncation instead of hiding it. A nil Journal discards
+// records.
+type Journal struct {
+	mu      sync.Mutex
+	entries []Entry
+	start   int // ring read position
+	n       int // live entries
+	seq     int64
+	evicted int64
+}
+
+// NewJournal returns a journal keeping at most cap entries (cap <= 0
+// selects DefaultJournalCap).
+func NewJournal(cap int) *Journal {
+	if cap <= 0 {
+		cap = DefaultJournalCap
+	}
+	return &Journal{entries: make([]Entry, 0, cap)}
+}
+
+// Record appends an entry, stamping its sequence number. Safe for
+// concurrent use.
+func (j *Journal) Record(e Entry) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.seq++
+	e.Seq = j.seq
+	if j.n < cap(j.entries) {
+		j.entries = append(j.entries, e)
+		j.n++
+	} else {
+		j.entries[j.start] = e
+		j.start = (j.start + 1) % j.n
+		j.evicted++
+	}
+	j.mu.Unlock()
+}
+
+// Len returns the number of retained entries.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n
+}
+
+// Evicted returns how many entries were overwritten because the journal
+// was full.
+func (j *Journal) Evicted() int64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.evicted
+}
+
+// Snapshot returns the retained entries in record order (oldest first).
+func (j *Journal) Snapshot() []Entry {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Entry, 0, j.n)
+	for i := 0; i < j.n; i++ {
+		out = append(out, j.entries[(j.start+i)%j.n])
+	}
+	return out
+}
+
+// WriteJSONL writes the retained entries as JSON Lines, one entry per
+// line. When entries were evicted, a leading meta line reports how many.
+func (j *Journal) WriteJSONL(w io.Writer) error {
+	if j == nil {
+		return nil
+	}
+	entries := j.Snapshot()
+	enc := json.NewEncoder(w)
+	if evicted := j.Evicted(); evicted > 0 {
+		meta := struct {
+			Type    string `json:"type"`
+			Evicted int64  `json:"evicted"`
+		}{"journal-truncated", evicted}
+		if err := enc.Encode(meta); err != nil {
+			return err
+		}
+	}
+	for i := range entries {
+		if err := enc.Encode(&entries[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestJournalRecordAndSnapshot(t *testing.T) {
+	j := NewJournal(8)
+	j.Record(Entry{Type: "arrival", Task: 1, Worker: -1})
+	j.Record(Entry{Type: "exec", Task: 1, Worker: 2})
+	if j.Len() != 2 {
+		t.Fatalf("Len = %d", j.Len())
+	}
+	snap := j.Snapshot()
+	if snap[0].Type != "arrival" || snap[1].Type != "exec" {
+		t.Errorf("snapshot order wrong: %+v", snap)
+	}
+	if snap[0].Seq != 1 || snap[1].Seq != 2 {
+		t.Errorf("sequence numbers wrong: %d, %d", snap[0].Seq, snap[1].Seq)
+	}
+}
+
+func TestJournalRingEviction(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 10; i++ {
+		j.Record(Entry{Type: "arrival", Task: i, Worker: -1})
+	}
+	if j.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", j.Len())
+	}
+	if j.Evicted() != 6 {
+		t.Errorf("Evicted = %d, want 6", j.Evicted())
+	}
+	snap := j.Snapshot()
+	// The survivors are the most recent four, oldest first.
+	for i, e := range snap {
+		if e.Task != 6+i {
+			t.Errorf("snapshot[%d].Task = %d, want %d", i, e.Task, 6+i)
+		}
+	}
+}
+
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	j.Record(Entry{Type: "x"})
+	if j.Len() != 0 || j.Evicted() != 0 || j.Snapshot() != nil {
+		t.Error("nil journal not inert")
+	}
+	if err := j.WriteJSONL(&strings.Builder{}); err != nil {
+		t.Errorf("nil journal write: %v", err)
+	}
+}
+
+func TestJournalWriteJSONL(t *testing.T) {
+	j := NewJournal(2)
+	j.Record(Entry{Type: "arrival", Task: 1, Worker: -1})
+	j.Record(Entry{Type: "exec", Task: 1, Worker: 0, Hit: true})
+	j.Record(Entry{Type: "purge", Task: 2, Worker: -1}) // evicts the arrival
+
+	var b strings.Builder
+	if err := j.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	var lines []map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %q is not valid JSON: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("got %d JSONL lines, want 3 (truncation meta + 2 entries)", len(lines))
+	}
+	if lines[0]["type"] != "journal-truncated" || lines[0]["evicted"].(float64) != 1 {
+		t.Errorf("missing truncation meta line: %v", lines[0])
+	}
+	if lines[1]["type"] != "exec" || lines[2]["type"] != "purge" {
+		t.Errorf("entries wrong: %v", lines)
+	}
+}
+
+func TestJournalConcurrent(t *testing.T) {
+	j := NewJournal(128)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 100; k++ {
+				j.Record(Entry{Type: "exec", Task: k})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := int64(j.Len()) + j.Evicted(); got != 800 {
+		t.Errorf("retained+evicted = %d, want 800", got)
+	}
+	snap := j.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i].Seq <= snap[i-1].Seq {
+			t.Fatalf("snapshot not in record order at %d: %d then %d", i, snap[i-1].Seq, snap[i].Seq)
+		}
+	}
+}

@@ -1,0 +1,450 @@
+// Package obs is the live cluster's observability layer: a lock-cheap
+// metrics registry (counters, gauges, duration histograms with Prometheus
+// text exposition), a bounded structured event journal with wall-clock and
+// virtual timestamps, a bridge rendering journals through the trace
+// package's Chrome/Perfetto exporter, and an HTTP debug endpoint serving
+// /metrics, /healthz, expvar and pprof.
+//
+// The paper's evaluation (§5) measures scheduling cost, quantum sizing and
+// deadline compliance as the system runs; this package makes the same
+// quantities visible on the concurrent TCP path — phases, deliveries,
+// heartbeats, redials, worker failures and reroutes — instead of only in
+// the final RunResult. Every counter that mirrors a RunResult field is
+// incremented at exactly the point the field is, so registry totals
+// reconcile with the run's final metrics.
+//
+// All entry points are nil-safe: a nil *Observer (observability disabled)
+// costs one pointer comparison per event.
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rtsads/internal/simtime"
+	"rtsads/internal/task"
+	"rtsads/internal/trace"
+)
+
+// Metric names exposed by the registry. The *_total counters ending in
+// hits/purged/missed/lost/worker_failures/rerouted mirror the equally-named
+// RunResult fields one-to-one.
+const (
+	MetricPhases        = "rtsads_phases_total"
+	MetricVertices      = "rtsads_search_vertices_total"
+	MetricBacktracks    = "rtsads_search_backtracks_total"
+	MetricDeadEnds      = "rtsads_search_dead_ends_total"
+	MetricQuantaExpired = "rtsads_quanta_expired_total"
+
+	MetricArrivals   = "rtsads_task_arrivals_total"
+	MetricDeliveries = "rtsads_task_deliveries_total"
+	MetricHits       = "rtsads_task_deadline_hits_total"
+	MetricMissed     = "rtsads_task_scheduled_missed_total"
+	MetricPurged     = "rtsads_task_purged_total"
+	MetricLost       = "rtsads_task_lost_to_failure_total"
+	MetricRerouted   = "rtsads_task_rerouted_total"
+
+	MetricWorkerFailures  = "rtsads_worker_failures_total"
+	MetricDisruptions     = "rtsads_worker_disruptions_total"
+	MetricStragglers      = "rtsads_straggler_reclaims_total"
+	MetricHeartbeatsSent  = "rtsads_heartbeats_sent_total"
+	MetricHeartbeatsRecv  = "rtsads_heartbeats_received_total"
+	MetricRedials         = "rtsads_redials_total"
+	MetricRedialFailures  = "rtsads_redial_failures_total"
+	MetricWorkerJobs      = "rtsads_worker_jobs_total"
+	MetricWorkersAlive    = "rtsads_workers_alive"
+	MetricWorkersTotal    = "rtsads_workers_total"
+	MetricInflight        = "rtsads_tasks_inflight"
+	MetricBatchSize       = "rtsads_batch_size"
+	MetricPhaseDuration   = "rtsads_phase_duration_seconds"
+	MetricQuantumSize     = "rtsads_quantum_size_seconds"
+	MetricResponseTime    = "rtsads_response_time_seconds"
+	MetricWorkerUpPattern = "rtsads_worker_up{worker=%q}"
+)
+
+// PhaseStats is the per-phase search behaviour the observer records — a
+// mirror of core.PhaseOutput without importing core (which must stay
+// observation-free).
+type PhaseStats struct {
+	Quantum    time.Duration // allocated Qs(j)
+	Used       time.Duration // scheduling time consumed
+	Generated  int           // search vertices generated
+	Backtracks int
+	DeadEnd    bool
+	Expired    bool
+}
+
+// WorkerHealth is one worker's liveness as the host sees it.
+type WorkerHealth struct {
+	Worker int  `json:"worker"`
+	Alive  bool `json:"alive"`
+}
+
+// Observer fans one stream of run events out to the registry, the journal,
+// and (when enabled) a concurrency-safe trace sink. Construct with New;
+// a nil Observer ignores everything.
+type Observer struct {
+	reg     *Registry
+	journal *Journal
+	sink    *trace.SafeLog
+
+	wall func() time.Time
+
+	// Resolved metric handles: hot paths never touch the registry map.
+	phases, vertices, backtracks, deadEnds, quantaExpired  *Counter
+	arrivals, deliveries, hits, missed, purged, lost       *Counter
+	rerouted, workerFailures, disruptions, stragglers      *Counter
+	heartbeatsSent, heartbeatsRecv, redials, redialsFailed *Counter
+	workersAlive, workersTotal, inflight, batchSize        *Gauge
+	phaseDur, quantumSize, responseTime                    *Histogram
+
+	mu       sync.Mutex
+	alive    []bool
+	workerUp []*Gauge
+	jobs     []*Counter
+
+	lastVirtual atomic.Int64 // most recent event's virtual time
+}
+
+// New returns an observer over a fresh registry and a journal of the given
+// capacity (<= 0 selects DefaultJournalCap). Tracing is off until
+// EnableTrace.
+func New(journalCap int) *Observer {
+	reg := NewRegistry()
+	o := &Observer{
+		reg:     reg,
+		journal: NewJournal(journalCap),
+		wall:    time.Now,
+
+		phases:         reg.Counter(MetricPhases),
+		vertices:       reg.Counter(MetricVertices),
+		backtracks:     reg.Counter(MetricBacktracks),
+		deadEnds:       reg.Counter(MetricDeadEnds),
+		quantaExpired:  reg.Counter(MetricQuantaExpired),
+		arrivals:       reg.Counter(MetricArrivals),
+		deliveries:     reg.Counter(MetricDeliveries),
+		hits:           reg.Counter(MetricHits),
+		missed:         reg.Counter(MetricMissed),
+		purged:         reg.Counter(MetricPurged),
+		lost:           reg.Counter(MetricLost),
+		rerouted:       reg.Counter(MetricRerouted),
+		workerFailures: reg.Counter(MetricWorkerFailures),
+		disruptions:    reg.Counter(MetricDisruptions),
+		stragglers:     reg.Counter(MetricStragglers),
+		heartbeatsSent: reg.Counter(MetricHeartbeatsSent),
+		heartbeatsRecv: reg.Counter(MetricHeartbeatsRecv),
+		redials:        reg.Counter(MetricRedials),
+		redialsFailed:  reg.Counter(MetricRedialFailures),
+		workersAlive:   reg.Gauge(MetricWorkersAlive),
+		workersTotal:   reg.Gauge(MetricWorkersTotal),
+		inflight:       reg.Gauge(MetricInflight),
+		batchSize:      reg.Gauge(MetricBatchSize),
+		phaseDur:       reg.Histogram(MetricPhaseDuration),
+		quantumSize:    reg.Histogram(MetricQuantumSize),
+		responseTime:   reg.Histogram(MetricResponseTime),
+	}
+	return o
+}
+
+// EnableTrace attaches a concurrency-safe trace sink keeping at most limit
+// events (0 = unlimited) and returns it. Call before the run starts.
+func (o *Observer) EnableTrace(limit int) *trace.SafeLog {
+	if o == nil {
+		return nil
+	}
+	o.sink = trace.NewSafeLog(limit)
+	return o.sink
+}
+
+// Registry returns the observer's metric registry (nil for a nil observer).
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Journal returns the observer's event journal (nil for a nil observer).
+func (o *Observer) Journal() *Journal {
+	if o == nil {
+		return nil
+	}
+	return o.journal
+}
+
+// TraceSink returns the trace sink enabled with EnableTrace, or nil.
+func (o *Observer) TraceSink() *trace.SafeLog {
+	if o == nil {
+		return nil
+	}
+	return o.sink
+}
+
+// LastVirtual returns the virtual timestamp of the most recent event — the
+// progress reporter's notion of "now".
+func (o *Observer) LastVirtual() simtime.Instant {
+	if o == nil {
+		return 0
+	}
+	return simtime.Instant(o.lastVirtual.Load())
+}
+
+// note journals an entry and mirrors it into the trace sink when its type
+// is a trace kind.
+func (o *Observer) note(at simtime.Instant, e Entry) {
+	if v := int64(at); v > o.lastVirtual.Load() {
+		o.lastVirtual.Store(v)
+	}
+	e.Wall = o.wall()
+	e.Virtual = at
+	o.journal.Record(e)
+	if o.sink != nil {
+		if k := trace.KindFromString(e.Type); k != 0 {
+			o.sink.Add(trace.Event{
+				At: at, Kind: k, Phase: e.Phase, Task: task.ID(e.Task),
+				Proc: e.Worker, Dur: e.Dur, Hit: e.Hit, Detail: e.Detail,
+			})
+		}
+	}
+}
+
+// SetWorkers declares the machine size at run start: every worker starts
+// alive. It resolves the per-worker metric handles.
+func (o *Observer) SetWorkers(n int) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.alive = make([]bool, n)
+	o.workerUp = make([]*Gauge, n)
+	o.jobs = make([]*Counter, n)
+	for k := 0; k < n; k++ {
+		o.alive[k] = true
+		o.workerUp[k] = o.reg.Gauge(fmt.Sprintf(MetricWorkerUpPattern, fmt.Sprintf("%d", k)))
+		o.workerUp[k].Set(1)
+		o.jobs[k] = o.reg.Counter(fmt.Sprintf("%s{worker=%q}", MetricWorkerJobs, fmt.Sprintf("%d", k)))
+	}
+	o.mu.Unlock()
+	o.workersTotal.Set(int64(n))
+	o.workersAlive.Set(int64(n))
+	o.note(0, Entry{Type: "run-start", Worker: -1, Detail: fmt.Sprintf("%d workers", n)})
+}
+
+// Health returns every worker's liveness as the host last recorded it.
+func (o *Observer) Health() []WorkerHealth {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]WorkerHealth, len(o.alive))
+	for k, a := range o.alive {
+		out[k] = WorkerHealth{Worker: k, Alive: a}
+	}
+	return out
+}
+
+// Arrival records a task reaching the host.
+func (o *Observer) Arrival(id task.ID, at simtime.Instant) {
+	if o == nil {
+		return
+	}
+	o.arrivals.Inc()
+	o.note(at, Entry{Type: "arrival", Task: int(id), Worker: -1})
+}
+
+// PhaseStart records the beginning of scheduling phase n.
+func (o *Observer) PhaseStart(phase, batch int, at simtime.Instant) {
+	if o == nil {
+		return
+	}
+	o.batchSize.Set(int64(batch))
+	o.note(at, Entry{Type: "phase-start", Phase: phase, Worker: -1})
+}
+
+// PhaseEnd records the end of a scheduling phase with its search stats.
+func (o *Observer) PhaseEnd(phase int, at simtime.Instant, s PhaseStats) {
+	if o == nil {
+		return
+	}
+	o.phases.Inc()
+	o.vertices.Add(int64(s.Generated))
+	o.backtracks.Add(int64(s.Backtracks))
+	if s.DeadEnd {
+		o.deadEnds.Inc()
+	}
+	if s.Expired {
+		o.quantaExpired.Inc()
+	}
+	o.phaseDur.Observe(s.Used)
+	o.quantumSize.Observe(s.Quantum)
+	o.note(at, Entry{Type: "phase-end", Phase: phase, Worker: -1, Dur: s.Used})
+}
+
+// Deliver records one task's assignment reaching a worker's ready queue.
+func (o *Observer) Deliver(phase int, id task.ID, worker int, at simtime.Instant) {
+	if o == nil {
+		return
+	}
+	o.deliveries.Inc()
+	o.note(at, Entry{Type: "deliver", Phase: phase, Task: int(id), Worker: worker})
+}
+
+// Exec records a task's completed execution. response is finish - arrival;
+// hit mirrors exactly the RunResult Hits/ScheduledMissed decision.
+func (o *Observer) Exec(id task.ID, worker int, start, finish simtime.Instant, hit bool, response time.Duration) {
+	if o == nil {
+		return
+	}
+	if hit {
+		o.hits.Inc()
+	} else {
+		o.missed.Inc()
+	}
+	o.responseTime.Observe(response)
+	o.note(start, Entry{Type: "exec", Task: int(id), Worker: worker, Dur: finish.Sub(start), Hit: hit})
+}
+
+// Purge records a task dropped at batch formation with its deadline missed.
+func (o *Observer) Purge(id task.ID, at simtime.Instant) {
+	if o == nil {
+		return
+	}
+	o.purged.Inc()
+	o.note(at, Entry{Type: "purge", Task: int(id), Worker: -1})
+}
+
+// Lost records a task written off to a worker failure.
+func (o *Observer) Lost(id task.ID, worker int, at simtime.Instant) {
+	if o == nil {
+		return
+	}
+	o.lost.Inc()
+	o.note(at, Entry{Type: "lost", Task: int(id), Worker: worker})
+}
+
+// Reroute records a task reclaimed from a failed or unresponsive worker
+// and fed back into scheduling.
+func (o *Observer) Reroute(id task.ID, fromWorker int, at simtime.Instant) {
+	if o == nil {
+		return
+	}
+	o.rerouted.Inc()
+	o.note(at, Entry{Type: "reroute", Task: int(id), Worker: fromWorker})
+}
+
+// WorkerDown records a worker failure. Fatal failures remove the worker
+// from the health view and count as WorkerFailures (mirroring the
+// RunResult field); non-fatal disruptions (reconnects, straggling) only
+// count as disruptions.
+func (o *Observer) WorkerDown(worker int, fatal bool, reason string, at simtime.Instant) {
+	if o == nil {
+		return
+	}
+	detail := "transient"
+	if fatal {
+		detail = "fatal"
+		// Count (and journal) the alive→dead transition exactly once,
+		// however many events report the same dead worker — the counter
+		// must mirror RunResult.WorkerFailures.
+		o.mu.Lock()
+		first := true
+		if worker >= 0 && worker < len(o.alive) {
+			first = o.alive[worker]
+			if first {
+				o.alive[worker] = false
+				o.workerUp[worker].Set(0)
+				o.workersAlive.Add(-1)
+			}
+		}
+		o.mu.Unlock()
+		if !first {
+			return
+		}
+		o.workerFailures.Inc()
+	} else {
+		o.disruptions.Inc()
+	}
+	if reason != "" {
+		detail += ": " + reason
+	}
+	o.note(at, Entry{Type: "worker-down", Worker: worker, Detail: detail})
+}
+
+// StragglerReclaim records the straggler watchdog reclaiming a worker's
+// overdue jobs.
+func (o *Observer) StragglerReclaim(worker int, at simtime.Instant) {
+	if o == nil {
+		return
+	}
+	o.stragglers.Inc()
+	o.note(at, Entry{Type: "straggler", Worker: worker})
+}
+
+// HeartbeatSent counts an outbound heartbeat (counter only: sends are
+// frequent and tell less than receipts).
+func (o *Observer) HeartbeatSent(worker int) {
+	if o == nil {
+		return
+	}
+	o.heartbeatsSent.Inc()
+}
+
+// HeartbeatRecv records a heartbeat received from a worker — the positive
+// liveness evidence, journaled and traced.
+func (o *Observer) HeartbeatRecv(worker int, at simtime.Instant) {
+	if o == nil {
+		return
+	}
+	o.heartbeatsRecv.Inc()
+	o.note(at, Entry{Type: "heartbeat", Worker: worker})
+}
+
+// Redial records one reconnection attempt's outcome.
+func (o *Observer) Redial(worker int, ok bool, at simtime.Instant) {
+	if o == nil {
+		return
+	}
+	o.redials.Inc()
+	if !ok {
+		o.redialsFailed.Inc()
+	}
+	detail := "failed"
+	if ok {
+		detail = "reconnected"
+	}
+	o.note(at, Entry{Type: "redial", Worker: worker, Detail: detail})
+}
+
+// WorkerExecuted counts one job executed by a worker (the worker-side view
+// of Exec; the two differ when completions are lost in transit).
+func (o *Observer) WorkerExecuted(worker int, d time.Duration) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	var c *Counter
+	if worker >= 0 && worker < len(o.jobs) {
+		c = o.jobs[worker]
+	}
+	o.mu.Unlock()
+	c.Inc()
+}
+
+// Inflight publishes the host's current delivered-but-unfinished count.
+func (o *Observer) Inflight(n int) {
+	if o == nil {
+		return
+	}
+	o.inflight.Set(int64(n))
+}
+
+// RunEnd journals the end of the run.
+func (o *Observer) RunEnd(at simtime.Instant, summary string) {
+	if o == nil {
+		return
+	}
+	o.note(at, Entry{Type: "run-end", Worker: -1, Detail: summary})
+}

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// StartProgress starts a goroutine printing a one-line run summary to w at
+// the given wall-clock interval — a heartbeat for watching a long live run
+// from a terminal without curling /metrics. It returns a stop function
+// that prints one final line and joins the goroutine; calling stop more
+// than once is safe. A nil observer or non-positive interval reports
+// nothing and returns a no-op stop.
+func (o *Observer) StartProgress(w io.Writer, every time.Duration) (stop func()) {
+	if o == nil || every <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		ticker := time.NewTicker(every)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				o.progressLine(w, "final")
+				return
+			case <-ticker.C:
+				o.progressLine(w, "run")
+			}
+		}
+	}()
+	var stopped bool
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		close(done)
+		<-finished
+	}
+}
+
+func (o *Observer) progressLine(w io.Writer, tag string) {
+	snap := o.reg.Snapshot()
+	fmt.Fprintf(w,
+		"[obs %s] virtual=%v phases=%d delivered=%d hits=%d purged=%d inflight=%d workers=%d/%d failures=%d rerouted=%d lost=%d\n",
+		tag, time.Duration(o.LastVirtual()),
+		snap[MetricPhases], snap[MetricDeliveries], snap[MetricHits],
+		snap[MetricPurged], snap[MetricInflight],
+		snap[MetricWorkersAlive], snap[MetricWorkersTotal],
+		snap[MetricWorkerFailures], snap[MetricRerouted], snap[MetricLost])
+}

@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. All methods are safe for
+// concurrent use and nil-safe, so instrumented code never branches on
+// whether observability is enabled.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increases the counter by n (negative n is ignored: counters only go
+// up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add shifts the gauge by n (may be negative).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets are the upper bounds of the duration histogram buckets:
+// exponential from 1µs, doubling, up to ~8.6s, plus +Inf. They cover
+// everything from a single search vertex to a whole run.
+var histBuckets = func() []time.Duration {
+	out := make([]time.Duration, 0, 24)
+	for b := time.Microsecond; b <= 8*time.Second; b *= 2 {
+		out = append(out, b)
+	}
+	return out
+}()
+
+// Histogram records a distribution of durations in fixed exponential
+// buckets. Observations are lock-free (atomic per-bucket counts).
+type Histogram struct {
+	buckets []atomic.Int64 // one per histBuckets entry, plus +Inf
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{buckets: make([]atomic.Int64, len(histBuckets)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(histBuckets), func(i int) bool { return d <= histBuckets[i] })
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Registry is a named-metric store with Prometheus text exposition. Lookup
+// takes a lock; the returned metric handles are lock-free, so hot paths
+// resolve their metrics once and then only touch atomics. The zero value
+// is not usable; call NewRegistry. A nil Registry hands out nil metrics,
+// which are themselves no-ops.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter with the given name, creating it on first
+// use. Names follow Prometheus conventions and may carry a label set:
+// "rtsads_heartbeats_total" or `rtsads_worker_up{worker="3"}`.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot returns the current value of every counter and gauge, keyed by
+// metric name — the reconciliation and expvar view.
+func (r *Registry) Snapshot() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters)+len(r.gauges))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	return out
+}
+
+// baseName strips a label set from a metric name: `a{b="c"}` -> `a`.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// WritePrometheus writes every metric in the Prometheus text exposition
+// format, sorted by name, with one # TYPE line per metric family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	type metric struct {
+		name string
+		line string
+	}
+	var all []metric
+	types := make(map[string]string)
+	for name, c := range r.counters {
+		all = append(all, metric{name, fmt.Sprintf("%s %d\n", name, c.Value())})
+		types[baseName(name)] = "counter"
+	}
+	for name, g := range r.gauges {
+		all = append(all, metric{name, fmt.Sprintf("%s %d\n", name, g.Value())})
+		types[baseName(name)] = "gauge"
+	}
+	for name, h := range r.hists {
+		var b strings.Builder
+		cum := int64(0)
+		for i, upper := range histBuckets {
+			cum += h.buckets[i].Load()
+			fmt.Fprintf(&b, "%s_bucket{le=\"%g\"} %d\n", name, upper.Seconds(), cum)
+		}
+		cum += h.buckets[len(histBuckets)].Load()
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(&b, "%s_sum %g\n", name, h.Sum().Seconds())
+		fmt.Fprintf(&b, "%s_count %d\n", name, h.Count())
+		all = append(all, metric{name, b.String()})
+		types[baseName(name)] = "histogram"
+	}
+	r.mu.Unlock()
+
+	sort.Slice(all, func(i, j int) bool { return all[i].name < all[j].name })
+	var b strings.Builder
+	lastBase := ""
+	for _, m := range all {
+		if base := baseName(m.name); base != lastBase {
+			lastBase = base
+			fmt.Fprintf(&b, "# TYPE %s %s\n", base, types[base])
+		}
+		b.WriteString(m.line)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

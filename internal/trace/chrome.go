@@ -31,13 +31,21 @@ const (
 
 // WriteChromeTrace exports the log in Chrome trace-event JSON: scheduling
 // phases appear as spans on the host track, task executions as spans on
-// their worker's track, and arrivals/purges as instant events.
+// their worker's track, and arrivals/purges/heartbeats/failures/reroutes as
+// instant events on the track they concern.
 func (l *Log) WriteChromeTrace(w io.Writer) error {
 	events := make([]chromeEvent, 0, l.Len()+2)
 	events = append(events,
 		metaThread(hostTID, "host (scheduler)"),
 	)
 	seenWorkers := map[int]bool{}
+	worker := func(proc int) int {
+		if !seenWorkers[proc] {
+			seenWorkers[proc] = true
+			events = append(events, metaThread(proc, fmt.Sprintf("worker %d", proc)))
+		}
+		return proc
+	}
 
 	var openPhase *Event
 	for i := range l.Events() {
@@ -61,10 +69,6 @@ func (l *Log) WriteChromeTrace(w io.Writer) error {
 			})
 			openPhase = nil
 		case Exec:
-			if !seenWorkers[e.Proc] {
-				seenWorkers[e.Proc] = true
-				events = append(events, metaThread(e.Proc, fmt.Sprintf("worker %d", e.Proc)))
-			}
 			verdict := "hit"
 			if !e.Hit {
 				verdict = "miss"
@@ -76,13 +80,45 @@ func (l *Log) WriteChromeTrace(w io.Writer) error {
 				TimeUS:   us(e.At),
 				DurUS:    float64(e.Dur) / float64(time.Microsecond),
 				PID:      tracePID,
-				TID:      e.Proc,
+				TID:      worker(e.Proc),
 				Args:     map[string]string{"deadline": verdict},
 			})
 		case Arrival:
 			events = append(events, instant("arrival", e, hostTID))
 		case Purge:
 			events = append(events, instant(fmt.Sprintf("purge task %d", e.Task), e, hostTID))
+		case Heartbeat:
+			events = append(events, chromeEvent{
+				Name:     "heartbeat",
+				Phase:    "i",
+				Category: "liveness",
+				TimeUS:   us(e.At),
+				PID:      tracePID,
+				TID:      worker(e.Proc),
+			})
+		case WorkerDown:
+			events = append(events, chromeEvent{
+				Name:     fmt.Sprintf("worker %d down", e.Proc),
+				Phase:    "i",
+				Category: "failure",
+				TimeUS:   us(e.At),
+				PID:      tracePID,
+				TID:      worker(e.Proc),
+				Args:     map[string]string{"reason": e.Detail},
+			})
+		case Reroute:
+			events = append(events, chromeEvent{
+				Name:     fmt.Sprintf("reroute task %d", e.Task),
+				Phase:    "i",
+				Category: "failure",
+				TimeUS:   us(e.At),
+				PID:      tracePID,
+				TID:      hostTID,
+				Args: map[string]string{
+					"task": fmt.Sprintf("%d", e.Task),
+					"from": fmt.Sprintf("worker %d", e.Proc),
+				},
+			})
 		case Deliver:
 			// Deliveries are implied by the execution spans; skip to keep
 			// the trace readable.

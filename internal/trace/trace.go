@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 	"time"
 
 	"rtsads/internal/simtime"
@@ -17,7 +18,8 @@ import (
 // Kind classifies an event.
 type Kind int
 
-// Event kinds, in rough lifecycle order.
+// Event kinds, in rough lifecycle order. The last three only occur on live
+// runs: the deterministic machine has no transport to lose.
 const (
 	Arrival    Kind = iota + 1 // a task reached the host
 	PhaseStart                 // a scheduling phase began
@@ -25,6 +27,9 @@ const (
 	Deliver                    // an assignment was delivered to a worker
 	Exec                       // a task executed on a worker (Start..End)
 	Purge                      // a task was dropped with its deadline missed
+	Heartbeat                  // a liveness heartbeat arrived from a worker
+	WorkerDown                 // a worker was detected failed or disrupted
+	Reroute                    // a reclaimed task was fed back for re-scheduling
 )
 
 // String returns the kind's name.
@@ -42,43 +47,76 @@ func (k Kind) String() string {
 		return "exec"
 	case Purge:
 		return "purge"
+	case Heartbeat:
+		return "heartbeat"
+	case WorkerDown:
+		return "worker-down"
+	case Reroute:
+		return "reroute"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
 }
 
+// KindFromString maps a kind's name back to the kind (the inverse of
+// String), returning 0 for names that are not trace kinds. The obs journal
+// uses it to bridge structured entries into this package's exporters.
+func KindFromString(s string) Kind {
+	for k := Arrival; k <= Reroute; k++ {
+		if k.String() == s {
+			return k
+		}
+	}
+	return 0
+}
+
 // Event is one timeline entry. Fields that do not apply to the kind are
 // zero.
 type Event struct {
-	At    simtime.Instant // when the event occurred (Exec: start time)
-	Kind  Kind
-	Phase int           // scheduling phase number (PhaseStart/PhaseEnd/Deliver)
-	Task  task.ID       // task involved (Deliver/Exec/Purge/Arrival)
-	Proc  int           // worker involved (Deliver/Exec), else -1
-	Dur   time.Duration // Exec: processing+communication time; PhaseEnd: consumed
-	Hit   bool          // Exec: whether the deadline was met
+	At     simtime.Instant // when the event occurred (Exec: start time)
+	Kind   Kind
+	Phase  int           // scheduling phase number (PhaseStart/PhaseEnd/Deliver)
+	Task   task.ID       // task involved (Deliver/Exec/Purge/Arrival/Reroute)
+	Proc   int           // worker involved (Deliver/Exec/Heartbeat/WorkerDown/Reroute), else -1
+	Dur    time.Duration // Exec: processing+communication time; PhaseEnd: consumed
+	Hit    bool          // Exec: whether the deadline was met
+	Detail string        // WorkerDown: failure description; free-form otherwise
 }
 
 // Log is an append-only event recorder. The zero value is ready to use. It
 // is not safe for concurrent use; the deterministic machine is
-// single-threaded.
+// single-threaded. Concurrent recorders (the live cluster) wrap it in a
+// SafeLog.
 type Log struct {
-	events []Event
-	limit  int
+	events  []Event
+	limit   int
+	dropped int
 }
 
 // NewLog returns a log that keeps at most limit events (0 = unlimited).
 func NewLog(limit int) *Log { return &Log{limit: limit} }
 
-// Add appends an event, dropping it silently once the limit is reached.
+// Add appends an event. Once the limit is reached further events are
+// dropped, and the drop is counted so Render and Dropped can report the
+// truncation instead of hiding it.
 func (l *Log) Add(e Event) {
 	if l == nil {
 		return
 	}
 	if l.limit > 0 && len(l.events) >= l.limit {
+		l.dropped++
 		return
 	}
 	l.events = append(l.events, e)
+}
+
+// Dropped returns how many events were discarded because the log was at its
+// limit.
+func (l *Log) Dropped() int {
+	if l == nil {
+		return 0
+	}
+	return l.dropped
 }
 
 // Len returns the number of recorded events.
@@ -134,11 +172,20 @@ func (l *Log) Render(w io.Writer, limit int) error {
 			fmt.Fprintf(&b, " task=%d on worker %d for %v (%s)", e.Task, e.Proc, e.Dur, verdict)
 		case Purge, Arrival:
 			fmt.Fprintf(&b, " task=%d", e.Task)
+		case Heartbeat:
+			fmt.Fprintf(&b, " worker=%d", e.Proc)
+		case WorkerDown:
+			fmt.Fprintf(&b, " worker=%d %s", e.Proc, e.Detail)
+		case Reroute:
+			fmt.Fprintf(&b, " task=%d from worker %d", e.Task, e.Proc)
 		}
 		b.WriteString("\n")
 	}
 	if l.Len() > n {
 		fmt.Fprintf(&b, "... %d more events\n", l.Len()-n)
+	}
+	if l.Dropped() > 0 {
+		fmt.Fprintf(&b, "!!! %d events dropped at the %d-event limit\n", l.Dropped(), l.limit)
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
@@ -192,4 +239,64 @@ func (l *Log) Gantt(w io.Writer, workers, width int) error {
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// SafeLog is a mutex-guarded Log for concurrent recorders — the live
+// cluster's host loop, completion collector, and transport goroutines all
+// append to the same timeline. A nil SafeLog discards events, so tracing
+// stays free when disabled.
+type SafeLog struct {
+	mu  sync.Mutex
+	log Log
+}
+
+// NewSafeLog returns a concurrency-safe log keeping at most limit events
+// (0 = unlimited).
+func NewSafeLog(limit int) *SafeLog {
+	return &SafeLog{log: Log{limit: limit}}
+}
+
+// Add appends an event; safe for concurrent use.
+func (s *SafeLog) Add(e Event) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.log.Add(e)
+	s.mu.Unlock()
+}
+
+// Len returns the number of recorded events.
+func (s *SafeLog) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.log.Len()
+}
+
+// Dropped returns how many events were discarded at the limit.
+func (s *SafeLog) Dropped() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.log.Dropped()
+}
+
+// Snapshot returns an unsynchronised copy of the log for rendering
+// (Render, Gantt, WriteChromeTrace) without holding the lock.
+func (s *SafeLog) Snapshot() *Log {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &Log{
+		events:  append([]Event(nil), s.log.events...),
+		limit:   s.log.limit,
+		dropped: s.log.dropped,
+	}
 }

@@ -3,6 +3,7 @@ package trace
 import (
 	"encoding/json"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -209,5 +210,190 @@ func TestWriteChromeTraceEmpty(t *testing.T) {
 	var events []map[string]any
 	if err := json.Unmarshal([]byte(b.String()), &events); err != nil {
 		t.Fatalf("empty trace not valid JSON: %v", err)
+	}
+}
+
+func TestLiveKindStrings(t *testing.T) {
+	kinds := map[Kind]string{
+		Heartbeat:  "heartbeat",
+		WorkerDown: "worker-down",
+		Reroute:    "reroute",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("Kind %d String = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestKindFromString(t *testing.T) {
+	for k := Arrival; k <= Reroute; k++ {
+		if got := KindFromString(k.String()); got != k {
+			t.Errorf("KindFromString(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	for _, s := range []string{"", "lost", "run-start", "Kind(99)"} {
+		if got := KindFromString(s); got != 0 {
+			t.Errorf("KindFromString(%q) = %v, want 0", s, got)
+		}
+	}
+}
+
+func TestDroppedTracking(t *testing.T) {
+	l := NewLog(2)
+	for i := 0; i < 5; i++ {
+		l.Add(Event{At: simtime.Instant(i), Kind: Arrival})
+	}
+	if l.Dropped() != 3 {
+		t.Errorf("Dropped = %d, want 3", l.Dropped())
+	}
+	var b strings.Builder
+	if err := l.Render(&b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "3 events dropped at the 2-event limit") {
+		t.Errorf("render hides the truncation:\n%s", b.String())
+	}
+	var nl *Log
+	if nl.Dropped() != 0 {
+		t.Error("nil log reports drops")
+	}
+}
+
+func TestRenderLiveKinds(t *testing.T) {
+	l := NewLog(0)
+	l.Add(Event{At: 1, Kind: Heartbeat, Proc: 2})
+	l.Add(Event{At: 2, Kind: WorkerDown, Proc: 1, Detail: "fatal: injected kill"})
+	l.Add(Event{At: 3, Kind: Reroute, Task: 9, Proc: 1})
+	var b strings.Builder
+	if err := l.Render(&b, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"heartbeat", "worker=2",
+		"worker-down", "worker=1 fatal: injected kill",
+		"reroute", "task=9 from worker 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSafeLog(t *testing.T) {
+	s := NewSafeLog(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Add(Event{At: simtime.Instant(i), Kind: Exec, Proc: 0, Hit: true})
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 1600 {
+		t.Errorf("SafeLog kept %d events, want 1600", s.Len())
+	}
+	snap := s.Snapshot()
+	if snap.Len() != 1600 {
+		t.Errorf("snapshot has %d events", snap.Len())
+	}
+	// The snapshot is a copy: mutating the SafeLog afterwards must not
+	// change it.
+	s.Add(Event{Kind: Purge})
+	if snap.Len() != 1600 {
+		t.Error("snapshot shares storage with the live log")
+	}
+
+	var nils *SafeLog
+	nils.Add(Event{Kind: Arrival})
+	if nils.Len() != 0 || nils.Dropped() != 0 || nils.Snapshot() != nil {
+		t.Error("nil SafeLog not inert")
+	}
+}
+
+func TestSafeLogDropped(t *testing.T) {
+	s := NewSafeLog(3)
+	for i := 0; i < 10; i++ {
+		s.Add(Event{At: simtime.Instant(i), Kind: Arrival})
+	}
+	if s.Len() != 3 || s.Dropped() != 7 {
+		t.Errorf("Len=%d Dropped=%d, want 3 and 7", s.Len(), s.Dropped())
+	}
+	if snap := s.Snapshot(); snap.Dropped() != 7 {
+		t.Errorf("snapshot Dropped = %d, want 7", snap.Dropped())
+	}
+}
+
+// TestWriteChromeTraceLiveKinds is the fault-injection round-trip: a log
+// with heartbeat, worker-down and reroute events must export to valid
+// Perfetto-loadable JSON with those events present as instants.
+func TestWriteChromeTraceLiveKinds(t *testing.T) {
+	l := NewLog(0)
+	l.Add(Event{At: 0, Kind: PhaseStart, Phase: 0, Proc: -1})
+	l.Add(Event{At: simtime.Instant(50 * time.Microsecond), Kind: PhaseEnd, Phase: 0, Proc: -1, Dur: 50 * time.Microsecond})
+	l.Add(Event{At: simtime.Instant(60 * time.Microsecond), Kind: Exec, Task: 1, Proc: 0, Dur: ms, Hit: true})
+	l.Add(Event{At: simtime.Instant(70 * time.Microsecond), Kind: Heartbeat, Proc: 1})
+	l.Add(Event{At: simtime.Instant(2 * ms), Kind: WorkerDown, Proc: 1, Detail: "fatal: injected kill"})
+	l.Add(Event{At: simtime.Instant(2 * ms), Kind: Reroute, Task: 2, Proc: 1})
+
+	var b strings.Builder
+	if err := l.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &events); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, b.String())
+	}
+	byName := map[string]map[string]any{}
+	for _, e := range events {
+		if name, ok := e["name"].(string); ok {
+			byName[name] = e
+		}
+	}
+	hb, ok := byName["heartbeat"]
+	if !ok || hb["ph"] != "i" || hb["cat"] != "liveness" {
+		t.Errorf("heartbeat instant wrong: %v", hb)
+	}
+	down, ok := byName["worker 1 down"]
+	if !ok || down["ph"] != "i" || down["cat"] != "failure" {
+		t.Fatalf("worker-down instant wrong: %v", down)
+	}
+	if args, _ := down["args"].(map[string]any); args["reason"] != "fatal: injected kill" {
+		t.Errorf("worker-down args = %v", down["args"])
+	}
+	rr, ok := byName["reroute task 2"]
+	if !ok || rr["ph"] != "i" || rr["cat"] != "failure" {
+		t.Fatalf("reroute instant wrong: %v", rr)
+	}
+	if args, _ := rr["args"].(map[string]any); args["from"] != "worker 1" {
+		t.Errorf("reroute args = %v", rr["args"])
+	}
+	// Every event needs pid/ts for Perfetto to accept the file.
+	for _, e := range events {
+		if _, ok := e["pid"]; !ok {
+			t.Errorf("event missing pid: %v", e)
+		}
+	}
+}
+
+// TestGanttIgnoresLiveKinds: the Gantt chart reads only Exec events, so a
+// fault-heavy log renders the same rows it would without the new kinds.
+func TestGanttIgnoresLiveKinds(t *testing.T) {
+	l := NewLog(0)
+	l.Add(Event{At: 0, Kind: Exec, Task: 1, Proc: 0, Dur: 5 * ms, Hit: true})
+	l.Add(Event{At: simtime.Instant(ms), Kind: Heartbeat, Proc: 1})
+	l.Add(Event{At: simtime.Instant(2 * ms), Kind: WorkerDown, Proc: 1, Detail: "fatal"})
+	l.Add(Event{At: simtime.Instant(3 * ms), Kind: Reroute, Task: 2, Proc: 1})
+	var b strings.Builder
+	if err := l.Gantt(&b, 2, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "0 .. 5ms") {
+		t.Errorf("gantt timeline polluted by non-exec kinds:\n%s", out)
 	}
 }

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Observability smoke test: start a live rtcluster run under a kill/drop
+# fault spec with the debug endpoint on, curl /metrics and /healthz while
+# the run is in flight, and assert the failure counters are exposed and
+# non-zero mid-run. After the run exits, check the Chrome trace it wrote
+# is valid JSON containing the worker-down and reroute instants, and that
+# the final counters match the printed RunResult.
+#
+# Run from the repository root: ./scripts/obs_smoke.sh
+set -euo pipefail
+
+ADDR="127.0.0.1:8077"
+WORKDIR="$(mktemp -d)"
+OUT="$WORKDIR/stdout.log"
+TRACE="$WORKDIR/out.json"
+JOURNAL="$WORKDIR/run.jsonl"
+trap 'kill "$RUN_PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+
+fail() { echo "obs_smoke: FAIL: $*" >&2; exit 1; }
+
+metric() { # metric <name> — print the metric's current value, default 0
+    curl -sf "http://$ADDR/metrics" 2>/dev/null |
+        awk -v m="$1" '$1 == m { print $2; found=1 } END { if (!found) print 0 }'
+}
+
+echo "obs_smoke: building rtcluster"
+go build -o "$WORKDIR/rtcluster" ./cmd/rtcluster
+
+# Slow clock (scale 300) so the run stays in flight long enough to be
+# observed; kill worker 1 early (1ms virtual = 0.3s wall) and drop two
+# deliveries to worker 0 so the straggler path runs too.
+echo "obs_smoke: starting faulted live run on $ADDR"
+"$WORKDIR/rtcluster" -workers 4 -txns 200 -scale 300 -sf 4 \
+    -faults "kill=1@1ms;drop=0:2@2ms" \
+    -debug-addr "$ADDR" -trace "$TRACE" -journal "$JOURNAL" \
+    >"$OUT" 2>&1 &
+RUN_PID=$!
+
+# Wait for the endpoint, then for the injected failure to surface in the
+# live counters. The kill lands ~0.3s in; give the whole probe 60s.
+deadline=$((SECONDS + 60))
+failures=0 rerouted=0
+while [ "$SECONDS" -lt "$deadline" ]; do
+    if ! kill -0 "$RUN_PID" 2>/dev/null; then
+        cat "$OUT" >&2
+        fail "run exited before the fault was observed mid-run"
+    fi
+    failures=$(metric rtsads_worker_failures_total)
+    rerouted=$(metric rtsads_task_rerouted_total)
+    if [ "$failures" -ge 1 ] && [ "$rerouted" -ge 1 ]; then
+        break
+    fi
+    sleep 0.2
+done
+[ "$failures" -ge 1 ] || fail "rtsads_worker_failures_total = $failures mid-run, want >= 1"
+[ "$rerouted" -ge 1 ] || fail "rtsads_task_rerouted_total = $rerouted mid-run, want >= 1"
+echo "obs_smoke: mid-run /metrics shows failures=$failures rerouted=$rerouted"
+
+HEALTH=$(curl -sf "http://$ADDR/healthz")
+echo "obs_smoke: mid-run /healthz: $HEALTH"
+echo "$HEALTH" | grep -q '"status":"degraded"' || fail "/healthz not degraded after a kill: $HEALTH"
+echo "$HEALTH" | grep -q '"worker":1,"alive":false' || fail "/healthz does not show worker 1 dead: $HEALTH"
+
+curl -sf "http://$ADDR/debug/vars" | grep -q '"rtsads"' || fail "/debug/vars missing rtsads expvar"
+curl -sf "http://$ADDR/debug/pprof/cmdline" >/dev/null || fail "/debug/pprof not serving"
+
+echo "obs_smoke: waiting for the run to finish"
+wait "$RUN_PID" || { cat "$OUT" >&2; fail "run exited non-zero"; }
+cat "$OUT"
+
+grep -q "faults: 1 worker(s) failed" "$OUT" || fail "RunResult does not report the worker failure"
+
+python3 - "$TRACE" "$JOURNAL" <<'PY'
+import json, sys
+events = json.load(open(sys.argv[1]))
+names = [e.get("name", "") for e in events]
+assert any(n.startswith("phase ") for n in names), "trace has no host phase spans"
+assert any(n.startswith("task ") for n in names), "trace has no execution spans"
+assert any("down" in n for n in names), "trace has no worker-down instant"
+assert any(n.startswith("reroute") for n in names), "trace has no reroute instant"
+for line in open(sys.argv[2]):
+    json.loads(line)  # every journal line must be valid JSON
+print("obs_smoke: trace has %d events; journal is valid JSONL" % len(events))
+PY
+
+echo "obs_smoke: PASS"
