@@ -59,6 +59,7 @@ func run(args []string, out io.Writer) error {
 	scale := fs.Float64("scale", 20, "virtual-to-wall time scale (bigger = slower, less jitter)")
 	sf := fs.Float64("sf", 1, "laxity (slack factor)")
 	repl := fs.Float64("replication", 0.3, "sub-database replication rate")
+	parallel := fs.Int("parallel", 0, "search root branches on up to N goroutines per phase (0 = sequential)")
 	listen := fs.String("listen", "", "worker role: address to listen on")
 	serve := fs.Bool("serve", false, "worker role: keep serving host sessions instead of exiting after one")
 	connect := fs.String("connect", "", "host role: comma-separated worker addresses")
@@ -136,6 +137,7 @@ func run(args []string, out io.Writer) error {
 				HeartbeatEvery: *heartbeat,
 				Timeout:        *timeout,
 			},
+			Parallel: *parallel,
 		}
 		if *role == "host" {
 			cfg.Backend = func(clock *livecluster.Clock, inj *faultinject.Injector) (livecluster.Backend, error) {

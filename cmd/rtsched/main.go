@@ -43,6 +43,7 @@ func run(args []string, out io.Writer) error {
 	runs := fs.Int("runs", 10, "independent runs per data point (the paper uses 10)")
 	seed := fs.Uint64("seed", 1, "base seed; run i uses seed+i")
 	vertexCost := fs.Duration("vertexcost", time.Microsecond, "scheduling time charged per search vertex")
+	parallel := fs.Int("parallel", 0, "search root branches on up to N goroutines per phase (0 = sequential)")
 	csvDir := fs.String("csv", "", "directory to write per-figure CSV series into (optional)")
 	specPath := fs.String("spec", "", "run a custom JSON experiment spec instead of a built-in experiment")
 	chromeOut := fs.String("chrometrace", "", "run one traced RT-SADS run (P=10, defaults) and write Chrome trace-event JSON to this file")
@@ -100,6 +101,7 @@ func run(args []string, out io.Writer) error {
 	rc.Runs = *runs
 	rc.BaseSeed = *seed
 	rc.VertexCost = *vertexCost
+	rc.Parallel = *parallel
 	if err := rc.Validate(); err != nil {
 		return err
 	}

@@ -13,7 +13,7 @@ import (
 func newAssignmentRep(cfg SearchConfig) search.Representation {
 	rep := represent.NewAssignment()
 	if cfg.SumCost {
-		rep.Cost = sumLoad
+		rep.Cost = search.SumCost{}
 	}
 	return rep
 }
@@ -21,19 +21,9 @@ func newAssignmentRep(cfg SearchConfig) search.Representation {
 func newSequenceRep(cfg SearchConfig) search.Representation {
 	rep := represent.NewSequence(cfg.Workers)
 	if cfg.SumCost {
-		rep.Cost = sumLoad
+		rep.Cost = search.SumCost{}
 	}
 	return rep
-}
-
-// sumLoad is the total-completion cost alternative to the paper's
-// CE = max_k ce_k.
-func sumLoad(loads []time.Duration) time.Duration {
-	var sum time.Duration
-	for _, l := range loads {
-		sum += l
-	}
-	return sum
 }
 
 // PhaseResult is the outcome of one scheduling phase.
@@ -101,6 +91,11 @@ type SearchConfig struct {
 	// SumCost swaps the §4.4 load-balancing cost CE = max_k ce_k for the
 	// total-completion alternative Σ_k ce_k — a design-choice ablation.
 	SumCost bool
+	// Parallel, when positive, searches the root's branches on up to that
+	// many goroutines per phase (search.RunParallel); the merge is
+	// deterministic, so the planner contract is preserved. Zero keeps the
+	// sequential engine.
+	Parallel int
 }
 
 // Priority is the batch ordering heuristic.
@@ -142,6 +137,9 @@ func (c SearchConfig) Validate() error {
 	}
 	if c.Policy == nil {
 		return fmt.Errorf("core: Policy is nil")
+	}
+	if c.Parallel < 0 {
+		return fmt.Errorf("core: Parallel %d must be non-negative", c.Parallel)
 	}
 	return nil
 }
@@ -232,7 +230,13 @@ func (s *searchPlanner) PlanPhase(in PhaseInput) (PhaseResult, error) {
 	// only guaranteed to start by in.Now + quantum. Shift the search's
 	// phase-end reference by the phase cost.
 	p.Now = in.Now.Add(s.cfg.PhaseCost)
-	res, err := search.Run(p, s.rep)
+	var res *search.Result
+	var err error
+	if s.cfg.Parallel > 0 {
+		res, err = search.RunParallel(p, s.rep, search.ParallelOptions{Degree: s.cfg.Parallel})
+	} else {
+		res, err = search.Run(p, s.rep)
+	}
 	if err != nil {
 		return PhaseResult{}, fmt.Errorf("core: %s search: %w", s.name, err)
 	}

@@ -75,6 +75,9 @@ type RunConfig struct {
 	// CombinedHost runs the scheduler on worker 0 instead of a dedicated
 	// host processor (the E14 architecture ablation).
 	CombinedHost bool
+	// Parallel, when positive, runs each phase's search over the root's
+	// branches on up to that many goroutines (core.SearchConfig.Parallel).
+	Parallel int
 }
 
 // DefaultRunConfig returns the paper's methodology: 10 runs, adaptive
@@ -116,6 +119,7 @@ func NewPlanner(algo Algorithm, w *workload.Workload, rc RunConfig) (core.Planne
 		VertexCost: rc.VertexCost,
 		PhaseCost:  rc.PhaseCost,
 		Policy:     rc.policy(),
+		Parallel:   rc.Parallel,
 	}
 	if rc.Tune != nil {
 		rc.Tune(&scfg)

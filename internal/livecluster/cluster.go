@@ -130,6 +130,10 @@ type Config struct {
 	// registry totals reconcile with the final metrics. Optional; nil
 	// disables observability at the cost of a pointer check per event.
 	Obs *obs.Observer
+	// Parallel, when positive, runs each phase's search over the root's
+	// branches on up to that many goroutines (search.RunParallel). The
+	// wall-clock quantum budget is shared across branches.
+	Parallel int
 }
 
 // Cluster drives a live run: one host (the caller's goroutine) plus worker
@@ -652,7 +656,8 @@ func (c *Cluster) makePlanner(pc *phaseClock, active []int) (core.Planner, error
 		// Wall-clock quantum budget: the host's real scheduling speed,
 		// converted to virtual time; the host resets the origin before
 		// each phase.
-		Clock: pc.Elapsed,
+		Clock:    pc.Elapsed,
+		Parallel: c.cfg.Parallel,
 	}
 	return buildPlanner(c.cfg.Algorithm, scfg)
 }

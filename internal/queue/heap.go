@@ -18,6 +18,17 @@ func NewHeap[T any](less func(a, b T) bool) *Heap[T] {
 // Len returns the number of items in the heap.
 func (h *Heap[T]) Len() int { return len(h.items) }
 
+// Grow reserves capacity for n additional items, so a burst of Push calls
+// (a search expansion, an event fan-out) reallocates at most once.
+func (h *Heap[T]) Grow(n int) {
+	if n <= 0 || cap(h.items)-len(h.items) >= n {
+		return
+	}
+	items := make([]T, len(h.items), len(h.items)+n)
+	copy(items, h.items)
+	h.items = items
+}
+
 // Push adds v to the heap.
 func (h *Heap[T]) Push(v T) {
 	h.items = append(h.items, v)

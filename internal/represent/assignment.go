@@ -4,12 +4,15 @@
 // Figure 1). Both plug into the generic quantum-bounded search engine in
 // package search; they differ only in the topology of the task space and
 // therefore in what backtracking can undo — the paper's central variable.
+//
+// Both representations speak the engine's delta-vertex API: successors
+// carry only their one changed (proc, endOffset) pair, read the path's
+// loads from the engine's PathState scratch, and derive CE incrementally
+// through a search.CostModel. Vertices and successor slices come from the
+// engine's pools, so an expansion allocates nothing in steady state.
 package represent
 
 import (
-	"sort"
-	"time"
-
 	"rtsads/internal/search"
 	"rtsads/internal/task"
 )
@@ -29,9 +32,9 @@ type Assignment struct {
 	// Breadth caps the number of successors kept per expansion (0 = keep
 	// every feasible processor).
 	Breadth int
-	// Cost overrides the partial-schedule cost function; nil uses the
-	// paper's §4.4 load-balancing cost CE = max_k ce_k.
-	Cost func(loads []time.Duration) time.Duration
+	// Cost overrides the partial-schedule cost model; nil uses the paper's
+	// §4.4 load-balancing cost CE = max_k ce_k (search.MaxCost).
+	Cost search.CostModel
 }
 
 // NewAssignment returns the representation with the paper's behaviour.
@@ -42,20 +45,18 @@ func NewAssignment() *Assignment {
 // Name implements search.Representation.
 func (a *Assignment) Name() string { return "assignment-oriented" }
 
-// cost applies the configured cost function (default: §4.4's max).
-func (a *Assignment) cost(loads []time.Duration) time.Duration {
+// cost returns the configured cost model (default: §4.4's max).
+func (a *Assignment) cost() search.CostModel {
 	if a.Cost != nil {
-		return a.Cost(loads)
+		return a.Cost
 	}
-	return maxLoad(loads)
+	return search.MaxCost{}
 }
 
 // Root implements search.Representation. The root is the empty schedule:
 // worker completion offsets start at max(0, Load_k(j-1) - Qs(j)) (§4.4).
 func (a *Assignment) Root(p *search.Problem) *search.Vertex {
-	v := rootVertex(p)
-	v.CE = a.cost(v.Loads)
-	return v
+	return search.NewRoot(p, a.cost())
 }
 
 // IsLeaf implements search.Representation: every batch task has been
@@ -68,49 +69,63 @@ func (a *Assignment) IsLeaf(p *search.Problem, v *search.Vertex) bool {
 // after the vertex's cursor with at least one feasible processor and
 // returns one successor per feasible processor, ordered by the cost
 // function (smallest resulting CE, then earliest completion).
-func (a *Assignment) Expand(p *search.Problem, v *search.Vertex) ([]*search.Vertex, int) {
+//
+// Quantum charging: probing a task's processors generates Workers
+// candidate vertices, feasible or not. A task that is hopeless on every
+// processor regardless of load (PhaseEnd + p_l > d_l) is rejected with a
+// single comparison before any processor is probed, and charges one
+// generated vertex — not Workers.
+func (a *Assignment) Expand(p *search.Problem, v *search.Vertex, st *search.PathState) ([]*search.Vertex, int) {
 	generated := 0
+	model := a.cost()
+	succs := search.GetSuccs()
 	for i := v.Cursor; i < len(p.Tasks); i++ {
 		t := p.Tasks[i]
-		succs := expandTask(p, v, t, i+1, a.cost)
+		if p.Hopeless(t) {
+			generated++
+			if !a.SkipInfeasible {
+				break
+			}
+			continue
+		}
+		succs = appendTaskSuccessors(p, v, st, t, i, model, succs)
 		generated += p.Workers
 		if len(succs) > 0 {
 			sortSuccessors(succs)
 			if a.Breadth > 0 && len(succs) > a.Breadth {
+				for _, pruned := range succs[a.Breadth:] {
+					search.FreeVertex(pruned)
+				}
 				succs = succs[:a.Breadth]
 			}
 			return succs, generated
 		}
 		if !a.SkipInfeasible {
-			return nil, generated
+			break
 		}
 	}
+	search.PutSuccs(succs)
 	return nil, generated
 }
 
-// expandTask builds the feasible successors of v that assign t, stamping
-// each with the given cursor and costing it with cost.
-func expandTask(p *search.Problem, v *search.Vertex, t *task.Task, cursor int,
-	cost func([]time.Duration) time.Duration) []*search.Vertex {
-	var succs []*search.Vertex
+// appendTaskSuccessors appends v's feasible successors that assign t
+// (batch index ti) to succs, stamping each with cursor ti+1.
+func appendTaskSuccessors(p *search.Problem, v *search.Vertex, st *search.PathState,
+	t *task.Task, ti int, model search.CostModel, succs []*search.Vertex) []*search.Vertex {
 	for k := 0; k < p.Workers; k++ {
 		comm := p.Comm(t, k)
-		end, ok := p.Feasible(t, v.Loads[k], comm)
+		end, ok := p.Feasible(t, st.Loads[k], comm)
 		if !ok {
 			continue
 		}
-		loads := make([]time.Duration, len(v.Loads))
-		copy(loads, v.Loads)
-		loads[k] = end
-		succs = append(succs, &search.Vertex{
-			Parent:       v,
-			Assign:       search.Assignment{Task: t, Proc: k, Comm: comm, EndOffset: end},
-			IsAssignment: true,
-			Depth:        v.Depth + 1,
-			Cursor:       cursor,
-			Loads:        loads,
-			CE:           cost(loads),
-		})
+		sv := search.NewVertex()
+		sv.Parent = v
+		sv.Assign = search.Assignment{Task: t, TaskIndex: ti, Proc: k, Comm: comm, EndOffset: end}
+		sv.IsAssignment = true
+		sv.Depth = v.Depth + 1
+		sv.Cursor = ti + 1
+		sv.CE = model.Extend(v.CE, st.Loads[k], end)
+		succs = append(succs, sv)
 	}
 	return succs
 }
@@ -118,38 +133,28 @@ func expandTask(p *search.Problem, v *search.Vertex, t *task.Task, cursor int,
 // sortSuccessors orders sibling vertices best-first: by the load-balancing
 // cost CE, then by the assigned task's completion offset (which prefers
 // affine processors, since they avoid the communication cost), then by
-// processor index for determinism.
+// processor index for determinism. Sibling sets are small (at most the
+// machine size), so a closure-free insertion sort beats sort.Slice's
+// interface dispatch on the hot path.
 func sortSuccessors(succs []*search.Vertex) {
-	sort.Slice(succs, func(i, j int) bool {
-		a, b := succs[i], succs[j]
-		if a.CE != b.CE {
-			return a.CE < b.CE
+	for i := 1; i < len(succs); i++ {
+		v := succs[i]
+		j := i - 1
+		for j >= 0 && lessVertex(v, succs[j]) {
+			succs[j+1] = succs[j]
+			j--
 		}
-		if a.Assign.EndOffset != b.Assign.EndOffset {
-			return a.Assign.EndOffset < b.Assign.EndOffset
-		}
-		return a.Assign.Proc < b.Assign.Proc
-	})
+		succs[j+1] = v
+	}
 }
 
-// rootVertex builds the shared root: the empty schedule with the §4.4 base
-// loads max(0, Load_k(j-1) - Qs(j)).
-func rootVertex(p *search.Problem) *search.Vertex {
-	loads := make([]time.Duration, p.Workers)
-	for k, l := range p.BaseLoad {
-		if rem := l - p.Quantum; rem > 0 {
-			loads[k] = rem
-		}
+// lessVertex is sortSuccessors' ordering predicate.
+func lessVertex(a, b *search.Vertex) bool {
+	if a.CE != b.CE {
+		return a.CE < b.CE
 	}
-	return &search.Vertex{Loads: loads, CE: maxLoad(loads)}
-}
-
-func maxLoad(loads []time.Duration) time.Duration {
-	var m time.Duration
-	for _, l := range loads {
-		if l > m {
-			m = l
-		}
+	if a.Assign.EndOffset != b.Assign.EndOffset {
+		return a.Assign.EndOffset < b.Assign.EndOffset
 	}
-	return m
+	return a.Assign.Proc < b.Assign.Proc
 }

@@ -37,15 +37,24 @@ func problem(workers int, quantum time.Duration, tasks ...*task.Task) *search.Pr
 	}
 }
 
+// expand positions a fresh PathState at v and expands it — the test-side
+// stand-in for the engine's incremental state maintenance.
+func expand(rep search.Representation, p *search.Problem, v *search.Vertex) ([]*search.Vertex, int) {
+	st := search.NewPathState(p)
+	st.RebuildTo(p, v)
+	return rep.Expand(p, v, st)
+}
+
 func TestRootLoadsClampedByQuantum(t *testing.T) {
 	p := problem(3, 2*ms)
 	p.BaseLoad = []time.Duration{ms, 2 * ms, 5 * ms}
 	for _, rep := range []search.Representation{NewAssignment(), NewSequence(3)} {
 		root := rep.Root(p)
+		loads := search.PathLoads(p, root)
 		want := []time.Duration{0, 0, 3 * ms} // max(0, load - quantum)
 		for k, w := range want {
-			if root.Loads[k] != w {
-				t.Errorf("%s: root load[%d] = %v, want %v", rep.Name(), k, root.Loads[k], w)
+			if loads[k] != w {
+				t.Errorf("%s: root load[%d] = %v, want %v", rep.Name(), k, loads[k], w)
 			}
 		}
 		if root.CE != 3*ms {
@@ -61,7 +70,7 @@ func TestAssignmentExpandOrdersByCost(t *testing.T) {
 	p.BaseLoad = []time.Duration{0, 5 * ms}
 	rep := NewAssignment()
 	root := rep.Root(p)
-	succs, generated := rep.Expand(p, root)
+	succs, generated := expand(rep, p, root)
 	if generated != 2 {
 		t.Fatalf("generated = %d, want 2", generated)
 	}
@@ -81,7 +90,7 @@ func TestAssignmentPrefersAffineWorker(t *testing.T) {
 	// avoids the remote cost and must rank first.
 	p := problem(2, 0, mkTask(1, ms, simtime.Instant(100*ms), 1))
 	rep := NewAssignment()
-	succs, _ := rep.Expand(p, rep.Root(p))
+	succs, _ := expand(rep, p, rep.Root(p))
 	if len(succs) != 2 {
 		t.Fatalf("got %d successors", len(succs))
 	}
@@ -101,7 +110,7 @@ func TestAssignmentSkipsInfeasibleTask(t *testing.T) {
 	viable := mkTask(2, ms, simtime.Instant(100*ms), 0)
 	p := problem(1, 0, hopeless, viable)
 	rep := NewAssignment()
-	succs, generated := rep.Expand(p, rep.Root(p))
+	succs, generated := expand(rep, p, rep.Root(p))
 	if len(succs) != 1 || succs[0].Assign.Task.ID != 2 {
 		t.Fatalf("expected to skip to task 2, got %v", succs)
 	}
@@ -117,7 +126,7 @@ func TestAssignmentSkipsInfeasibleTask(t *testing.T) {
 
 	// With skipping disabled the same expansion dead-ends.
 	strict := &Assignment{SkipInfeasible: false}
-	succs, _ = strict.Expand(p, strict.Root(p))
+	succs, _ = expand(strict, p, strict.Root(p))
 	if len(succs) != 0 {
 		t.Errorf("strict variant produced successors for an infeasible head task")
 	}
@@ -126,7 +135,7 @@ func TestAssignmentSkipsInfeasibleTask(t *testing.T) {
 func TestAssignmentBreadthCap(t *testing.T) {
 	p := problem(4, 0, mkTask(1, ms, simtime.Instant(100*ms), 0, 1, 2, 3))
 	rep := &Assignment{SkipInfeasible: true, Breadth: 2}
-	succs, generated := rep.Expand(p, rep.Root(p))
+	succs, generated := expand(rep, p, rep.Root(p))
 	if len(succs) != 2 {
 		t.Errorf("breadth cap ignored: %d successors", len(succs))
 	}
@@ -143,7 +152,7 @@ func TestAssignmentLeaf(t *testing.T) {
 	if rep.IsLeaf(p, root) {
 		t.Error("root is not a leaf")
 	}
-	succs, _ := rep.Expand(p, root)
+	succs, _ := expand(rep, p, root)
 	if len(succs) != 1 || !rep.IsLeaf(p, succs[0]) {
 		t.Error("assigning the only task should produce a leaf")
 	}
@@ -157,7 +166,7 @@ func TestSequenceRoundRobin(t *testing.T) {
 	rep := NewSequence(3)
 	v := rep.Root(p)
 	for level := 0; level < 3; level++ {
-		succs, _ := rep.Expand(p, v)
+		succs, _ := expand(rep, p, v)
 		if len(succs) == 0 {
 			t.Fatalf("level %d: no successors", level)
 		}
@@ -178,7 +187,7 @@ func TestSequenceExaminesByDeadlineOrder(t *testing.T) {
 	lax := mkTask(2, ms, simtime.Instant(100*ms), 0)
 	p := problem(1, 0, urgent, lax)
 	rep := NewSequence(1)
-	succs, _ := rep.Expand(p, rep.Root(p))
+	succs, _ := expand(rep, p, rep.Root(p))
 	if len(succs) == 0 || succs[0].Assign.Task.ID != 1 {
 		t.Fatalf("first successor is not the most urgent task: %+v", succs)
 	}
@@ -190,9 +199,9 @@ func TestSequenceUsedTasksNotRepeated(t *testing.T) {
 	p := problem(2, 0, t1, t2)
 	rep := NewSequence(2)
 	v := rep.Root(p)
-	succs, _ := rep.Expand(p, v)
+	succs, _ := expand(rep, p, v)
 	first := succs[0]
-	succs, _ = rep.Expand(p, first)
+	succs, _ = expand(rep, p, first)
 	for _, s := range succs {
 		if s.Assign.Task.ID == first.Assign.Task.ID {
 			t.Fatalf("task %d scheduled twice on one path", s.Assign.Task.ID)
@@ -210,7 +219,7 @@ func TestSequenceDeadEndOnStuckProcessor(t *testing.T) {
 	root := rep.Root(p)
 	// Force the cursor to worker 1's level.
 	root.Cursor = 1
-	succs, generated := rep.Expand(p, root)
+	succs, generated := expand(rep, p, root)
 	if len(succs) != 0 {
 		t.Fatalf("expected dead-end, got %d successors", len(succs))
 	}
@@ -226,7 +235,7 @@ func TestSequenceBreadthCharging(t *testing.T) {
 	}
 	p := problem(1, 0, tasks...)
 	rep := &Sequence{Breadth: 3}
-	succs, generated := rep.Expand(p, rep.Root(p))
+	succs, generated := expand(rep, p, rep.Root(p))
 	if len(succs) != 3 {
 		t.Errorf("breadth cap ignored: %d successors", len(succs))
 	}
@@ -242,7 +251,7 @@ func TestSequenceAllowIdleAddsSkip(t *testing.T) {
 	rep := &Sequence{Breadth: 2, AllowIdle: true}
 	root := rep.Root(p)
 	root.Cursor = 1 // stuck worker's level
-	succs, _ := rep.Expand(p, root)
+	succs, _ := expand(rep, p, root)
 	if len(succs) != 1 {
 		t.Fatalf("expected a single skip successor, got %d", len(succs))
 	}
@@ -253,7 +262,7 @@ func TestSequenceAllowIdleAddsSkip(t *testing.T) {
 	// Consecutive skips are bounded by the worker count.
 	v := skip
 	for i := 0; i < 2; i++ {
-		succs, _ = rep.Expand(p, v)
+		succs, _ = expand(rep, p, v)
 		if len(succs) == 0 {
 			break
 		}
@@ -360,7 +369,7 @@ func TestSequenceLeastLoadedPicksIdlestProc(t *testing.T) {
 	p := problem(3, 0, t1)
 	p.BaseLoad = []time.Duration{5 * ms, 2 * ms, 9 * ms}
 	rep := &Sequence{Breadth: 3, LeastLoaded: true}
-	succs, _ := rep.Expand(p, rep.Root(p))
+	succs, _ := expand(rep, p, rep.Root(p))
 	if len(succs) == 0 {
 		t.Fatal("no successors")
 	}
@@ -378,19 +387,12 @@ func TestCostFunctionOverride(t *testing.T) {
 	p := problem(2, 0, tk)
 	p.BaseLoad = []time.Duration{3 * ms, 0}
 
-	sum := func(loads []time.Duration) time.Duration {
-		var s time.Duration
-		for _, l := range loads {
-			s += l
-		}
-		return s
-	}
-	rep := &Assignment{SkipInfeasible: true, Cost: sum}
+	rep := &Assignment{SkipInfeasible: true, Cost: search.SumCost{}}
 	root := rep.Root(p)
 	if root.CE != 3*ms {
 		t.Fatalf("sum-cost root CE = %v, want 3ms", root.CE)
 	}
-	succs, _ := rep.Expand(p, root)
+	succs, _ := expand(rep, p, root)
 	if len(succs) != 2 {
 		t.Fatalf("got %d successors", len(succs))
 	}
@@ -403,9 +405,41 @@ func TestCostFunctionOverride(t *testing.T) {
 		t.Errorf("tie-break chose worker %d, want idle worker 1", succs[0].Assign.Proc)
 	}
 
-	seq := &Sequence{Breadth: 2, Cost: sum}
+	seq := &Sequence{Breadth: 2, Cost: search.SumCost{}}
 	sroot := seq.Root(p)
 	if sroot.CE != 3*ms {
 		t.Errorf("sequence sum-cost root CE = %v", sroot.CE)
+	}
+}
+
+func TestHopelessTaskChargesOneVertex(t *testing.T) {
+	// A task hopeless on every worker (PhaseEnd + proc > deadline
+	// regardless of placement) is rejected with one comparison, charging
+	// one generated vertex — not one per worker. The earlier full-copy
+	// core charged p.Workers for it, over-charging the §4.2 quantum
+	// budget for work never performed.
+	hopeless := mkTask(1, 10*ms, simtime.Instant(ms), 0, 1)
+	viable := mkTask(2, ms, simtime.Instant(100*ms), 0, 1)
+	p := problem(2, 0, hopeless, viable)
+	rep := NewAssignment()
+	succs, generated := expand(rep, p, rep.Root(p))
+	if len(succs) != 2 || succs[0].Assign.Task.ID != 2 {
+		t.Fatalf("expected task 2 on both workers, got %v", succs)
+	}
+	if generated != 3 { // 1 quick-reject + 2 probes for the viable task
+		t.Errorf("generated = %d, want 3", generated)
+	}
+
+	// The charge shows up in the engine's stats too: one expansion covers
+	// both tasks (the skip and the assignment), then the leaf stops. A
+	// real quantum is needed here — the zero quantum above expires at the
+	// root before the engine expands anything.
+	p = problem(2, ms, hopeless, viable)
+	res, err := search.Run(p, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Generated != 3 {
+		t.Errorf("Stats.Generated = %d, want 3", res.Stats.Generated)
 	}
 }

@@ -35,17 +35,17 @@ type Sequence struct {
 	// selection. The structural limitation remains: the level still
 	// commits to a single processor before choosing a task.
 	LeastLoaded bool
-	// Cost overrides the partial-schedule cost function; nil uses the
-	// paper's §4.4 load-balancing cost CE = max_k ce_k.
-	Cost func(loads []time.Duration) time.Duration
+	// Cost overrides the partial-schedule cost model; nil uses the paper's
+	// §4.4 load-balancing cost CE = max_k ce_k (search.MaxCost).
+	Cost search.CostModel
 }
 
-// cost applies the configured cost function (default: §4.4's max).
-func (s *Sequence) cost(loads []time.Duration) time.Duration {
+// cost returns the configured cost model (default: §4.4's max).
+func (s *Sequence) cost() search.CostModel {
 	if s.Cost != nil {
-		return s.Cost(loads)
+		return s.Cost
 	}
-	return maxLoad(loads)
+	return search.MaxCost{}
 }
 
 // NewSequence returns the strict sequence-oriented representation with a
@@ -59,10 +59,7 @@ func (s *Sequence) Name() string { return "sequence-oriented" }
 
 // Root implements search.Representation.
 func (s *Sequence) Root(p *search.Problem) *search.Vertex {
-	v := rootVertex(p)
-	v.CE = s.cost(v.Loads)
-	v.Used = search.NewBitset(len(p.Tasks))
-	return v
+	return search.NewRoot(p, s.cost())
 }
 
 // IsLeaf implements search.Representation: all batch tasks are scheduled.
@@ -71,58 +68,55 @@ func (s *Sequence) IsLeaf(p *search.Problem, v *search.Vertex) bool {
 }
 
 // Expand implements search.Representation. The level's processor is
-// Cursor mod Workers; unscheduled tasks are examined in the batch's
-// priority order (EDF) and each feasibility test is charged as one
-// generated vertex.
-func (s *Sequence) Expand(p *search.Problem, v *search.Vertex) ([]*search.Vertex, int) {
+// Cursor mod Workers; unscheduled tasks (those not in the path's used set)
+// are examined in the batch's priority order (EDF) and each feasibility
+// test is charged as one generated vertex.
+func (s *Sequence) Expand(p *search.Problem, v *search.Vertex, st *search.PathState) ([]*search.Vertex, int) {
 	proc := v.Cursor % p.Workers
 	if s.LeastLoaded {
-		proc = leastLoadedProc(v.Loads)
+		proc = leastLoadedProc(st.Loads)
 	}
+	model := s.cost()
+	load := st.Loads[proc]
 	generated := 0
-	var succs []*search.Vertex
+	succs := search.GetSuccs()
 	for i, t := range p.Tasks {
-		if v.Used.Has(i) {
+		if st.Used.Has(i) {
 			continue
 		}
 		generated++
 		comm := p.Comm(t, proc)
-		end, ok := p.Feasible(t, v.Loads[proc], comm)
+		end, ok := p.Feasible(t, load, comm)
 		if !ok {
 			continue
 		}
-		loads := make([]time.Duration, len(v.Loads))
-		copy(loads, v.Loads)
-		loads[proc] = end
-		used := v.Used.Clone()
-		used.Set(i)
-		succs = append(succs, &search.Vertex{
-			Parent:       v,
-			Assign:       search.Assignment{Task: t, Proc: proc, Comm: comm, EndOffset: end},
-			IsAssignment: true,
-			Depth:        v.Depth + 1,
-			Cursor:       v.Cursor + 1,
-			Loads:        loads,
-			CE:           s.cost(loads),
-			Used:         used,
-		})
+		sv := search.NewVertex()
+		sv.Parent = v
+		sv.Assign = search.Assignment{Task: t, TaskIndex: i, Proc: proc, Comm: comm, EndOffset: end}
+		sv.IsAssignment = true
+		sv.Depth = v.Depth + 1
+		sv.Cursor = v.Cursor + 1
+		sv.CE = model.Extend(v.CE, load, end)
+		succs = append(succs, sv)
 		if s.Breadth > 0 && len(succs) >= s.Breadth {
 			break
 		}
 	}
 	if s.AllowIdle && s.canIdle(p, v) {
 		// Leave the processor idle this round, ranked after every real
-		// assignment. Loads and Used are shared with the parent: the skip
-		// vertex adds no assignment, so copy-on-write is unnecessary.
-		succs = append(succs, &search.Vertex{
-			Parent: v,
-			Depth:  v.Depth,
-			Cursor: v.Cursor + 1,
-			Loads:  v.Loads,
-			CE:     v.CE,
-			Used:   v.Used,
-		})
+		// assignment. The skip vertex adds no assignment, so it carries no
+		// delta: the engine's Descend treats it as a no-op.
+		sv := search.NewVertex()
+		sv.Parent = v
+		sv.Depth = v.Depth
+		sv.Cursor = v.Cursor + 1
+		sv.CE = v.CE
+		succs = append(succs, sv)
 		generated++
+	}
+	if len(succs) == 0 {
+		search.PutSuccs(succs)
+		return nil, generated
 	}
 	return succs, generated
 }

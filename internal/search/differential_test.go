@@ -1,0 +1,257 @@
+package search_test
+
+// Differential tests pinning the delta-vertex engine against reference
+// semantics:
+//
+//   - delta vs. full-copy: a test-local representation that carries a full
+//     per-vertex loads slice (the pre-refactor layout) and recomputes CE by
+//     an O(P) rescan must drive the engine through the identical traversal —
+//     same schedule, same stats — as the delta representation.
+//   - sequential vs. parallel: for searches that complete within the
+//     quantum, RunParallel must return the same schedule as Run, for any
+//     degree.
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"rtsads/internal/represent"
+	"rtsads/internal/search"
+	"rtsads/internal/task"
+	"rtsads/internal/workload"
+)
+
+// fig5Problem builds a search problem over one seeded Fig-5-style batch:
+// the paper's workload generator, EDF order, zero base loads.
+func fig5Problem(tb testing.TB, workers, txns int, seed uint64, vertexCost time.Duration) *search.Problem {
+	tb.Helper()
+	p := workload.DefaultParams(workers)
+	p.Seed = seed
+	if txns > 0 {
+		p.NumTransactions = txns
+	}
+	w, err := workload.Generate(p)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	batch := append([]*task.Task(nil), w.Tasks...)
+	task.SortEDF(batch)
+	cost := w.Cost
+	return &search.Problem{
+		Now:        0,
+		Quantum:    500 * time.Microsecond,
+		Tasks:      batch,
+		Workers:    workers,
+		BaseLoad:   make([]time.Duration, workers),
+		Comm:       func(t *task.Task, proc int) time.Duration { return cost.Cost(t.Affinity, proc) },
+		VertexCost: vertexCost,
+	}
+}
+
+// fullCopyAssignment is the pre-refactor assignment-oriented representation:
+// every vertex carries a full copy of the per-worker loads (kept in a side
+// map, since the engine's Vertex no longer has the field) and CE is
+// recomputed from the whole array. It mirrors the delta representation's
+// expansion order and quantum charging exactly, so any divergence isolates
+// the delta state reconstruction.
+type fullCopyAssignment struct {
+	loads map[*search.Vertex][]time.Duration
+}
+
+func newFullCopy() *fullCopyAssignment {
+	return &fullCopyAssignment{loads: make(map[*search.Vertex][]time.Duration)}
+}
+
+func (f *fullCopyAssignment) Name() string { return "assignment-full-copy" }
+
+func (f *fullCopyAssignment) Root(p *search.Problem) *search.Vertex {
+	loads := search.RootLoads(p, nil)
+	v := &search.Vertex{CE: search.MaxCost{}.FromLoads(loads)}
+	f.loads[v] = loads
+	return v
+}
+
+func (f *fullCopyAssignment) IsLeaf(p *search.Problem, v *search.Vertex) bool {
+	return v.Cursor >= len(p.Tasks)
+}
+
+func (f *fullCopyAssignment) Expand(p *search.Problem, v *search.Vertex, _ *search.PathState) ([]*search.Vertex, int) {
+	loads := f.loads[v]
+	generated := 0
+	for i := v.Cursor; i < len(p.Tasks); i++ {
+		t := p.Tasks[i]
+		if p.Hopeless(t) {
+			generated++
+			continue
+		}
+		var succs []*search.Vertex
+		for k := 0; k < p.Workers; k++ {
+			comm := p.Comm(t, k)
+			end, ok := p.Feasible(t, loads[k], comm)
+			if !ok {
+				continue
+			}
+			nl := make([]time.Duration, len(loads))
+			copy(nl, loads)
+			nl[k] = end
+			sv := &search.Vertex{
+				Parent:       v,
+				Assign:       search.Assignment{Task: t, TaskIndex: i, Proc: k, Comm: comm, EndOffset: end},
+				IsAssignment: true,
+				Depth:        v.Depth + 1,
+				Cursor:       i + 1,
+				CE:           search.MaxCost{}.FromLoads(nl),
+			}
+			f.loads[sv] = nl
+			succs = append(succs, sv)
+		}
+		generated += p.Workers
+		if len(succs) > 0 {
+			sort.Slice(succs, func(i, j int) bool {
+				a, b := succs[i], succs[j]
+				if a.CE != b.CE {
+					return a.CE < b.CE
+				}
+				if a.Assign.EndOffset != b.Assign.EndOffset {
+					return a.Assign.EndOffset < b.Assign.EndOffset
+				}
+				return a.Assign.Proc < b.Assign.Proc
+			})
+			return succs, generated
+		}
+	}
+	return nil, generated
+}
+
+// schedKey flattens a schedule for comparison.
+type schedKey struct {
+	Task task.ID
+	Proc int
+	End  time.Duration
+}
+
+func flatten(s []search.Assignment) []schedKey {
+	out := make([]schedKey, len(s))
+	for i, a := range s {
+		out[i] = schedKey{Task: a.Task.ID, Proc: a.Proc, End: a.EndOffset}
+	}
+	return out
+}
+
+func TestDeltaMatchesFullCopyReference(t *testing.T) {
+	for _, workers := range []int{4, 10} {
+		for _, vc := range []time.Duration{time.Microsecond, time.Nanosecond} {
+			for seed := uint64(1); seed <= 5; seed++ {
+				p1 := fig5Problem(t, workers, 80, seed, vc)
+				p2 := fig5Problem(t, workers, 80, seed, vc)
+				delta, err := search.Run(p1, represent.NewAssignment())
+				if err != nil {
+					t.Fatal(err)
+				}
+				full, err := search.Run(p2, newFullCopy())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(flatten(delta.Schedule()), flatten(full.Schedule())) {
+					t.Fatalf("P=%d vc=%v seed=%d: delta and full-copy schedules differ:\n%v\nvs\n%v",
+						workers, vc, seed, flatten(delta.Schedule()), flatten(full.Schedule()))
+				}
+				ds, fs := delta.Stats, full.Stats
+				ds.Consumed, fs.Consumed = 0, 0 // equal iff all counters equal; compare those directly
+				if ds != fs {
+					t.Fatalf("P=%d vc=%v seed=%d: stats differ: %+v vs %+v", workers, vc, seed, ds, fs)
+				}
+				if delta.Stats.Consumed != full.Stats.Consumed {
+					t.Fatalf("P=%d vc=%v seed=%d: consumed differ: %v vs %v",
+						workers, vc, seed, delta.Stats.Consumed, full.Stats.Consumed)
+				}
+				// The delta engine must reproduce the loads the full-copy
+				// vertices carried.
+				if got, want := delta.Loads(p1), search.PathLoads(p2, full.Best); !reflect.DeepEqual(got, want) {
+					t.Fatalf("P=%d vc=%v seed=%d: best loads differ: %v vs %v", workers, vc, seed, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSequentialMatchesParallel(t *testing.T) {
+	for _, workers := range []int{4, 10} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			mk := func() *search.Problem {
+				// 1ns per vertex: the search completes well inside the
+				// quantum, the regime where RunParallel guarantees the
+				// sequential schedule.
+				return fig5Problem(t, workers, 60, seed, time.Nanosecond)
+			}
+			seq, err := search.Run(mk(), represent.NewAssignment())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seq.Stats.Expired {
+				t.Fatalf("P=%d seed=%d: fixture expired; equivalence not applicable", workers, seed)
+			}
+			want := flatten(seq.Schedule())
+			for _, degree := range []int{1, 2, 3, 8} {
+				par, err := search.RunParallel(mk(), represent.NewAssignment(), search.ParallelOptions{Degree: degree})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := flatten(par.Schedule()); !reflect.DeepEqual(got, want) {
+					t.Fatalf("P=%d seed=%d degree=%d: parallel schedule differs from sequential:\n%v\nvs\n%v",
+						workers, seed, degree, got, want)
+				}
+				if par.Best.Depth != seq.Best.Depth || par.Stats.Leaf != seq.Stats.Leaf {
+					t.Fatalf("P=%d seed=%d degree=%d: depth/leaf diverge: depth %d vs %d, leaf %v vs %v",
+						workers, seed, degree, par.Best.Depth, seq.Best.Depth, par.Stats.Leaf, seq.Stats.Leaf)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelDeterministicAcrossRepeats(t *testing.T) {
+	// Same input, repeated runs, any degree: identical schedule — the
+	// planner determinism contract. Run under -race this also exercises
+	// the branch workers' synchronization.
+	for _, degree := range []int{2, 4, 0} { // 0 = GOMAXPROCS
+		var want []schedKey
+		for rep := 0; rep < 5; rep++ {
+			p := fig5Problem(t, 10, 120, 7, time.Microsecond)
+			res, err := search.RunParallel(p, represent.NewAssignment(), search.ParallelOptions{Degree: degree})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := flatten(res.Schedule())
+			if rep == 0 {
+				want = got
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("degree=%d repeat %d: schedule changed across runs", degree, rep)
+			}
+		}
+	}
+}
+
+func TestParallelSequenceRepresentation(t *testing.T) {
+	// The sequence-oriented representation must work under the parallel
+	// driver too (engine-maintained Used bitset per branch state).
+	p := fig5Problem(t, 4, 40, 3, time.Nanosecond)
+	seq, err := search.Run(fig5Problem(t, 4, 40, 3, time.Nanosecond), represent.NewSequence(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Stats.Expired {
+		t.Skip("fixture expired; equivalence not applicable")
+	}
+	par, err := search.RunParallel(p, represent.NewSequence(4), search.ParallelOptions{Degree: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(flatten(par.Schedule()), flatten(seq.Schedule())) {
+		t.Fatalf("sequence representation: parallel schedule differs from sequential")
+	}
+}

@@ -1,0 +1,170 @@
+package search
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ParallelOptions configures RunParallel.
+type ParallelOptions struct {
+	// Degree bounds the number of branch-searching goroutines; 0 means
+	// GOMAXPROCS. The effective degree never exceeds the root's branching
+	// factor.
+	Degree int
+}
+
+// RunParallel is the parallel counterpart of Run, after Orr & Sinnen's
+// parallel branch exploration: it expands the root once, then searches each
+// root successor's subtree with an independent sequential engine on a
+// bounded pool of goroutines, and merges the per-branch results
+// deterministically.
+//
+// Determinism. core.Planner requires planners to be deterministic functions
+// of their input, so in virtual-budget mode each branch gets its own full
+// quantum budget (pre-charged with the root expansion) rather than racing
+// siblings for a shared atomic budget — the interleaving of goroutines must
+// not be able to change the winning schedule. The model is a scheduling
+// host with one core per branch: the phase's scheduling cost is the
+// critical path, root + max over branches, which is what merged
+// Stats.Consumed reports. In Clock mode all branches share the wall clock,
+// matching the live cluster's real deadline (live runs are inherently
+// timing-dependent).
+//
+// The merge emulates the sequential engine's preference order: branches are
+// scanned in root-successor order (the representation's best-first order),
+// the best vertex is updated by the same strict better() rule (depth, then
+// CE, ties keep the earlier branch), and the scan stops after the first
+// branch that reached a leaf — the sequential search would have stopped
+// inside it and never explored later branches. Branches beyond the first
+// leaf are cancelled cooperatively and their partial results discarded, so
+// the outcome never depends on how far a cancelled branch happened to get.
+// For searches that complete without expiring, RunParallel therefore
+// returns the same schedule as Run; under expiry it returns at least as
+// deep a best (every branch gets the sequential budget, and branches the
+// sequential search would have starved still report their bests).
+//
+// The per-branch pruning bounds (MaxDepth, MaxBacktracks) apply within each
+// branch independently.
+func RunParallel(p *Problem, rep Representation, opt ParallelOptions) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Phase 1: expand the root inline, exactly like the first iteration of
+	// the sequential loop.
+	rootBudget := newBudget(p)
+	st := NewPathState(p)
+	root := rep.Root(p)
+	res := &Result{Best: root}
+	if rep.IsLeaf(p, root) {
+		res.Stats.Leaf = true
+		res.Stats.Consumed = rootBudget.consumed()
+		return res, nil
+	}
+	if rootBudget.expired() {
+		res.Stats.Expired = true
+		res.Stats.Consumed = rootBudget.consumed()
+		return res, nil
+	}
+	succs, generated := rep.Expand(p, root, st)
+	res.Stats.Expanded++
+	res.Stats.Generated += generated
+	rootBudget.charge(generated)
+	if len(succs) == 0 {
+		res.Stats.DeadEnd = true
+		res.Stats.Consumed = rootBudget.consumed()
+		return res, nil
+	}
+	branches := append([]*Vertex(nil), succs...)
+	PutSuccs(succs)
+
+	degree := opt.Degree
+	if degree <= 0 {
+		degree = runtime.GOMAXPROCS(0)
+	}
+	if degree > len(branches) {
+		degree = len(branches)
+	}
+
+	// Phase 2: search each branch's subtree. leafIdx is the smallest branch
+	// index that reached a leaf so far; branches with a larger index cannot
+	// influence the merge and are skipped or cancelled.
+	results := make([]*Result, len(branches))
+	var next atomic.Int64
+	var leafIdx atomic.Int64
+	leafIdx.Store(int64(len(branches)))
+	var wg sync.WaitGroup
+	for g := 0; g < degree; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			bst := NewPathState(p)
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(branches) {
+					return
+				}
+				if int64(i) > leafIdx.Load() {
+					continue // a better-ordered branch already found a leaf
+				}
+				e := &engine{
+					p:      p,
+					rep:    rep,
+					st:     bst,
+					budget: rootBudget.fork(),
+					stop:   func() bool { return leafIdx.Load() < int64(i) },
+				}
+				bst.RebuildTo(p, branches[i])
+				e.run(branches[i])
+				e.res.Stats.Consumed = e.budget.consumed()
+				if e.res.Stats.Leaf {
+					for {
+						cur := leafIdx.Load()
+						if int64(i) >= cur || leafIdx.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+				}
+				if !e.stopped {
+					results[i] = e.res
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Phase 3: deterministic merge in root-successor order up to (and
+	// including) the first leaf-bearing branch.
+	cut := int(leafIdx.Load())
+	consumed := rootBudget.consumed()
+	deadEnd := true
+	for i, br := range results {
+		if i > cut {
+			break
+		}
+		if br == nil {
+			continue // cancelled; by construction i > final cut, defensive
+		}
+		res.Stats.Generated += br.Stats.Generated
+		res.Stats.Expanded += br.Stats.Expanded
+		res.Stats.Backtracks += br.Stats.Backtracks
+		res.Stats.Leaf = res.Stats.Leaf || br.Stats.Leaf
+		res.Stats.Expired = res.Stats.Expired || br.Stats.Expired
+		res.Stats.DepthLimited = res.Stats.DepthLimited || br.Stats.DepthLimited
+		res.Stats.BacktrackLimited = res.Stats.BacktrackLimited || br.Stats.BacktrackLimited
+		deadEnd = deadEnd && br.Stats.DeadEnd
+		if br.Stats.Consumed > consumed {
+			consumed = br.Stats.Consumed
+		}
+		if better(br.Best, res.Best) {
+			res.Best = br.Best
+		}
+	}
+	res.Stats.DeadEnd = deadEnd && !res.Stats.Leaf
+	if p.Clock != nil {
+		consumed = p.Clock()
+	}
+	res.Stats.Consumed = consumed
+	return res, nil
+}

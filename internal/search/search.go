@@ -9,10 +9,21 @@
 // used by D-COLS (package represent) plug in through the Representation
 // interface, so the two algorithms differ in nothing but the structure of G
 // — exactly the controlled comparison the paper performs.
+//
+// Vertices are deltas, not snapshots: a vertex records only the one
+// (processor, end-offset) pair its assignment changed, and the engine
+// maintains the full per-worker load array incrementally in a reusable
+// PathState as the search walks the tree. On the depth-first fast path a
+// move costs O(1); a backtrack re-derives the state in O(depth). Because
+// per-worker loads only grow along a path within a phase, the §4.4 cost
+// CE = max_k ce_k is maintained in O(1) per vertex as max(parent.CE, end)
+// instead of an O(P) rescan. Vertices and successor slices are drawn from
+// sync.Pools, so steady-state expansion allocates nothing.
 package search
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"rtsads/internal/queue"
@@ -21,10 +32,15 @@ import (
 )
 
 // Assignment is one task-to-processor assignment (T_l -> P_k), the paper's
-// vertex label.
+// vertex label. It doubles as the vertex's delta: applying it to the
+// parent's load array (Loads[Proc] = EndOffset) yields the vertex's loads.
 type Assignment struct {
 	Task *task.Task
-	Proc int
+	// TaskIndex is the task's index within Problem.Tasks. The engine uses
+	// it to maintain the path's used-task set incrementally;
+	// representations must fill it for every assignment vertex.
+	TaskIndex int
+	Proc      int
 	// Comm is c_lk, the communication cost of running the task on Proc.
 	Comm time.Duration
 	// EndOffset is se_lk: the scheduled end time of the task relative to
@@ -35,14 +51,15 @@ type Assignment struct {
 }
 
 // Vertex is a node of the task space G. A vertex represents the partial
-// schedule formed by the assignments on the path from the root to it.
+// schedule formed by the assignments on the path from the root to it, but
+// stores only its own delta — the engine reconstructs per-worker loads into
+// a PathState scratch array instead of copying them per vertex.
 type Vertex struct {
 	Parent *Vertex
 	Assign Assignment // zero-valued on the root and on skip vertices
 	// IsAssignment distinguishes real task-to-processor assignments from
 	// structural vertices (the root, and "skip" vertices the
-	// assignment-oriented representation emits for tasks it defers to the
-	// next batch).
+	// sequence-oriented representation emits for idle levels).
 	IsAssignment bool
 	// Depth is the number of assignments on the path (skips excluded).
 	Depth int
@@ -50,16 +67,62 @@ type Vertex struct {
 	// assignment-oriented representation, the level number for the
 	// sequence-oriented one.
 	Cursor int
-	// Loads is ce_k for each worker: the completion offset of worker k
-	// relative to the end of the scheduling phase after the path's
-	// assignments (§4.4). The root carries max(0, Load_k(j-1) - Qs(j)).
-	Loads []time.Duration
-	// CE is the paper's cost function: max_k Loads[k], the total execution
-	// time of the partial schedule. Lower is better (load balancing).
+	// CE is the paper's cost function: the cost of the partial schedule
+	// (default max_k ce_k, the total execution time). Lower is better
+	// (load balancing). It is computed incrementally from the parent's CE
+	// by a CostModel.
 	CE time.Duration
-	// Used marks which batch tasks appear on the path; only maintained for
-	// representations whose successor choice needs it (sequence-oriented).
-	Used *Bitset
+}
+
+// vertexPool recycles vertices: the engine returns abandoned candidates at
+// the end of a search, and representations return breadth-pruned
+// successors. Vertices reachable from Result.Best are never recycled.
+var vertexPool = sync.Pool{New: func() any { return new(Vertex) }}
+
+// NewVertex returns a zeroed vertex from the pool. Callers must set every
+// field they need; pooled vertices carry no state over.
+func NewVertex() *Vertex { return vertexPool.Get().(*Vertex) }
+
+// FreeVertex returns v to the pool. The caller must guarantee no live
+// reference remains — in-engine that holds for candidates that were never
+// expanded and for breadth-pruned successors.
+func FreeVertex(v *Vertex) {
+	*v = Vertex{}
+	vertexPool.Put(v)
+}
+
+// succPool recycles the successor slices representations hand to the
+// engine; the engine returns each slice after copying it into the
+// candidate list. The slice headers travel in boxes that shuttle between
+// succPool and boxPool, so neither Get nor Put allocates in steady state
+// (boxing a slice header into an interface directly would).
+var (
+	succPool = sync.Pool{New: func() any { return new([]*Vertex) }}
+	boxPool  = sync.Pool{New: func() any { return new([]*Vertex) }}
+)
+
+// GetSuccs returns an empty successor slice (with retained capacity) from
+// the pool.
+func GetSuccs() []*Vertex {
+	b := succPool.Get().(*[]*Vertex)
+	s := *b
+	*b = nil
+	boxPool.Put(b)
+	return s[:0]
+}
+
+// PutSuccs returns a successor slice to the pool. nil is a no-op.
+func PutSuccs(s []*Vertex) {
+	if s == nil {
+		return
+	}
+	s = s[:cap(s)]
+	for i := range s {
+		s[i] = nil // release references for GC
+	}
+	b := boxPool.Get().(*[]*Vertex)
+	*b = s[:0]
+	succPool.Put(b)
 }
 
 // Problem is the input to one scheduling phase's search.
@@ -79,7 +142,8 @@ type Problem struct {
 	// BaseLoad is Load_k(j-1): each worker's outstanding execution time at
 	// Now, including the task it is currently running.
 	BaseLoad []time.Duration
-	// Comm returns c_lk for a task on a worker.
+	// Comm returns c_lk for a task on a worker. It must be safe for
+	// concurrent calls when the problem is given to RunParallel.
 	Comm func(t *task.Task, proc int) time.Duration
 	// VertexCost is the scheduling time charged for generating (allocating
 	// and evaluating) one vertex, including vertices that fail the
@@ -88,7 +152,8 @@ type Problem struct {
 	VertexCost time.Duration
 	// Clock, when non-nil, reports wall-clock time elapsed since the phase
 	// started; it overrides the virtual VertexCost accounting for live
-	// (non-simulated) deployments.
+	// (non-simulated) deployments. It must be safe for concurrent calls
+	// when the problem is given to RunParallel.
 	Clock func() time.Duration
 	// Strategy selects how the candidate list is ordered. The zero value
 	// is DFS, the paper's strategy.
@@ -169,18 +234,186 @@ func (p *Problem) Feasible(t *task.Task, loadK, comm time.Duration) (time.Durati
 	return end, !p.PhaseEnd().Add(end).After(t.Deadline)
 }
 
+// Hopeless reports that t cannot meet its deadline on any worker this
+// phase, even an idle one with affinity: the finish bound is at least
+// PhaseEnd + p_l regardless of placement, so a single comparison stands in
+// for P per-processor probes. Representations use it to charge one
+// generated candidate — not Workers — for tasks rejected without probing
+// any processor.
+func (p *Problem) Hopeless(t *task.Task) bool {
+	return p.PhaseEnd().Add(t.Proc).After(t.Deadline)
+}
+
+// RootLoads fills dst with the root vertex's per-worker completion offsets
+// max(0, Load_k(j-1) - Qs(j)) (§4.4) and returns it; a nil or short dst is
+// reallocated.
+func RootLoads(p *Problem, dst []time.Duration) []time.Duration {
+	if cap(dst) < p.Workers {
+		dst = make([]time.Duration, p.Workers)
+	}
+	dst = dst[:p.Workers]
+	for k := range dst {
+		dst[k] = 0
+	}
+	for k, l := range p.BaseLoad {
+		if rem := l - p.Quantum; rem > 0 {
+			dst[k] = rem
+		}
+	}
+	return dst
+}
+
+// NewRoot builds the root vertex — the empty schedule — costed by model.
+func NewRoot(p *Problem, model CostModel) *Vertex {
+	v := NewVertex()
+	v.CE = model.FromLoads(RootLoads(p, nil))
+	return v
+}
+
+// CostModel computes the partial-schedule cost CE incrementally: FromLoads
+// seeds the root from a materialized load array, Extend derives a child's
+// cost in O(1) from the parent's cost and the single load the child's
+// assignment changed. Models may rely on loads being monotone
+// non-decreasing along a path (true within a phase: assignments only add
+// work).
+type CostModel interface {
+	// FromLoads computes the cost of a full load array (used at the root).
+	FromLoads(loads []time.Duration) time.Duration
+	// Extend computes a child's cost from the parent's cost and the one
+	// changed worker load (oldLoad -> newLoad, newLoad >= oldLoad).
+	Extend(parentCE, oldLoad, newLoad time.Duration) time.Duration
+}
+
+// MaxCost is the paper's §4.4 load-balancing cost CE = max_k ce_k. Because
+// loads are monotone along a path, the child's max is simply
+// max(parent.CE, newLoad) — O(1) instead of an O(P) rescan.
+type MaxCost struct{}
+
+// FromLoads implements CostModel.
+func (MaxCost) FromLoads(loads []time.Duration) time.Duration {
+	var m time.Duration
+	for _, l := range loads {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// Extend implements CostModel.
+func (MaxCost) Extend(parentCE, _, newLoad time.Duration) time.Duration {
+	if newLoad > parentCE {
+		return newLoad
+	}
+	return parentCE
+}
+
+// SumCost is the total-completion alternative Σ_k ce_k — a design-choice
+// ablation against the paper's max.
+type SumCost struct{}
+
+// FromLoads implements CostModel.
+func (SumCost) FromLoads(loads []time.Duration) time.Duration {
+	var sum time.Duration
+	for _, l := range loads {
+		sum += l
+	}
+	return sum
+}
+
+// Extend implements CostModel.
+func (SumCost) Extend(parentCE, oldLoad, newLoad time.Duration) time.Duration {
+	return parentCE - oldLoad + newLoad
+}
+
+// PathState is the engine's reusable scratch for the state of the current
+// path: the per-worker completion offsets and the set of batch tasks
+// already assigned. The engine updates it in O(1) on a depth-first descend
+// and rebuilds it in O(depth) on a backtrack; representations read it in
+// Expand and must not mutate it.
+type PathState struct {
+	// Loads is ce_k for each worker at the current vertex: the completion
+	// offset of worker k relative to the end of the scheduling phase after
+	// the path's assignments (§4.4).
+	Loads []time.Duration
+	// Used marks which batch task indices appear on the current path. It
+	// is nil when the problem has no tasks.
+	Used *Bitset
+
+	path []*Vertex // rebuild scratch
+}
+
+// NewPathState returns a state positioned at the root of p's task space.
+func NewPathState(p *Problem) *PathState {
+	st := &PathState{Loads: make([]time.Duration, p.Workers)}
+	if len(p.Tasks) > 0 {
+		st.Used = NewBitset(len(p.Tasks))
+	}
+	st.Reset(p)
+	return st
+}
+
+// Reset repositions the state at the root: loads max(0, Load_k(j-1) -
+// Qs(j)), no tasks used.
+func (st *PathState) Reset(p *Problem) {
+	st.Loads = RootLoads(p, st.Loads)
+	if st.Used != nil {
+		st.Used.Reset()
+	}
+}
+
+// Descend applies v's delta: a single store for the changed worker load and
+// a single bit for the assigned task. Structural vertices are no-ops.
+func (st *PathState) Descend(v *Vertex) {
+	if !v.IsAssignment {
+		return
+	}
+	st.Loads[v.Assign.Proc] = v.Assign.EndOffset
+	if st.Used != nil {
+		st.Used.Set(v.Assign.TaskIndex)
+	}
+}
+
+// RebuildTo repositions the state at v by replaying the deltas on the path
+// from the root — the O(depth) backtrack path.
+func (st *PathState) RebuildTo(p *Problem, v *Vertex) {
+	st.path = st.path[:0]
+	for cur := v; cur != nil; cur = cur.Parent {
+		st.path = append(st.path, cur)
+	}
+	st.Reset(p)
+	for i := len(st.path) - 1; i >= 0; i-- {
+		st.Descend(st.path[i])
+	}
+}
+
+// MoveTo transitions the state from vertex `from` to vertex `to`: O(1) when
+// `to` extends `from` (the DFS fast path), O(depth) otherwise.
+func (st *PathState) MoveTo(p *Problem, from, to *Vertex) {
+	if to.Parent == from {
+		st.Descend(to)
+		return
+	}
+	st.RebuildTo(p, to)
+}
+
 // Representation defines the topology of the task space G: how the root
-// looks and how a vertex expands into feasible successors.
+// looks and how a vertex expands into feasible successors. Implementations
+// must be stateless (or read-only) so RunParallel can call Expand from
+// multiple goroutines.
 type Representation interface {
 	// Name identifies the representation in results and logs.
 	Name() string
 	// Root returns the root vertex (the empty schedule).
 	Root(p *Problem) *Vertex
-	// Expand generates v's feasible successors, best first. It returns the
-	// successors and the number of vertices generated-and-evaluated
-	// (including infeasible ones that were discarded), which the engine
-	// charges against the quantum.
-	Expand(p *Problem, v *Vertex) (succs []*Vertex, generated int)
+	// Expand generates v's feasible successors, best first, reading the
+	// path's loads and used-task set from st (it must not mutate st). It
+	// returns the successors and the number of vertices
+	// generated-and-evaluated (including infeasible ones that were
+	// discarded), which the engine charges against the quantum. The
+	// returned slice should come from GetSuccs and its vertices from
+	// NewVertex; the engine recycles both.
+	Expand(p *Problem, v *Vertex, st *PathState) (succs []*Vertex, generated int)
 	// IsLeaf reports whether v is a complete schedule.
 	IsLeaf(p *Problem, v *Vertex) bool
 }
@@ -231,6 +464,24 @@ func (r *Result) Schedule() []Assignment {
 	return out
 }
 
+// Loads materializes the per-worker completion offsets of the best partial
+// schedule — the array delta vertices no longer carry.
+func (r *Result) Loads(p *Problem) []time.Duration {
+	return PathLoads(p, r.Best)
+}
+
+// PathLoads materializes the per-worker completion offsets of v's partial
+// schedule by replaying the path's deltas over the root loads.
+func PathLoads(p *Problem, v *Vertex) []time.Duration {
+	loads := RootLoads(p, nil)
+	for cur := v; cur != nil; cur = cur.Parent {
+		if cur.IsAssignment && loads[cur.Assign.Proc] < cur.Assign.EndOffset {
+			loads[cur.Assign.Proc] = cur.Assign.EndOffset
+		}
+	}
+	return loads
+}
+
 // Run performs the paper's quantum-bounded depth-first search: it expands
 // the current vertex, prepends its feasible successors (already sorted
 // best-first by the representation) to the candidate list CL, and picks the
@@ -242,58 +493,102 @@ func Run(p *Problem, rep Representation) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	res := &Result{}
-	budget := newBudget(p)
+	e := &engine{p: p, rep: rep, st: NewPathState(p), budget: newBudget(p)}
+	e.run(rep.Root(p))
+	e.res.Stats.Consumed = e.budget.consumed()
+	return e.res, nil
+}
 
-	cv := rep.Root(p)
-	res.Best = cv
-	cl := newCandidateList(p.Strategy)
+// engine is one sequential quantum-bounded search over a subtree. The
+// parallel driver runs one engine per root branch; Run runs one over the
+// whole space.
+type engine struct {
+	p      *Problem
+	rep    Representation
+	st     *PathState // positioned at the start vertex by the caller
+	budget *budget
+	stop   func() bool // optional cooperative cancellation
+
+	res     *Result
+	stopped bool // the stop hook ended the search
+}
+
+// run searches the subtree rooted at start. st must already be positioned
+// at start.
+func (e *engine) run(start *Vertex) {
+	e.res = &Result{Best: start}
+	cv := start
+	cl := newCandidateList(e.p.Strategy)
+	defer func() {
+		// Recycle abandoned candidates: they were never expanded, so
+		// nothing — including Best's path, whose vertices were all popped
+		// earlier — can still reference them.
+		for {
+			v, ok := cl.pop()
+			if !ok {
+				return
+			}
+			FreeVertex(v)
+		}
+	}()
 
 	for {
-		if rep.IsLeaf(p, cv) {
-			res.Stats.Leaf = true
-			break
+		if e.rep.IsLeaf(e.p, cv) {
+			e.res.Stats.Leaf = true
+			return
 		}
-		if p.MaxDepth > 0 && cv.Depth >= p.MaxDepth {
-			res.Stats.DepthLimited = true
-			break
+		if e.p.MaxDepth > 0 && cv.Depth >= e.p.MaxDepth {
+			e.res.Stats.DepthLimited = true
+			return
 		}
-		if budget.expired() {
-			res.Stats.Expired = true
-			break
+		if e.budget.expired() {
+			e.res.Stats.Expired = true
+			return
+		}
+		if e.stop != nil && e.stop() {
+			e.stopped = true
+			return
 		}
 
-		succs, generated := rep.Expand(p, cv)
-		res.Stats.Expanded++
-		res.Stats.Generated += generated
-		budget.charge(generated)
+		succs, generated := e.rep.Expand(e.p, cv, e.st)
+		e.res.Stats.Expanded++
+		e.res.Stats.Generated += generated
+		e.budget.charge(generated)
+		barren := len(succs) == 0
 
-		if len(succs) == 0 && cl.len() == 0 {
-			res.Stats.DeadEnd = true
-			break
+		if barren && cl.len() == 0 {
+			e.res.Stats.DeadEnd = true
+			return
 		}
 		cl.push(succs)
+		PutSuccs(succs) // push copied the pointers; recycle the slice
 
 		next, ok := cl.pop()
 		if !ok {
-			res.Stats.DeadEnd = true
-			break
+			e.res.Stats.DeadEnd = true
+			return
 		}
 		if next.Parent != cv {
-			res.Stats.Backtracks++
-			if p.MaxBacktracks > 0 && res.Stats.Backtracks > p.MaxBacktracks {
-				res.Stats.BacktrackLimited = true
-				break
+			e.res.Stats.Backtracks++
+			if e.p.MaxBacktracks > 0 && e.res.Stats.Backtracks > e.p.MaxBacktracks {
+				e.res.Stats.BacktrackLimited = true
+				FreeVertex(next) // popped but never walked
+				return
 			}
+		}
+		e.st.MoveTo(e.p, cv, next)
+		if barren && cv != e.res.Best && cv != start {
+			// cv produced nothing and the path moved off it: no child, CL
+			// entry, or best pointer can reference it, so recycle it now
+			// rather than leaving the whole exhausted frontier to the GC.
+			FreeVertex(cv)
 		}
 		cv = next
 
-		if better(cv, res.Best) {
-			res.Best = cv
+		if better(cv, e.res.Best) {
+			e.res.Best = cv
 		}
 	}
-	res.Stats.Consumed = budget.consumed()
-	return res, nil
 }
 
 // candidateList abstracts the CL ordering behind the search strategy.
@@ -317,11 +612,13 @@ type stackCL struct {
 }
 
 func (s *stackCL) push(succs []*Vertex) {
-	// Append in reverse so the best sibling sits at the slice tail (the
-	// front of the list).
-	for i := len(succs) - 1; i >= 0; i-- {
-		s.items = append(s.items, succs[i])
+	// Reverse in place so the best sibling lands at the slice tail (the
+	// front of the list), then grow the stack with a single append. The
+	// slice is pool-scratch owned by the engine, so reversing it is safe.
+	for i, j := 0, len(succs)-1; i < j; i, j = i+1, j-1 {
+		succs[i], succs[j] = succs[j], succs[i]
 	}
+	s.items = append(s.items, succs...)
 }
 
 func (s *stackCL) pop() (*Vertex, bool) {
@@ -361,6 +658,7 @@ func newBestFirstCL() *bestFirstCL {
 }
 
 func (b *bestFirstCL) push(succs []*Vertex) {
+	b.heap.Grow(len(succs))
 	for _, v := range succs {
 		b.heap.Push(rankedVertex{v: v, seq: b.seq})
 		b.seq++
@@ -395,6 +693,11 @@ type budget struct {
 
 func newBudget(p *Problem) *budget { return &budget{p: p} }
 
+// fork returns an independent budget that has already consumed everything
+// this one has — the seed for a parallel branch engine, which must behave
+// as if it alone continued the sequential search.
+func (b *budget) fork() *budget { return &budget{p: b.p, virtual: b.virtual} }
+
 func (b *budget) charge(vertices int) {
 	b.virtual += time.Duration(vertices) * b.p.VertexCost
 }
@@ -410,8 +713,8 @@ func (b *budget) expired() bool {
 	return b.consumed() >= b.p.Quantum
 }
 
-// Bitset is a fixed-capacity bitset over batch task indices, used by
-// representations that must know which tasks a path has already scheduled.
+// Bitset is a fixed-capacity bitset over batch task indices, used to track
+// which tasks the current path has already scheduled.
 type Bitset struct {
 	words []uint64
 	n     int
@@ -427,6 +730,13 @@ func (b *Bitset) Clone() *Bitset {
 	w := make([]uint64, len(b.words))
 	copy(w, b.words)
 	return &Bitset{words: w, n: b.n}
+}
+
+// Reset clears every bit, keeping the backing storage.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
 }
 
 // Set marks index i.

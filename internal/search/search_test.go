@@ -100,13 +100,11 @@ type chainRep struct {
 
 func (c *chainRep) Name() string { return "chain" }
 
-func (c *chainRep) Root(p *Problem) *Vertex {
-	return &Vertex{Loads: make([]time.Duration, p.Workers)}
-}
+func (c *chainRep) Root(p *Problem) *Vertex { return &Vertex{} }
 
 func (c *chainRep) IsLeaf(p *Problem, v *Vertex) bool { return v.Depth >= c.length }
 
-func (c *chainRep) Expand(p *Problem, v *Vertex) ([]*Vertex, int) {
+func (c *chainRep) Expand(p *Problem, v *Vertex, st *PathState) ([]*Vertex, int) {
 	if c.deadEnd >= 0 && v.Depth >= c.deadEnd {
 		return nil, c.branch
 	}
@@ -116,7 +114,6 @@ func (c *chainRep) Expand(p *Problem, v *Vertex) ([]*Vertex, int) {
 			Parent:       v,
 			IsAssignment: true,
 			Depth:        v.Depth + 1,
-			Loads:        v.Loads,
 			CE:           v.CE + time.Duration(i), // first successor is best
 		}
 	}

@@ -1,0 +1,112 @@
+// Command benchcmp compares two BENCH_search.json files (as written by
+// scripts/bench.sh) and exits non-zero when the expand-only benchmark — the
+// allocation-free fast path the search core is built around — regresses more
+// than the threshold on ns/op or allocs/op.
+//
+// Usage: go run ./scripts/benchcmp base.json new.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// File mirrors the schema written by scripts/benchjson.
+type File struct {
+	Suite      string                        `json:"suite"`
+	GOOS       string                        `json:"goos,omitempty"`
+	GOARCH     string                        `json:"goarch,omitempty"`
+	CPU        string                        `json:"cpu,omitempty"`
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+const (
+	gateBench = "expand-only"
+	threshold = 0.20 // >20% worse fails
+)
+
+func load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return &f, nil
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp base.json new.json")
+		os.Exit(2)
+	}
+	base, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	cur, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+
+	// Informational delta table over every benchmark both files share.
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		if _, ok := cur.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	fmt.Printf("%-28s %14s %14s %9s\n", "benchmark", "base ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		b, c := base.Benchmarks[name]["ns_per_op"], cur.Benchmarks[name]["ns_per_op"]
+		delta := "n/a"
+		if b > 0 {
+			delta = fmt.Sprintf("%+.1f%%", (c-b)/b*100)
+		}
+		fmt.Printf("%-28s %14.1f %14.1f %9s\n", name, b, c, delta)
+	}
+
+	bm, ok := base.Benchmarks[gateBench]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchcmp: baseline has no %q benchmark\n", gateBench)
+		os.Exit(2)
+	}
+	cm, ok := cur.Benchmarks[gateBench]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchcmp: new results have no %q benchmark\n", gateBench)
+		os.Exit(2)
+	}
+
+	failed := false
+	check := func(metric string) {
+		b, c := bm[metric], cm[metric]
+		switch {
+		case b == 0 && c > 0:
+			// A zero baseline is a hard invariant: the expand path is
+			// allocation-free, and any alloc at all is a regression.
+			fmt.Printf("FAIL %s/%s: baseline 0, now %.1f\n", gateBench, metric, c)
+			failed = true
+		case b > 0 && c > b*(1+threshold):
+			fmt.Printf("FAIL %s/%s: %.1f -> %.1f (%+.1f%%, threshold %+.0f%%)\n",
+				gateBench, metric, b, c, (c-b)/b*100, threshold*100)
+			failed = true
+		default:
+			fmt.Printf("ok   %s/%s: %.1f -> %.1f\n", gateBench, metric, b, c)
+		}
+	}
+	check("ns_per_op")
+	check("allocs_per_op")
+	if failed {
+		os.Exit(1)
+	}
+}

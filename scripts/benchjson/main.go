@@ -1,0 +1,98 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// BENCH_search.json format tracked by the repo: one entry per benchmark,
+// with ns/op, B/op, allocs/op and any custom metrics (tasks/s). With
+// -count > 1 the best run wins (min for costs, max for throughput), which
+// damps scheduler noise in CI.
+//
+// Usage: go test -bench BenchmarkSearchCore -benchmem ./internal/search/ | go run ./scripts/benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// File is the BENCH_search.json schema (shared with scripts/benchcmp).
+type File struct {
+	Suite      string                        `json:"suite"`
+	GOOS       string                        `json:"goos,omitempty"`
+	GOARCH     string                        `json:"goarch,omitempty"`
+	CPU        string                        `json:"cpu,omitempty"`
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.*)$`)
+
+func metricKey(unit string) string {
+	return strings.ReplaceAll(strings.ReplaceAll(unit, "/", "_per_"), "-", "_")
+}
+
+// betterIsMax reports whether larger values of the metric are better
+// (throughput); cost metrics keep the minimum across -count runs.
+func betterIsMax(key string) bool {
+	return strings.HasSuffix(key, "_per_s") || strings.HasSuffix(key, "_per_sec")
+}
+
+func main() {
+	out := File{Suite: "BenchmarkSearchCore", Benchmarks: map[string]map[string]float64{}}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			out.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			out.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			out.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "BenchmarkSearchCore/")
+		name = strings.TrimPrefix(name, "Benchmark")
+		// Strip the trailing -GOMAXPROCS suffix Go appends when >1.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		fields := strings.Fields(m[2])
+		entry := out.Benchmarks[name]
+		if entry == nil {
+			entry = map[string]float64{}
+			out.Benchmarks[name] = entry
+		}
+		for i := 0; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			key := metricKey(fields[i+1])
+			prev, seen := entry[key]
+			if !seen || (betterIsMax(key) && val > prev) || (!betterIsMax(key) && val < prev) {
+				entry[key] = val
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(out.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
