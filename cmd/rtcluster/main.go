@@ -24,6 +24,16 @@
 //
 //	rtcluster -workers 4 -txns 600 -sf 6 -faults "kill=1@40ms" \
 //	    -debug-addr :8077 -progress 1s -trace out.json
+//
+// Overload control: bound the ready queue, shed by policy, and fall back
+// to EDF-greedy planning when RT-SADS stops keeping up:
+//
+//	rtcluster -workers 2 -txns 600 -admission shed-least-slack \
+//	    -queue-cap 64 -degrade-after 3
+//
+// A SIGINT or SIGTERM drains gracefully: admission stops, the admitted
+// backlog is scheduled for up to -drain, and the journal and trace are
+// still written. A second signal exits immediately.
 package main
 
 import (
@@ -32,9 +42,13 @@ import (
 	"io"
 	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
+	"rtsads/internal/admission"
+	"rtsads/internal/core"
 	"rtsads/internal/experiment"
 	"rtsads/internal/faultinject"
 	"rtsads/internal/livecluster"
@@ -49,7 +63,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("rtcluster", flag.ContinueOnError)
 	role := fs.String("role", "inproc", "inproc (all-in-one), host, or worker")
 	algo := fs.String("algo", "RT-SADS", "scheduler: RT-SADS, D-COLS, EDF-greedy, myopic")
@@ -71,6 +85,10 @@ func run(args []string, out io.Writer) error {
 	traceLimit := fs.Int("trace-limit", 0, "maximum trace events to keep (0 = unlimited)")
 	progress := fs.Duration("progress", 0, "report run progress to stderr at this wall-clock interval (0 = off)")
 	journalOut := fs.String("journal", "", "write the structured event journal as JSON Lines to this file")
+	admissionPolicy := fs.String("admission", "off", "overload admission control: off, reject, shed-oldest or shed-least-slack (non-off also rejects hopeless tasks at enqueue)")
+	queueCap := fs.Int("queue-cap", 0, "bound the host's ready queue to this many tasks; beyond it the -admission policy sheds (0 = unbounded)")
+	degradeAfter := fs.Int("degrade-after", 0, "fall back to EDF-greedy planning after this many consecutive bad phases, recovering hysteretically (0 = off)")
+	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown grace: how long a SIGINT/SIGTERM keeps scheduling the admitted backlog before abandoning it")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -139,6 +157,23 @@ func run(args []string, out io.Writer) error {
 			},
 			Parallel: *parallel,
 		}
+		if *admissionPolicy != "off" {
+			pol, err := admission.ParsePolicy(*admissionPolicy)
+			if err != nil {
+				return err
+			}
+			cfg.Admission = admission.Config{
+				Policy:         pol,
+				QueueCap:       *queueCap,
+				RejectHopeless: true,
+			}
+		} else if *queueCap > 0 {
+			// A bounded queue with no policy named: first-come, first-admitted.
+			cfg.Admission = admission.Config{Policy: admission.Reject, QueueCap: *queueCap}
+		}
+		if *degradeAfter > 0 {
+			cfg.Degrade = &core.DegradeConfig{After: *degradeAfter}
+		}
 		if *role == "host" {
 			cfg.Backend = func(clock *livecluster.Clock, inj *faultinject.Injector) (livecluster.Backend, error) {
 				return livecluster.NewTCPBackend(clock, w, addrs, livecluster.TCPOptions{
@@ -160,6 +195,37 @@ func run(args []string, out io.Writer) error {
 			defer srv.Close()
 			fmt.Fprintf(out, "debug endpoint: %s (/metrics /healthz /journal /debug/pprof)\n", srv.URL())
 		}
+		// Flush the journal and trace on every exit path — a drained run, a
+		// run error, anything — so an interrupted run still leaves its
+		// flight recorder behind.
+		defer func() {
+			if *traceOut != "" {
+				if werr := writeTrace(*traceOut, observer, out); werr != nil && retErr == nil {
+					retErr = werr
+				}
+			}
+			if *journalOut != "" {
+				if werr := writeJournal(*journalOut, observer, out); werr != nil && retErr == nil {
+					retErr = werr
+				}
+			}
+		}()
+
+		// Graceful shutdown: the first SIGINT/SIGTERM stops admission and
+		// drains the admitted backlog for up to -drain; a second signal
+		// exits immediately.
+		sigCh := make(chan os.Signal, 2)
+		signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sigCh)
+		go func() {
+			s := <-sigCh
+			fmt.Fprintf(os.Stderr, "rtcluster: %v: draining for up to %v (signal again to exit now)\n", s, *drain)
+			c.Stop(*drain)
+			<-sigCh
+			fmt.Fprintln(os.Stderr, "rtcluster: second signal: exiting now")
+			os.Exit(1)
+		}()
+
 		stopProgress := observer.StartProgress(os.Stderr, *progress)
 		start := time.Now()
 		res, err := c.Run()
@@ -174,15 +240,10 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "faults: %d worker(s) failed, %d task(s) re-routed, %d lost to failure\n",
 				res.WorkerFailures, res.Rerouted, res.LostToFailure)
 		}
-		if *traceOut != "" {
-			if err := writeTrace(*traceOut, observer, out); err != nil {
-				return err
-			}
-		}
-		if *journalOut != "" {
-			if err := writeJournal(*journalOut, observer, out); err != nil {
-				return err
-			}
+		if res.Shed > 0 || res.Overloads > 0 || res.Degradations > 0 {
+			fmt.Fprintf(out, "overload: %d task(s) shed (%d hopeless, %d queue-full, %d shutdown), %d deferred deliveries, %d degradation(s)/%d recoveries\n",
+				res.Shed, res.ShedHopeless, res.ShedQueueFull, res.ShedShutdown,
+				res.Overloads, res.Degradations, res.Recoveries)
 		}
 		return nil
 

@@ -1,0 +1,120 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// runScenario runs one seeded scenario with a hang guard: the one failure
+// mode the harness itself must never exhibit is not terminating.
+func runScenario(t *testing.T, seed uint64) *Report {
+	t.Helper()
+	type outcome struct {
+		rep *Report
+		err error
+	}
+	ch := make(chan outcome, 1)
+	s := NewScenario(seed)
+	go func() {
+		rep, err := s.Run()
+		ch <- outcome{rep, err}
+	}()
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			t.Fatal(o.err)
+		}
+		return o.rep
+	case <-time.After(45 * time.Second):
+		t.Fatalf("seed %d: scenario hung", seed)
+		return nil
+	}
+}
+
+func TestScenarioDeterministic(t *testing.T) {
+	for seed := uint64(1); seed <= 50; seed++ {
+		a, b := NewScenario(seed), NewScenario(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: scenario generation not deterministic:\n%+v\n%+v", seed, a, b)
+		}
+		if !a.Admission.Enabled() && a.Backpressure == 0 {
+			t.Errorf("seed %d: scenario carries no overload mechanism", seed)
+		}
+	}
+}
+
+// TestChaosSmoke is the CI gate: twenty seeded overload scenarios through
+// the full cluster, every harness invariant checked on each. It also
+// asserts that across the batch the overload machinery demonstrably fired —
+// a smoke run in which nothing was ever shed, deferred or degraded would
+// mean the harness stopped testing what it claims to.
+func TestChaosSmoke(t *testing.T) {
+	var shed, overloads, degradations, rerouted int
+	for seed := uint64(1); seed <= 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rep := runScenario(t, seed)
+			for _, v := range rep.Violations {
+				t.Errorf("seed %d: %s", seed, v)
+			}
+			if rep.Result.Total != rep.Scenario.Tasks {
+				t.Errorf("seed %d: ran %d tasks, scenario specifies %d",
+					seed, rep.Result.Total, rep.Scenario.Tasks)
+			}
+			shed += rep.Result.Shed
+			overloads += rep.Result.Overloads
+			degradations += rep.Result.Degradations
+			rerouted += rep.Result.Rerouted
+		})
+	}
+	if shed == 0 {
+		t.Error("no scenario shed a single task; the admission paths went unexercised")
+	}
+	if overloads == 0 {
+		t.Error("no scenario deferred a single delivery; the backpressure path went unexercised")
+	}
+	if rerouted == 0 {
+		t.Error("no scenario re-routed a task; the failure paths went unexercised")
+	}
+	t.Logf("aggregate over 20 seeds: shed=%d overload-deferrals=%d degradations=%d rerouted=%d",
+		shed, overloads, degradations, rerouted)
+}
+
+// TestChaosSoak is the opt-in long-running sweep: hundreds of seeds, with a
+// coarse memory ceiling so an unbounded-growth regression (a leaked queue,
+// an unbounded journal) fails loudly. Enable with RTSADS_SOAK=1, or set it
+// to a scenario count.
+func TestChaosSoak(t *testing.T) {
+	env := os.Getenv("RTSADS_SOAK")
+	if env == "" {
+		t.Skip("soak disabled; set RTSADS_SOAK=1 (or a scenario count) to enable")
+	}
+	n := 200
+	if v, err := strconv.Atoi(env); err == nil && v > 1 {
+		n = v
+	}
+	var ms runtime.MemStats
+	for seed := uint64(1); seed <= uint64(n); seed++ {
+		rep := runScenario(t, seed)
+		for _, v := range rep.Violations {
+			t.Errorf("seed %d: %s", seed, v)
+		}
+		if t.Failed() {
+			t.Fatalf("stopping soak at seed %d after first violation", seed)
+		}
+		if seed%25 == 0 {
+			runtime.GC()
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > 512<<20 {
+				t.Fatalf("heap grew to %d MiB after %d scenarios; memory is not bounded",
+					ms.HeapAlloc>>20, seed)
+			}
+			t.Logf("seed %d/%d: heap %d MiB", seed, n, ms.HeapAlloc>>20)
+		}
+	}
+}

@@ -1,11 +1,13 @@
 package livecluster
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 
+	"rtsads/internal/admission"
 	"rtsads/internal/core"
 	"rtsads/internal/experiment"
 	"rtsads/internal/faultinject"
@@ -134,12 +136,62 @@ type Config struct {
 	// branches on up to that many goroutines (search.RunParallel). The
 	// wall-clock quantum budget is shared across branches.
 	Parallel int
+	// Admission applies overload control at the host's front door: the
+	// §4.3 feasibility test at enqueue time (hopeless tasks rejected with
+	// a typed reason) and a bounded ready queue with policy-driven
+	// shedding. The zero value admits everything.
+	Admission admission.Config
+	// Degrade, when non-nil, wraps the planner in a degraded-mode
+	// controller (core.Degrading) that falls back to EDF-greedy after the
+	// configured streak of bad phases and recovers hysteretically. Both
+	// planners gate assignments on the same deadline-safe test, so the
+	// guarantee survives the switch.
+	Degrade *core.DegradeConfig
+	// Backpressure bounds each worker's delivered-but-unfinished job queue
+	// in the built-in channel backend; beyond it Deliver returns
+	// *Overloaded and the host defers the remainder until capacity frees
+	// (0 = unbounded). Custom Backends configure their own cap (see
+	// TCPOptions.QueueCap) — the host handles *Overloaded from any
+	// backend either way.
+	Backpressure int
+	// SlackGuard is a deadline guard band for live planning: the host
+	// presents tasks to the planner with deadlines shrunk by this much
+	// virtual time, so every accepted schedule carries at least that much
+	// slack. Workers and accounting still judge against the true deadlines,
+	// so the band absorbs wall-clock jitter (late dequeues, timer
+	// overshoot) that would otherwise turn a zero-slack schedule into a
+	// deadline miss. 0 disables.
+	SlackGuard time.Duration
 }
 
 // Cluster drives a live run: one host (the caller's goroutine) plus worker
 // goroutines or processes.
 type Cluster struct {
 	cfg Config
+
+	// Graceful shutdown: Stop publishes grace before closing stop, and the
+	// host loop reads it only after observing the close, so the pair needs
+	// no lock.
+	stop     chan struct{}
+	stopOnce sync.Once
+	grace    time.Duration
+}
+
+// Stop asks a running cluster to shut down gracefully: the host stops
+// admitting work (pending and future arrivals are shed with the
+// shutting-down reason), keeps scheduling the already-admitted backlog for
+// up to grace of wall time, and then abandons whatever remains. Safe to
+// call from any goroutine, concurrently with Run, and more than once —
+// only the first call takes effect. Calling Stop before Run makes Run
+// drain immediately.
+func (c *Cluster) Stop(grace time.Duration) {
+	c.stopOnce.Do(func() {
+		if grace < 0 {
+			grace = 0
+		}
+		c.grace = grace
+		close(c.stop)
+	})
 }
 
 // phaseClock gives each scheduling phase a fresh wall-clock budget origin.
@@ -170,7 +222,21 @@ func New(cfg Config) (*Cluster, error) {
 		cfg.Policy = core.NewAdaptive()
 	}
 	cfg.Liveness = cfg.Liveness.withDefaults()
-	return &Cluster{cfg: cfg}, nil
+	if err := cfg.Admission.Validate(); err != nil {
+		return nil, fmt.Errorf("livecluster: %w", err)
+	}
+	if cfg.Degrade != nil {
+		if err := cfg.Degrade.Validate(); err != nil {
+			return nil, fmt.Errorf("livecluster: %w", err)
+		}
+	}
+	if cfg.Backpressure < 0 {
+		return nil, fmt.Errorf("livecluster: Backpressure %d must be non-negative", cfg.Backpressure)
+	}
+	if cfg.SlackGuard < 0 {
+		return nil, fmt.Errorf("livecluster: SlackGuard %v must be non-negative", cfg.SlackGuard)
+	}
+	return &Cluster{cfg: cfg, stop: make(chan struct{})}, nil
 }
 
 // flight is one delivered-but-unfinished job the host tracks so it can be
@@ -210,6 +276,23 @@ type runState struct {
 	next         int
 	planner      core.Planner
 	plannerStale bool
+
+	// Overload control (host-only). adm gates every batch admission (nil
+	// admits everything). degrading is the planner's degraded-mode
+	// controller when Config.Degrade is set; lastDeg/lastRec/lastDP are its
+	// counts already mirrored into res, so rebuilds (which discard the
+	// controller) keep the run totals cumulative. wasDegraded is the last
+	// observed mode, for emitting transition events.
+	adm         *admission.Controller
+	degrading   *core.Degrading
+	wasDegraded bool
+	lastDeg     int
+	lastRec     int
+	lastDP      int
+
+	// Graceful shutdown (host-only): set when c.stop is first observed.
+	stopping     bool
+	stopDeadline time.Time
 }
 
 // Run executes the workload to completion and returns the run's metrics.
@@ -248,9 +331,17 @@ func (c *Cluster) Run() (*metrics.RunResult, error) {
 		WorkerBusy: make([]time.Duration, w.Params.Workers),
 	}
 
+	var adm *admission.Controller
+	if c.cfg.Admission.Enabled() {
+		if adm, err = admission.New(c.cfg.Admission); err != nil {
+			return nil, fmt.Errorf("livecluster: %w", err)
+		}
+	}
+
 	r := &runState{
 		c:        c,
 		o:        c.cfg.Obs,
+		adm:      adm,
 		clock:    clock,
 		backend:  backend,
 		live:     c.cfg.Liveness,
@@ -317,6 +408,22 @@ func (r *runState) collect() {
 			continue
 		}
 		delete(r.inflight, task.ID(d.Task))
+		if d.Expired {
+			// The worker shed the job at its queue head: the deadline was
+			// already unreachable, so it missed without execution — the same
+			// purge condition the host applies to its batch, enforced one
+			// tier down.
+			r.res.Purged++
+			r.o.Purge(fl.t.ID, d.Start)
+			r.o.Inflight(len(r.inflight))
+			r.record(metrics.Completion{Task: fl.t.ID, Proc: -1})
+			r.mu.Unlock()
+			select {
+			case r.doneTick <- struct{}{}:
+			default:
+			}
+			continue
+		}
 		hit := d.Err == "" && !d.Finish.After(fl.t.Deadline)
 		if hit {
 			r.res.Hits++
@@ -367,10 +474,14 @@ func (r *runState) loop() error {
 		}
 
 		now := r.clock.Now()
+		if r.checkStop(now) {
+			return nil
+		}
 		for r.next < len(r.pending) && !r.pending[r.next].Arrival.After(now) {
-			r.o.Arrival(r.pending[r.next].ID, r.pending[r.next].Arrival)
-			r.batch.Add(r.pending[r.next])
+			t := r.pending[r.next]
 			r.next++
+			r.o.Arrival(t.ID, t.Arrival)
+			r.admit(t, now, true)
 		}
 		if purged := r.batch.PurgeMissed(now); len(purged) > 0 {
 			r.mu.Lock()
@@ -407,15 +518,27 @@ func (r *runState) loop() error {
 			return nil
 		}
 		if r.planner == nil || r.plannerStale {
-			p, err := r.c.makePlanner(r.pc, active)
+			p, dg, err := r.c.makePlanner(r.pc, active)
 			if err != nil {
 				return err
 			}
 			r.planner = p
+			r.degrading = dg
 			r.plannerStale = false
+			r.lastDeg, r.lastRec, r.lastDP = 0, 0, 0
 			r.mu.Lock()
 			r.res.Algorithm = p.Name() + "/live"
+			if r.wasDegraded {
+				// The old controller died with the old machine; the fresh one
+				// starts healthy, so the mode change is a recovery.
+				r.res.Recoveries++
+			}
+			phase := r.res.Phases
 			r.mu.Unlock()
+			if r.wasDegraded {
+				r.wasDegraded = false
+				r.o.DegradeMode(false, phase, "planner rebuilt", now)
+			}
 		}
 
 		// Plan against the surviving machine: slot s of the search maps to
@@ -424,9 +547,26 @@ func (r *runState) loop() error {
 		for s, k := range active {
 			loads[s] = simtime.NonNeg(r.freeAt[k].Sub(now))
 		}
+		// With a slack guard, plan against shadow copies whose deadlines are
+		// shrunk by the band; everything downstream (delivery, workers,
+		// accounting) keeps the originals and their true deadlines.
+		planBatch := r.batch.Tasks()
+		var orig map[task.ID]*task.Task
+		if g := r.c.cfg.SlackGuard; g > 0 {
+			orig = make(map[task.ID]*task.Task, len(planBatch))
+			shadow := make([]task.Task, len(planBatch))
+			guarded := make([]*task.Task, len(planBatch))
+			for i, t := range planBatch {
+				orig[t.ID] = t
+				shadow[i] = *t
+				shadow[i].Deadline = t.Deadline.Add(-g)
+				guarded[i] = &shadow[i]
+			}
+			planBatch = guarded
+		}
 		r.pc.Reset()
 		r.o.PhaseStart(r.res.Phases, r.batch.Len(), now)
-		out, err := r.planner.PlanPhase(core.PhaseInput{Now: now, Batch: r.batch.Tasks(), Loads: loads})
+		out, err := r.planner.PlanPhase(core.PhaseInput{Now: now, Batch: planBatch, Loads: loads})
 		if err != nil {
 			return fmt.Errorf("livecluster: phase %d: %w", r.res.Phases, err)
 		}
@@ -441,8 +581,28 @@ func (r *runState) loop() error {
 		if out.Stats.Expired {
 			r.res.QuantaExpired++
 		}
+		var modeFlip, nowDegraded bool
+		if r.degrading != nil {
+			// Mirror the controller's cumulative counts as deltas so rebuilds
+			// (which replace the controller) keep the run totals monotonic.
+			dgs, recs, dps := r.degrading.Counts()
+			r.res.Degradations += dgs - r.lastDeg
+			r.res.Recoveries += recs - r.lastRec
+			r.res.DegradedPhases += dps - r.lastDP
+			r.lastDeg, r.lastRec, r.lastDP = dgs, recs, dps
+			nowDegraded = r.degrading.Degraded()
+			modeFlip = nowDegraded != r.wasDegraded
+			r.wasDegraded = nowDegraded
+		}
 		phase := r.res.Phases - 1
 		r.mu.Unlock()
+		if modeFlip {
+			reason := "quantum-expired streak"
+			if !nowDegraded {
+				reason = "clean-phase streak"
+			}
+			r.o.DegradeMode(nowDegraded, phase, reason, r.clock.Now())
+		}
 		r.o.PhaseEnd(phase, r.clock.Now(), obs.PhaseStats{
 			Quantum:    out.Quantum,
 			Used:       out.Used,
@@ -457,40 +617,173 @@ func (r *runState) loop() error {
 		scheduled := make([]*task.Task, 0, len(out.Schedule))
 		r.mu.Lock()
 		for _, a := range out.Schedule {
+			t := a.Task
+			if orig != nil {
+				t = orig[t.ID] // map the guard-band shadow back to the real task
+			}
 			k := active[a.Proc]
 			start := deliverAt.Max(r.freeAt[k])
-			due := start.Add(a.Task.Proc + a.Comm)
+			due := start.Add(t.Proc + a.Comm)
 			r.freeAt[k] = due
-			r.inflight[a.Task.ID] = &flight{t: a.Task, worker: k, due: due}
+			r.inflight[t.ID] = &flight{t: t, worker: k, due: due}
 			perWorker[k] = append(perWorker[k], Job{
-				Task: int32(a.Task.ID),
-				Txn:  a.Task.Payload,
+				Task: int32(t.ID),
+				Txn:  t.Payload,
 				// Workers occupy the task's actual processing time;
 				// the host planned with the worst case, so early
 				// finishes are reclaimed by the next queued job.
-				Proc:     a.Task.ActualProc(),
+				Proc:     t.ActualProc(),
 				Comm:     a.Comm,
-				Deadline: a.Task.Deadline,
+				Deadline: t.Deadline,
 			})
-			r.o.Deliver(phase, a.Task.ID, k, deliverAt)
-			scheduled = append(scheduled, a.Task)
+			r.o.Deliver(phase, t.ID, k, deliverAt)
+			scheduled = append(scheduled, t)
 		}
 		r.o.Inflight(len(r.inflight))
 		r.mu.Unlock()
+		retryAt := simtime.Never
+		var deferred map[task.ID]bool
 		for k, jobs := range perWorker {
-			if err := r.backend.Deliver(k, jobs); err != nil {
+			err := r.backend.Deliver(k, jobs)
+			if err == nil {
+				continue
+			}
+			var ov *Overloaded
+			if !errors.As(err, &ov) {
 				return fmt.Errorf("livecluster: deliver to worker %d: %w", k, err)
 			}
+			// Backpressure: the worker's bounded queue filled mid-delivery.
+			// The rejected suffix returns to the batch (it was never
+			// enqueued) and is re-planned after roughly RetryAfter, instead
+			// of buffering unboundedly on the transport.
+			rejected := jobs[ov.Accepted:]
+			if deferred == nil {
+				deferred = make(map[task.ID]bool, len(rejected))
+			}
+			at := r.clock.Now()
+			r.mu.Lock()
+			r.res.Overloads += len(rejected)
+			for _, j := range rejected {
+				id := task.ID(j.Task)
+				delete(r.inflight, id)
+				deferred[id] = true
+			}
+			// Roll the worker's backlog model back to what was actually
+			// enqueued.
+			// Roll the worker's backlog model back to what was actually
+			// enqueued — but never below the backend's own estimate of when a
+			// slot frees. Flooring at "now" would advertise a full worker as
+			// instantly available, and the host would re-plan and re-defer in
+			// a tight loop, starving the workers of CPU (a completion wakes
+			// the host early via doneTick, so an over-estimate costs nothing).
+			free := at.Add(ov.RetryAfter)
+			for _, fl := range r.inflight {
+				if fl.worker == k && fl.due.After(free) {
+					free = fl.due
+				}
+			}
+			r.freeAt[k] = free
+			r.o.Inflight(len(r.inflight))
+			r.mu.Unlock()
+			r.o.Overloaded(k, len(rejected), ov.RetryAfter, at)
+			retryAt = retryAt.Min(at.Add(ov.RetryAfter))
+		}
+		if len(deferred) > 0 {
+			kept := scheduled[:0]
+			for _, t := range scheduled {
+				if !deferred[t.ID] {
+					kept = append(kept, t)
+				}
+			}
+			scheduled = kept
 		}
 		r.batch.RemoveScheduled(scheduled)
 
-		if len(out.Schedule) == 0 {
-			// Everything currently infeasible: wait for the earliest event
-			// that can change that (worker completion, arrival, a failure,
-			// or the nearest purge point).
-			r.wait(r.nextEvent(now))
+		if len(out.Schedule) == 0 || len(deferred) > 0 {
+			// Nothing currently feasible, or a worker pushed back: wait for
+			// the earliest event that can change the picture (a completion,
+			// an arrival, a failure, the nearest purge point, or the
+			// overload retry time) instead of spinning on re-plans. A
+			// completion wakes the host early via doneTick, so capacity
+			// freed before retryAt is not wasted.
+			r.wait(r.nextEvent(now).Min(retryAt))
 		}
 	}
+}
+
+// admit runs one task through the admission gate and into the batch.
+// arrival is true for first-time arrivals (counted in res.Admitted) and
+// false for reclaimed tasks being re-fed after a failure. Host goroutine
+// only.
+func (r *runState) admit(t *task.Task, now simtime.Instant, arrival bool) {
+	if r.stopping {
+		r.shed(t, admission.ShuttingDown, now)
+		return
+	}
+	d := r.adm.Admit(t, now, r.batch.Tasks())
+	if !d.Admit {
+		r.shed(t, d.Reason, now)
+		return
+	}
+	if d.Victim != nil {
+		r.batch.RemoveScheduled([]*task.Task{d.Victim})
+		r.shed(d.Victim, admission.QueueFull, now)
+	}
+	if arrival {
+		r.mu.Lock()
+		r.res.Admitted++
+		r.mu.Unlock()
+		r.o.Admitted(t.ID)
+	}
+	r.batch.Add(t)
+}
+
+// shed accounts one task rejected or evicted by admission control: a
+// terminal outcome, mirrored into the result, the registry and the
+// journal. Host goroutine only.
+func (r *runState) shed(t *task.Task, reason admission.Reason, now simtime.Instant) {
+	r.mu.Lock()
+	r.res.Shed++
+	switch reason {
+	case admission.Hopeless:
+		r.res.ShedHopeless++
+	case admission.QueueFull:
+		r.res.ShedQueueFull++
+	case admission.ShuttingDown:
+		r.res.ShedShutdown++
+	}
+	r.record(metrics.Completion{Task: t.ID, Proc: -1})
+	r.mu.Unlock()
+	r.o.Shed(t.ID, string(reason), now)
+}
+
+// checkStop notices a Stop request. On the first observation it stops
+// admission — every task that has not yet entered the batch is shed — and
+// starts the drain-grace clock; once the grace expires it sheds the
+// remaining backlog and reports true, ending the loop. Jobs already
+// delivered to workers still drain through backend.Close. Host goroutine
+// only.
+func (r *runState) checkStop(now simtime.Instant) bool {
+	if !r.stopping {
+		select {
+		case <-r.c.stop:
+			r.stopping = true
+			r.stopDeadline = time.Now().Add(r.c.grace)
+			for _, t := range r.pending[r.next:] {
+				r.shed(t, admission.ShuttingDown, now)
+			}
+			r.next = len(r.pending)
+		default:
+			return false
+		}
+	}
+	if time.Now().After(r.stopDeadline) {
+		for _, t := range r.batch.PurgeMissed(simtime.Never) {
+			r.shed(t, admission.ShuttingDown, now)
+		}
+		return true
+	}
+	return false
 }
 
 // handleFailure marks the worker (fatally failed workers leave the machine),
@@ -530,8 +823,14 @@ func (r *runState) handleFailure(f Failure) {
 	r.o.Inflight(len(r.inflight))
 	r.mu.Unlock()
 	// Map iteration order is random; keep the re-fed batch deterministic.
+	// Reclaimed tasks pass back through the admission gate: the queue cap
+	// still binds, and a task that became hopeless while in flight is shed
+	// now rather than after burning another phase's quantum. They are not
+	// re-counted as Admitted.
 	task.SortEDF(reclaimed)
-	r.batch.Add(reclaimed...)
+	for _, t := range reclaimed {
+		r.admit(t, now, false)
+	}
 	if r.alive[f.Worker] {
 		// The worker survived (reconnected or merely straggling) but its
 		// queue state is unknown; the host's backlog model restarts empty.
@@ -593,8 +892,10 @@ func (r *runState) nextEvent(now simtime.Instant) simtime.Instant {
 	return event
 }
 
-// wait sleeps until the virtual event time, a completion, or a failure —
-// whichever comes first. Failures are handled before returning.
+// wait sleeps until the virtual event time, a completion, a failure, or a
+// Stop request — whichever comes first. Failures are handled before
+// returning. While draining for shutdown the sleep is clamped to the drain
+// deadline so the grace is honoured.
 func (r *runState) wait(until simtime.Instant) {
 	if until == simtime.Never {
 		// Nothing scheduled to happen: poll at a coarse safety tick so an
@@ -602,6 +903,14 @@ func (r *runState) wait(until simtime.Instant) {
 		until = r.clock.Now().Add(10 * time.Millisecond)
 	}
 	d := r.clock.WallUntil(until)
+	var stopC <-chan struct{}
+	if !r.stopping {
+		// Once stopping is observed the closed channel would win every
+		// select; leave it nil and rely on the deadline clamp instead.
+		stopC = r.c.stop
+	} else if dl := time.Until(r.stopDeadline); dl < d {
+		d = dl
+	}
 	if d <= 0 {
 		return
 	}
@@ -612,6 +921,7 @@ func (r *runState) wait(until simtime.Instant) {
 	case f := <-r.failCh:
 		r.handleFailure(f)
 	case <-r.doneTick:
+	case <-stopC:
 	}
 }
 
@@ -636,14 +946,17 @@ func (c *Cluster) makeBackend(clock *Clock, inj *faultinject.Injector) (Backend,
 	if c.cfg.Backend != nil {
 		return c.cfg.Backend(clock, inj)
 	}
-	return NewChannelBackend(clock, c.cfg.Workload, inj, c.cfg.Obs), nil
+	return NewBoundedChannelBackend(clock, c.cfg.Workload, c.cfg.Backpressure, inj, c.cfg.Obs), nil
 }
 
 // makePlanner builds the planner over the surviving machine: search slot s
 // is working processor active[s], so after a failure the same feasibility
 // test (t_c + RQs(j) + se_lk <= d_l) re-routes tasks across the survivors
-// with their true communication costs.
-func (c *Cluster) makePlanner(pc *phaseClock, active []int) (core.Planner, error) {
+// with their true communication costs. With Config.Degrade set, the
+// planner is wrapped in a degraded-mode controller whose fallback is
+// EDF-greedy over the same machine; the second return value is that
+// controller (nil when degrade is disabled) so the host can poll its mode.
+func (c *Cluster) makePlanner(pc *phaseClock, active []int) (core.Planner, *core.Degrading, error) {
 	w := c.cfg.Workload
 	cost := w.Cost
 	procs := append([]int(nil), active...)
@@ -659,7 +972,22 @@ func (c *Cluster) makePlanner(pc *phaseClock, active []int) (core.Planner, error
 		Clock:    pc.Elapsed,
 		Parallel: c.cfg.Parallel,
 	}
-	return buildPlanner(c.cfg.Algorithm, scfg)
+	p, err := buildPlanner(c.cfg.Algorithm, scfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if c.cfg.Degrade == nil {
+		return p, nil, nil
+	}
+	fb, err := core.NewEDFGreedy(scfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	dg, err := core.NewDegrading(p, fb, *c.cfg.Degrade)
+	if err != nil {
+		return nil, nil, err
+	}
+	return dg, dg, nil
 }
 
 func buildPlanner(a experiment.Algorithm, scfg core.SearchConfig) (core.Planner, error) {
@@ -689,11 +1017,25 @@ type ChannelBackend struct {
 	failures chan Failure
 	stop     chan struct{}
 	wg       sync.WaitGroup
+
+	// Backpressure (optional): tracker bounds each worker's outstanding
+	// queue; workers complete into rawDone and a forwarder drains the
+	// tracker before re-publishing on done.
+	tracker *loadTracker
+	rawDone chan Done
+	fwdWG   sync.WaitGroup
 }
 
-// NewChannelBackend spawns the workers for the workload. inj and o may be
-// nil.
+// NewChannelBackend spawns the workers for the workload with unbounded
+// worker queues. inj and o may be nil.
 func NewChannelBackend(clock *Clock, w *workload.Workload, inj *faultinject.Injector, o *obs.Observer) *ChannelBackend {
+	return NewBoundedChannelBackend(clock, w, 0, inj, o)
+}
+
+// NewBoundedChannelBackend is NewChannelBackend with backpressure: when
+// queueCap > 0, each worker accepts at most that many outstanding jobs and
+// Deliver returns *Overloaded beyond it.
+func NewBoundedChannelBackend(clock *Clock, w *workload.Workload, queueCap int, inj *faultinject.Injector, o *obs.Observer) *ChannelBackend {
 	b := &ChannelBackend{
 		clock:    clock,
 		inj:      inj,
@@ -701,6 +1043,20 @@ func NewChannelBackend(clock *Clock, w *workload.Workload, inj *faultinject.Inje
 		done:     make(chan Done, w.Params.Workers),
 		failures: make(chan Failure, w.Params.Workers),
 		stop:     make(chan struct{}),
+		tracker:  newLoadTracker(w.Params.Workers, queueCap, 0),
+	}
+	sink := b.done
+	if b.tracker != nil {
+		b.rawDone = make(chan Done, w.Params.Workers)
+		sink = b.rawDone
+		b.fwdWG.Add(1)
+		go func() {
+			defer b.fwdWG.Done()
+			for d := range b.rawDone {
+				b.tracker.complete(d.Task)
+				b.done <- d
+			}
+		}()
 	}
 	for i := range b.jobs {
 		b.jobs[i] = make(chan Job, len(w.Tasks)) // ready queue capacity
@@ -713,7 +1069,7 @@ func NewChannelBackend(clock *Clock, w *workload.Workload, inj *faultinject.Inje
 		b.wg.Add(1)
 		go func(ch <-chan Job, quit <-chan struct{}) {
 			defer b.wg.Done()
-			wk.RunUntil(ch, b.done, quit)
+			wk.RunUntil(ch, sink, quit)
 		}(b.jobs[i], quit)
 		if o != nil {
 			go b.heartbeats(i, o, quit)
@@ -750,12 +1106,15 @@ func (b *ChannelBackend) killer(i int, at simtime.Instant, quit chan struct{}) {
 	select {
 	case <-timer.C:
 		close(quit)
+		b.tracker.reset(i) // a dead worker's queue no longer holds capacity
 		b.failures <- Failure{Worker: i, At: b.clock.Now(), Fatal: true, Err: "faultinject: worker killed"}
 	case <-b.stop:
 	}
 }
 
-// Deliver implements Backend.
+// Deliver implements Backend. With backpressure enabled it returns
+// *Overloaded once the worker's outstanding queue is full; the jobs before
+// the cap were enqueued.
 func (b *ChannelBackend) Deliver(proc int, jobs []Job) error {
 	if proc < 0 || proc >= len(b.jobs) {
 		return fmt.Errorf("livecluster: worker %d out of range", proc)
@@ -763,14 +1122,18 @@ func (b *ChannelBackend) Deliver(proc int, jobs []Job) error {
 	if until, ok := b.inj.StallUntil(proc); ok {
 		b.clock.SleepUntil(until)
 	}
-	for _, j := range jobs {
+	for n, j := range jobs {
+		if b.tracker != nil && b.tracker.room(proc, b.clock.Now()) <= 0 {
+			return &Overloaded{Worker: proc, Accepted: n, RetryAfter: b.tracker.retryAfter(proc)}
+		}
 		f := b.inj.OnSend(proc)
 		if f.Drop {
-			continue
+			continue // dropped in transit: never occupies the queue
 		}
 		if f.Delay > 0 {
 			time.Sleep(f.Delay)
 		}
+		b.tracker.add(proc, j)
 		b.jobs[proc] <- j
 	}
 	return nil
@@ -783,13 +1146,18 @@ func (b *ChannelBackend) Done() <-chan Done { return b.done }
 func (b *ChannelBackend) Failures() <-chan Failure { return b.failures }
 
 // Close implements Backend: close the ready queues, wait for workers to
-// drain them, then close the completion stream.
+// drain them, then close the completion stream (via the backpressure
+// forwarder when one is running).
 func (b *ChannelBackend) Close() error {
 	close(b.stop)
 	for _, ch := range b.jobs {
 		close(ch)
 	}
 	b.wg.Wait()
+	if b.tracker != nil {
+		close(b.rawDone)
+		b.fwdWG.Wait()
+	}
 	close(b.done)
 	return nil
 }

@@ -57,13 +57,18 @@ func runWithDeadline(t *testing.T, c *Cluster) *metrics.RunResult {
 }
 
 // assertFaultAccounting checks the failure-aware bookkeeping invariant:
-// every generated task lands in exactly one terminal bucket.
+// every generated task lands in exactly one terminal bucket, and the shed
+// reasons break the shed total down exactly.
 func assertFaultAccounting(t *testing.T, res *metrics.RunResult) {
 	t.Helper()
-	got := res.Hits + res.ScheduledMissed + res.Purged + res.LostToFailure
+	got := res.Hits + res.ScheduledMissed + res.Purged + res.LostToFailure + res.Shed
 	if got != res.Total {
-		t.Errorf("accounting: %d hits + %d schedMissed + %d purged + %d lost = %d, want total %d",
-			res.Hits, res.ScheduledMissed, res.Purged, res.LostToFailure, got, res.Total)
+		t.Errorf("accounting: %d hits + %d schedMissed + %d purged + %d lost + %d shed = %d, want total %d",
+			res.Hits, res.ScheduledMissed, res.Purged, res.LostToFailure, res.Shed, got, res.Total)
+	}
+	if sum := res.ShedHopeless + res.ShedQueueFull + res.ShedShutdown; sum != res.Shed {
+		t.Errorf("shed reasons: %d hopeless + %d queueFull + %d shutdown = %d, want shed total %d",
+			res.ShedHopeless, res.ShedQueueFull, res.ShedShutdown, sum, res.Shed)
 	}
 }
 
@@ -163,6 +168,37 @@ func TestClusterFailoverChannelAllDead(t *testing.T) {
 		t.Error("no tasks counted as lost although every worker died")
 	}
 	assertFaultAccounting(t, res)
+}
+
+// TestClusterMultiFailureSamePhase kills two of four workers at the same
+// virtual instant, so both failures land within one scheduling phase. The
+// host must absorb both, re-route across the two survivors, and keep the
+// books balanced — no task double-counted or dropped between the two
+// reclaim passes.
+func TestClusterMultiFailureSamePhase(t *testing.T) {
+	w, err := workload.Generate(faultParams(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{
+		Workload:          w,
+		Scale:             50,
+		Faults:            mustPlan(t, "kill=0@500us;kill=1@500us"),
+		RecordCompletions: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runWithDeadline(t, c)
+
+	if res.WorkerFailures != 2 {
+		t.Errorf("worker failures = %d, want 2", res.WorkerFailures)
+	}
+	if res.Hits == 0 {
+		t.Error("the two survivors completed nothing")
+	}
+	assertFaultAccounting(t, res)
+	assertHitsVerified(t, w, res)
 }
 
 // TestClusterDropRecovery drops delivery messages; the straggler watchdog

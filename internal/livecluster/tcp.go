@@ -13,6 +13,7 @@ import (
 
 	"rtsads/internal/faultinject"
 	"rtsads/internal/obs"
+	"rtsads/internal/rng"
 	"rtsads/internal/simtime"
 	"rtsads/internal/workload"
 )
@@ -332,6 +333,10 @@ type TCPOptions struct {
 	// Obs records transport-level liveness events: heartbeats in both
 	// directions and redial outcomes. Optional.
 	Obs *obs.Observer
+	// QueueCap bounds each worker's outstanding (delivered-but-unfinished)
+	// jobs; beyond it Deliver returns *Overloaded so the host backs off
+	// instead of buffering unboundedly. Zero disables backpressure.
+	QueueCap int
 }
 
 // TCPBackend connects the host to one remote worker process per working
@@ -352,6 +357,12 @@ type TCPBackend struct {
 	stop     chan struct{}
 	closing  atomic.Bool
 	wg       sync.WaitGroup
+	tracker  *loadTracker
+
+	// sleep pauses for the given duration or until the backend stops,
+	// reporting whether it completed. Tests override it with a fake clock
+	// to observe redial backoff without real waiting.
+	sleep func(d time.Duration) bool
 }
 
 // NewTCPBackend dials one address per worker and performs the hello
@@ -376,6 +387,17 @@ func NewTCPBackend(clock *Clock, w *workload.Workload, addrs []string, opts TCPO
 		done:     make(chan Done, len(addrs)),
 		failures: make(chan Failure, 4*len(addrs)+4),
 		stop:     make(chan struct{}),
+		tracker:  newLoadTracker(len(addrs), opts.QueueCap, live.StragglerGrace),
+	}
+	b.sleep = func(d time.Duration) bool {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+			return true
+		case <-b.stop:
+			return false
+		}
 	}
 	for i, addr := range addrs {
 		wc := &workerConn{addr: addr}
@@ -429,6 +451,8 @@ func (b *TCPBackend) supervise(i int) {
 			return // clean bye, or shutdown in progress
 		}
 		if b.redial(i) {
+			// The fresh session starts with an empty worker queue.
+			b.tracker.reset(i)
 			b.o.Redial(i, true, b.clock.Now())
 			b.failures <- Failure{Worker: i, At: b.clock.Now(), Fatal: false,
 				Err: fmt.Sprintf("livecluster: worker %d reconnected after: %v", i, err)}
@@ -439,6 +463,7 @@ func (b *TCPBackend) supervise(i int) {
 		}
 		b.o.Redial(i, false, b.clock.Now())
 		wc.markDead()
+		b.tracker.reset(i)
 		b.failures <- Failure{Worker: i, At: b.clock.Now(), Fatal: true,
 			Err: fmt.Sprintf("livecluster: worker %d lost: %v", i, err)}
 		return
@@ -462,6 +487,7 @@ func (b *TCPBackend) readSession(i int) error {
 		}
 		switch {
 		case msg.Done != nil:
+			b.tracker.complete(msg.Done.Task)
 			b.done <- *msg.Done
 		case msg.Heartbeat:
 			b.o.HeartbeatRecv(i, b.clock.Now())
@@ -471,20 +497,20 @@ func (b *TCPBackend) readSession(i int) error {
 	}
 }
 
-// redial tries to re-establish worker i's session, with exponential
-// backoff, up to the configured attempt budget. Workers under an injected
-// kill are never redialled — the fault plan wants them dead.
+// redial tries to re-establish worker i's session, with jittered
+// exponential backoff, up to the configured attempt budget. Workers under
+// an injected kill are never redialled — the fault plan wants them dead.
 func (b *TCPBackend) redial(i int) bool {
 	if b.live.Redials < 0 || b.inj.Killed(i) {
 		return false
 	}
+	// Per-worker deterministic jitter: when one network event severs many
+	// connections at once, the workers must not all redial on the same
+	// doubling schedule and hammer the fabric in lockstep.
+	src := rng.New(redialJitterSeed + uint64(i))
 	backoff := b.live.RedialBackoff
 	for attempt := 0; attempt < b.live.Redials; attempt++ {
-		timer := time.NewTimer(backoff)
-		select {
-		case <-timer.C:
-		case <-b.stop:
-			timer.Stop()
+		if !b.sleep(jitterBackoff(src, backoff)) {
 			return false
 		}
 		backoff *= 2
@@ -496,6 +522,21 @@ func (b *TCPBackend) redial(i int) bool {
 		}
 	}
 	return false
+}
+
+// redialJitterSeed decorrelates the per-worker jitter streams from the
+// workload's seed space (an arbitrary odd 64-bit constant).
+const redialJitterSeed = 0x9e3779b97f4a7c15
+
+// jitterBackoff draws a delay from [d/2, d): the exponential doubling still
+// bounds the total wait, but concurrent redialers spread over the window
+// instead of colliding at exactly d.
+func jitterBackoff(src *rng.Source, d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(src.Float64()*float64(half))
 }
 
 // heartbeats keeps worker i's connection warm so its idle-timeout detector
@@ -535,7 +576,9 @@ func (b *TCPBackend) killer(i int, at simtime.Instant) {
 
 // Deliver implements Backend. Transport errors are not returned: they sever
 // the connection, and the supervisor reports the failure so the cluster
-// reclaims the worker's jobs.
+// reclaims the worker's jobs. With backpressure enabled, jobs beyond the
+// worker's queue cap are refused with *Overloaded (the accepted prefix was
+// sent).
 func (b *TCPBackend) Deliver(proc int, jobs []Job) error {
 	if proc < 0 || proc >= len(b.conns) {
 		return fmt.Errorf("livecluster: worker %d out of range", proc)
@@ -550,7 +593,32 @@ func (b *TCPBackend) Deliver(proc int, jobs []Job) error {
 	if f.Delay > 0 {
 		time.Sleep(f.Delay)
 	}
-	b.conns[proc].send(envelope{Deliver: &deliverMsg{Jobs: jobs}}, b.live.Timeout)
+	var over *Overloaded
+	if b.tracker != nil {
+		room := b.tracker.room(proc, b.clock.Now())
+		if room < 0 {
+			room = 0
+		}
+		overflowed := room < len(jobs)
+		if overflowed {
+			jobs = jobs[:room]
+		}
+		for _, j := range jobs {
+			b.tracker.add(proc, j)
+		}
+		if overflowed {
+			// The retry hint is computed after registering the accepted
+			// prefix so it reflects the queue the host would actually retry
+			// against.
+			over = &Overloaded{Worker: proc, Accepted: room, RetryAfter: b.tracker.retryAfter(proc)}
+		}
+	}
+	if len(jobs) > 0 {
+		b.conns[proc].send(envelope{Deliver: &deliverMsg{Jobs: jobs}}, b.live.Timeout)
+	}
+	if over != nil {
+		return over
+	}
 	return nil
 }
 

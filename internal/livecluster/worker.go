@@ -91,13 +91,16 @@ type Job struct {
 	Deadline simtime.Instant // absolute deadline
 }
 
-// Done reports a finished job.
+// Done reports a finished job. Expired marks a job the worker refused to
+// execute because its deadline was already unreachable at the head of the
+// queue — the worker's capacity went to jobs that could still hit.
 type Done struct {
 	Task    int32
 	Worker  int
 	Start   simtime.Instant
 	Finish  simtime.Instant
 	Hit     bool
+	Expired bool
 	Matches int // tuples the transaction located
 	Err     string
 }
@@ -160,6 +163,15 @@ func (wk *Worker) RunUntil(jobs <-chan Job, done chan<- Done, quit <-chan struct
 				return
 			}
 			start := wk.clock.Now().Max(freeAt)
+			if j.Deadline != 0 && start.Add(j.Proc+j.Comm).After(j.Deadline) {
+				// Deadline-aware shedding at the queue head: the job cannot
+				// finish in time no matter what (it arrived late — a delivery
+				// delay, or a backlog the host mis-modelled), so executing it
+				// would burn capacity that jobs behind it could still use to
+				// hit their own deadlines. Report it expired, unexecuted.
+				done <- Done{Task: j.Task, Worker: wk.ID, Start: start, Finish: start, Expired: true}
+				continue
+			}
 			res := wk.execute(j)
 			// Occupy the modelled duration: the real scan above is measured in
 			// microseconds of wall time; the model's p + c dominates.

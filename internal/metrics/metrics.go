@@ -49,8 +49,40 @@ type RunResult struct {
 	// Rerouted counts tasks reclaimed from a failed or unresponsive
 	// worker and fed back into scheduling against the surviving machine.
 	// A rerouted task's eventual fate still lands in Hits, Purged,
-	// ScheduledMissed or LostToFailure.
+	// ScheduledMissed, LostToFailure or Shed.
 	Rerouted int
+
+	// Admitted counts tasks that passed the arrival-time admission gate
+	// and entered the ready queue (re-admissions of reclaimed tasks are
+	// not counted twice). With admission control disabled it equals the
+	// number of arrivals absorbed.
+	Admitted int
+	// Shed counts tasks rejected or evicted by admission control — a
+	// terminal bucket alongside Hits, Purged, ScheduledMissed and
+	// LostToFailure: Hits + Purged + ScheduledMissed + LostToFailure +
+	// Shed == Total. The Shed* fields break it down by reason and sum to
+	// Shed exactly.
+	Shed int
+	// ShedHopeless counts tasks rejected at enqueue because they could
+	// not meet their deadline even on an idle worker.
+	ShedHopeless int
+	// ShedQueueFull counts tasks rejected or evicted because the bounded
+	// ready queue was at capacity.
+	ShedQueueFull int
+	// ShedShutdown counts tasks turned away during a graceful shutdown.
+	ShedShutdown int
+	// Overloads counts job deliveries deferred by backend backpressure
+	// (the worker's queue cap was reached and the host was told to retry).
+	// Deferred tasks return to the batch, so this is not a terminal bucket.
+	Overloads int
+
+	// Degradations counts transitions into degraded-mode planning (the
+	// search planner replaced by the greedy fallback); Recoveries counts
+	// transitions back. DegradedPhases counts phases planned while
+	// degraded.
+	Degradations   int
+	Recoveries     int
+	DegradedPhases int
 
 	Phases            int
 	SchedulingTime    time.Duration // Σ Used over phases: the paper's scheduling cost
@@ -121,6 +153,17 @@ func (r *RunResult) String() string {
 	}
 	if r.Rerouted > 0 {
 		s += fmt.Sprintf(" rerouted=%d", r.Rerouted)
+	}
+	if r.Shed > 0 {
+		s += fmt.Sprintf(" shed=%d (hopeless=%d queueFull=%d shutdown=%d)",
+			r.Shed, r.ShedHopeless, r.ShedQueueFull, r.ShedShutdown)
+	}
+	if r.Overloads > 0 {
+		s += fmt.Sprintf(" overloads=%d", r.Overloads)
+	}
+	if r.Degradations > 0 {
+		s += fmt.Sprintf(" degradations=%d recoveries=%d degradedPhases=%d",
+			r.Degradations, r.Recoveries, r.DegradedPhases)
 	}
 	return s
 }

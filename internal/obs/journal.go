@@ -95,8 +95,19 @@ func (j *Journal) Evicted() int64 {
 
 // Snapshot returns the retained entries in record order (oldest first).
 func (j *Journal) Snapshot() []Entry {
+	entries, _ := j.Export()
+	return entries
+}
+
+// Export returns the retained entries (oldest first) together with the
+// eviction count, read under one lock so the pair is consistent: evicted
+// is exactly the sequence numbers missing before the first retained entry
+// (entries[i].Seq == evicted + i + 1). Reading them separately can pair a
+// snapshot with an eviction count from a later burst of writes, reporting
+// drops for entries that are still present.
+func (j *Journal) Export() ([]Entry, int64) {
 	if j == nil {
-		return nil
+		return nil, 0
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -104,7 +115,7 @@ func (j *Journal) Snapshot() []Entry {
 	for i := 0; i < j.n; i++ {
 		out = append(out, j.entries[(j.start+i)%j.n])
 	}
-	return out
+	return out, j.evicted
 }
 
 // WriteJSONL writes the retained entries as JSON Lines, one entry per
@@ -113,9 +124,9 @@ func (j *Journal) WriteJSONL(w io.Writer) error {
 	if j == nil {
 		return nil
 	}
-	entries := j.Snapshot()
+	entries, evicted := j.Export()
 	enc := json.NewEncoder(w)
-	if evicted := j.Evicted(); evicted > 0 {
+	if evicted > 0 {
 		meta := struct {
 			Type    string `json:"type"`
 			Evicted int64  `json:"evicted"`

@@ -85,6 +85,54 @@ func TestJournalWriteJSONL(t *testing.T) {
 	}
 }
 
+// TestJournalExportConsistentUnderBurst is the regression test for the
+// drop-accounting race: WriteJSONL used to take the snapshot and read the
+// eviction counter under separate lock acquisitions, so a burst of writes
+// between the two could report drops for entries that were still present in
+// the snapshot. Export must return a pair where the eviction count is
+// exactly the sequence numbers missing before the first retained entry.
+func TestJournalExportConsistentUnderBurst(t *testing.T) {
+	j := NewJournal(32)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; ; k++ {
+				select {
+				case <-stop:
+					return
+				default:
+					j.Record(Entry{Type: "exec", Task: k})
+				}
+			}
+		}()
+	}
+	for reads := 0; reads < 200; reads++ {
+		entries, evicted := j.Export()
+		for i, e := range entries {
+			if want := evicted + int64(i) + 1; e.Seq != want {
+				t.Fatalf("read %d: entry %d has seq %d, want %d (evicted=%d): snapshot and drop count are inconsistent",
+					reads, i, e.Seq, want, evicted)
+			}
+		}
+		var b strings.Builder
+		if err := j.WriteJSONL(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// A final quiescent export must also reconcile with the total recorded.
+	entries, evicted := j.Export()
+	if int64(len(entries))+evicted != j.Evicted()+int64(j.Len()) {
+		t.Errorf("export disagrees with accessors: %d+%d vs %d+%d",
+			len(entries), evicted, j.Len(), j.Evicted())
+	}
+}
+
 func TestJournalConcurrent(t *testing.T) {
 	j := NewJournal(128)
 	var wg sync.WaitGroup

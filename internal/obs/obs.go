@@ -46,6 +46,20 @@ const (
 	MetricLost       = "rtsads_task_lost_to_failure_total"
 	MetricRerouted   = "rtsads_task_rerouted_total"
 
+	// Overload-resilience metrics: admitted/shed mirror the RunResult
+	// fields exactly (shed is also broken down by reason via
+	// MetricShedPattern, and the labels sum to the total); overloads counts
+	// backpressure deferrals; the degraded-mode gauge is 1 while the
+	// fallback planner is active.
+	MetricAdmitted     = "rtsads_task_admitted_total"
+	MetricShed         = "rtsads_task_shed_total"
+	MetricShedPattern  = "rtsads_task_shed_total{reason=%q}"
+	MetricOverloads    = "rtsads_backpressure_deferrals_total"
+	MetricDegradations = "rtsads_degradations_total"
+	MetricRecoveries   = "rtsads_degrade_recoveries_total"
+	MetricDegradedMode = "rtsads_degraded_mode"
+	MetricBatchSizeMax = "rtsads_batch_size_max"
+
 	MetricWorkerFailures  = "rtsads_worker_failures_total"
 	MetricDisruptions     = "rtsads_worker_disruptions_total"
 	MetricStragglers      = "rtsads_straggler_reclaims_total"
@@ -97,13 +111,16 @@ type Observer struct {
 	arrivals, deliveries, hits, missed, purged, lost       *Counter
 	rerouted, workerFailures, disruptions, stragglers      *Counter
 	heartbeatsSent, heartbeatsRecv, redials, redialsFailed *Counter
+	admitted, shed, overloads, degradations, recoveries    *Counter
 	workersAlive, workersTotal, inflight, batchSize        *Gauge
+	degradedMode, batchSizeMax                             *Gauge
 	phaseDur, quantumSize, responseTime                    *Histogram
 
-	mu       sync.Mutex
-	alive    []bool
-	workerUp []*Gauge
-	jobs     []*Counter
+	mu         sync.Mutex
+	alive      []bool
+	workerUp   []*Gauge
+	jobs       []*Counter
+	shedReason map[string]*Counter
 
 	lastVirtual atomic.Int64 // most recent event's virtual time
 }
@@ -137,13 +154,21 @@ func New(journalCap int) *Observer {
 		heartbeatsRecv: reg.Counter(MetricHeartbeatsRecv),
 		redials:        reg.Counter(MetricRedials),
 		redialsFailed:  reg.Counter(MetricRedialFailures),
+		admitted:       reg.Counter(MetricAdmitted),
+		shed:           reg.Counter(MetricShed),
+		overloads:      reg.Counter(MetricOverloads),
+		degradations:   reg.Counter(MetricDegradations),
+		recoveries:     reg.Counter(MetricRecoveries),
 		workersAlive:   reg.Gauge(MetricWorkersAlive),
 		workersTotal:   reg.Gauge(MetricWorkersTotal),
 		inflight:       reg.Gauge(MetricInflight),
 		batchSize:      reg.Gauge(MetricBatchSize),
+		degradedMode:   reg.Gauge(MetricDegradedMode),
+		batchSizeMax:   reg.Gauge(MetricBatchSizeMax),
 		phaseDur:       reg.Histogram(MetricPhaseDuration),
 		quantumSize:    reg.Histogram(MetricQuantumSize),
 		responseTime:   reg.Histogram(MetricResponseTime),
+		shedReason:     make(map[string]*Counter),
 	}
 	return o
 }
@@ -261,6 +286,7 @@ func (o *Observer) PhaseStart(phase, batch int, at simtime.Instant) {
 		return
 	}
 	o.batchSize.Set(int64(batch))
+	o.batchSizeMax.SetMax(int64(batch))
 	o.note(at, Entry{Type: "phase-start", Phase: phase, Worker: -1})
 }
 
@@ -333,6 +359,63 @@ func (o *Observer) Reroute(id task.ID, fromWorker int, at simtime.Instant) {
 	}
 	o.rerouted.Inc()
 	o.note(at, Entry{Type: "reroute", Task: int(id), Worker: fromWorker})
+}
+
+// Admitted counts a task passing admission control into the ready queue
+// (counter only: the arrival entry already journals the task).
+func (o *Observer) Admitted(id task.ID) {
+	if o == nil {
+		return
+	}
+	o.admitted.Inc()
+}
+
+// Shed records a task rejected or evicted by admission control. The total
+// counter mirrors RunResult.Shed; the per-reason labelled counters sum to
+// it exactly.
+func (o *Observer) Shed(id task.ID, reason string, at simtime.Instant) {
+	if o == nil {
+		return
+	}
+	o.shed.Inc()
+	o.mu.Lock()
+	c, ok := o.shedReason[reason]
+	if !ok {
+		c = o.reg.Counter(fmt.Sprintf(MetricShedPattern, reason))
+		o.shedReason[reason] = c
+	}
+	o.mu.Unlock()
+	c.Inc()
+	o.note(at, Entry{Type: "shed", Task: int(id), Worker: -1, Detail: reason})
+}
+
+// Overloaded records a backend deferring deferred jobs for a worker under
+// backpressure, with the suggested virtual retry-after.
+func (o *Observer) Overloaded(worker, deferred int, retryAfter time.Duration, at simtime.Instant) {
+	if o == nil {
+		return
+	}
+	o.overloads.Add(int64(deferred))
+	o.note(at, Entry{Type: "overload", Worker: worker, Dur: retryAfter,
+		Detail: fmt.Sprintf("%d deferred", deferred)})
+}
+
+// DegradeMode records the planner controller entering (degraded=true) or
+// leaving degraded-mode planning, mirroring RunResult.Degradations and
+// Recoveries.
+func (o *Observer) DegradeMode(degraded bool, phase int, reason string, at simtime.Instant) {
+	if o == nil {
+		return
+	}
+	if degraded {
+		o.degradations.Inc()
+		o.degradedMode.Set(1)
+		o.note(at, Entry{Type: "degrade", Phase: phase, Worker: -1, Detail: reason})
+	} else {
+		o.recoveries.Inc()
+		o.degradedMode.Set(0)
+		o.note(at, Entry{Type: "recover", Phase: phase, Worker: -1, Detail: reason})
+	}
 }
 
 // WorkerDown records a worker failure. Fatal failures remove the worker

@@ -58,6 +58,20 @@ func (g *Gauge) Add(n int64) {
 	g.v.Add(n)
 }
 
+// SetMax raises the gauge to n if n exceeds the current value — a running
+// high-water mark, safe under concurrent writers.
+func (g *Gauge) SetMax(n int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
 // Value returns the current value.
 func (g *Gauge) Value() int64 {
 	if g == nil {
