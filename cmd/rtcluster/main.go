@@ -31,6 +31,13 @@
 //	rtcluster -workers 2 -txns 600 -admission shed-least-slack \
 //	    -queue-cap 64 -degrade-after 3
 //
+// Sharded federation: split the workers into independent scheduler domains
+// behind an affinity-aware router with deadline-safe cross-shard migration
+// (-workers must divide evenly into -shards):
+//
+//	rtcluster -workers 8 -shards 2 -placement affinity -txns 400 \
+//	    -admission reject -queue-cap 32 -debug-addr :8077
+//
 // A SIGINT or SIGTERM drains gracefully: admission stops, the admitted
 // backlog is scheduled for up to -drain, and the journal and trace are
 // still written. A second signal exits immediately.
@@ -51,6 +58,7 @@ import (
 	"rtsads/internal/core"
 	"rtsads/internal/experiment"
 	"rtsads/internal/faultinject"
+	"rtsads/internal/federation"
 	"rtsads/internal/livecluster"
 	"rtsads/internal/obs"
 	"rtsads/internal/workload"
@@ -68,6 +76,9 @@ func run(args []string, out io.Writer) (retErr error) {
 	role := fs.String("role", "inproc", "inproc (all-in-one), host, or worker")
 	algo := fs.String("algo", "RT-SADS", "scheduler: RT-SADS, D-COLS, EDF-greedy, myopic")
 	workers := fs.Int("workers", 4, "working processors (inproc role)")
+	shards := fs.Int("shards", 1, "shard the workers into this many federated scheduler domains (inproc role; must divide -workers evenly)")
+	placement := fs.String("placement", "affinity", "federation routing policy: affinity, least-ce or hashed")
+	migrate := fs.Bool("migrate", true, "federation: re-offer admission-rejected tasks to feasible sibling shards")
 	txns := fs.Int("txns", 200, "transactions in the workload")
 	seed := fs.Uint64("seed", 1, "workload seed")
 	scale := fs.Float64("scale", 20, "virtual-to-wall time scale (bigger = slower, less jitter)")
@@ -136,6 +147,59 @@ func run(args []string, out io.Writer) (retErr error) {
 		if err != nil {
 			return err
 		}
+		// Overload control, shared by the single cluster and (per shard) the
+		// federation.
+		var admCfg admission.Config
+		if *admissionPolicy != "off" {
+			pol, err := admission.ParsePolicy(*admissionPolicy)
+			if err != nil {
+				return err
+			}
+			admCfg = admission.Config{
+				Policy:         pol,
+				QueueCap:       *queueCap,
+				RejectHopeless: true,
+			}
+		} else if *queueCap > 0 {
+			// A bounded queue with no policy named: first-come, first-admitted.
+			admCfg = admission.Config{Policy: admission.Reject, QueueCap: *queueCap}
+		}
+		var degrade *core.DegradeConfig
+		if *degradeAfter > 0 {
+			degrade = &core.DegradeConfig{After: *degradeAfter}
+		}
+		live := livecluster.Liveness{HeartbeatEvery: *heartbeat, Timeout: *timeout}
+		pl, err := federation.ParsePlacement(*placement)
+		if err != nil {
+			return err
+		}
+
+		if *shards != 1 {
+			if *role != "inproc" {
+				return fmt.Errorf("-shards %d requires -role inproc: the federation embeds its shards in-process", *shards)
+			}
+			tp, err := federation.SplitWorkers(n, *shards)
+			if err != nil {
+				return err
+			}
+			if *traceOut != "" || *journalOut != "" || *progress > 0 {
+				return fmt.Errorf("-trace, -journal and -progress attach to a single cluster; with -shards %d use -debug-addr for the merged per-shard view", *shards)
+			}
+			return runFederation(out, federation.Config{
+				Workload:  w,
+				Topology:  tp,
+				Placement: pl,
+				Migrate:   *migrate,
+				Algorithm: experiment.Algorithm(*algo),
+				Scale:     *scale,
+				Faults:    plan,
+				Liveness:  live,
+				Admission: admCfg,
+				Degrade:   degrade,
+				Parallel:  *parallel,
+			}, *debugAddr)
+		}
+
 		// Observability: one observer feeds the registry, the journal, the
 		// trace sink, the debug endpoint and the progress reporter.
 		var observer *obs.Observer
@@ -151,28 +215,10 @@ func run(args []string, out io.Writer) (retErr error) {
 			Scale:     *scale,
 			Faults:    plan,
 			Obs:       observer,
-			Liveness: livecluster.Liveness{
-				HeartbeatEvery: *heartbeat,
-				Timeout:        *timeout,
-			},
-			Parallel: *parallel,
-		}
-		if *admissionPolicy != "off" {
-			pol, err := admission.ParsePolicy(*admissionPolicy)
-			if err != nil {
-				return err
-			}
-			cfg.Admission = admission.Config{
-				Policy:         pol,
-				QueueCap:       *queueCap,
-				RejectHopeless: true,
-			}
-		} else if *queueCap > 0 {
-			// A bounded queue with no policy named: first-come, first-admitted.
-			cfg.Admission = admission.Config{Policy: admission.Reject, QueueCap: *queueCap}
-		}
-		if *degradeAfter > 0 {
-			cfg.Degrade = &core.DegradeConfig{After: *degradeAfter}
+			Liveness:  live,
+			Admission: admCfg,
+			Degrade:   degrade,
+			Parallel:  *parallel,
 		}
 		if *role == "host" {
 			cfg.Backend = func(clock *livecluster.Clock, inj *faultinject.Injector) (livecluster.Backend, error) {
@@ -250,6 +296,46 @@ func run(args []string, out io.Writer) (retErr error) {
 	default:
 		return fmt.Errorf("unknown role %q (want inproc, host or worker)", *role)
 	}
+}
+
+// runFederation executes the sharded path: one router in front of N
+// in-process scheduler shards sharing a virtual clock. The run replays the
+// whole workload; the summary reports each shard, the folded federation
+// view, and the routing counters, and the accounting identities are
+// verified before success is reported.
+func runFederation(out io.Writer, cfg federation.Config, debugAddr string) error {
+	f, err := federation.New(cfg)
+	if err != nil {
+		return err
+	}
+	migration := "off"
+	if cfg.Migrate {
+		migration = "on"
+	}
+	fmt.Fprintf(out, "topology: %s, placement %s, migration %s\n", cfg.Topology, cfg.Placement, migration)
+	if debugAddr != "" {
+		srv, err := federation.Serve(debugAddr, f)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "debug endpoint: %s (/metrics with per-shard labels, /healthz)\n", srv.URL())
+	}
+	start := time.Now()
+	res, err := f.Run()
+	if err != nil {
+		return err
+	}
+	for i, s := range res.Shards {
+		fmt.Fprintf(out, "shard %d: %s\n", i, s)
+	}
+	comb := res.Combined()
+	fmt.Fprintf(out, "federation: %s\n", comb)
+	fmt.Fprintf(out, "routing: %d routed, %d bounced (%d migrated, %d rejected)\n",
+		res.Routed, res.Bounced, res.Migrated, res.Rejected)
+	fmt.Fprintf(out, "hit ratio: %.1f%%  makespan: %v (virtual)  wall time: %v\n",
+		100*comb.HitRatio(), time.Duration(comb.Makespan), time.Since(start).Round(time.Millisecond))
+	return res.Reconcile()
 }
 
 // writeTrace exports the observer's trace sink as Chrome trace-event JSON.

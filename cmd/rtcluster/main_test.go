@@ -59,6 +59,53 @@ func TestRunHostNeedsConnect(t *testing.T) {
 	}
 }
 
+func TestRunFederation(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-workers", "4", "-shards", "2", "-txns", "48", "-scale", "100",
+		"-admission", "reject", "-queue-cap", "8"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"topology: 2 shard(s) × 2 worker(s) (4 total)",
+		"placement affinity, migration on",
+		"shard 0:", "shard 1:",
+		"federation:", "routing: 48 routed",
+		"hit ratio:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunFederationTopologyValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"uneven split", []string{"-workers", "5", "-shards", "2"}, "divide evenly"},
+		{"zero shards", []string{"-workers", "4", "-shards", "0"}, "must be positive"},
+		{"host role", []string{"-role", "host", "-connect", "x:1,y:2", "-shards", "2"}, "requires -role inproc"},
+		{"bad placement", []string{"-workers", "4", "-shards", "2", "-placement", "roulette"}, "unknown placement"},
+		{"trace unsupported", []string{"-workers", "4", "-shards", "2", "-trace", "out.json"}, "attach to a single cluster"},
+		{"random fault victim", []string{"-workers", "4", "-shards", "2", "-faults", "kill=rand@1ms"}, "ambiguous"},
+	}
+	for _, c := range cases {
+		var out strings.Builder
+		err := run(c.args, &out)
+		if err == nil {
+			t.Errorf("%s: accepted %v", c.name, c.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
 func TestSplitAddrs(t *testing.T) {
 	got := splitAddrs(" a:1, b:2 ,,c:3 ")
 	want := []string{"a:1", "b:2", "c:3"}

@@ -88,6 +88,12 @@ const (
 	// ShuttingDown marks a task turned away because the host has stopped
 	// admitting work for a graceful shutdown.
 	ShuttingDown Reason = "shutting-down"
+	// ShardDown marks a task re-offered to a federation router because
+	// its scheduler domain has no live workers left: no local schedule
+	// can exist, but a sibling shard may still meet the deadline. The
+	// admission controller never emits it; the live cluster's host loop
+	// does when every worker has failed.
+	ShardDown Reason = "shard-down"
 )
 
 // Decision is the controller's verdict for one arriving task.

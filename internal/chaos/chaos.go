@@ -190,10 +190,12 @@ func (s Scenario) check(res *metrics.RunResult, snap map[string]int64, journal [
 	var v []string
 	add := func(format string, args ...any) { v = append(v, fmt.Sprintf(format, args...)) }
 
-	// Every task in exactly one terminal bucket.
-	if got := res.Hits + res.Purged + res.ScheduledMissed + res.LostToFailure + res.Shed; got != res.Total {
-		add("accounting: %d hits + %d purged + %d schedMissed + %d lost + %d shed = %d, want total %d",
-			res.Hits, res.Purged, res.ScheduledMissed, res.LostToFailure, res.Shed, got, res.Total)
+	// Every task in exactly one terminal bucket. Bounced is the shard-mode
+	// bucket (task handed back to a federation router); it stays zero for a
+	// standalone cluster but the identity must hold either way.
+	if got := res.Hits + res.Purged + res.ScheduledMissed + res.LostToFailure + res.Shed + res.Bounced; got != res.Total {
+		add("accounting: %d hits + %d purged + %d schedMissed + %d lost + %d shed + %d bounced = %d, want total %d",
+			res.Hits, res.Purged, res.ScheduledMissed, res.LostToFailure, res.Shed, res.Bounced, got, res.Total)
 	}
 	if sum := res.ShedHopeless + res.ShedQueueFull + res.ShedShutdown; sum != res.Shed {
 		add("shed reasons sum to %d, want shed total %d", sum, res.Shed)
@@ -213,6 +215,7 @@ func (s Scenario) check(res *metrics.RunResult, snap map[string]int64, journal [
 		obs.MetricRerouted:       res.Rerouted,
 		obs.MetricShed:           res.Shed,
 		obs.MetricAdmitted:       res.Admitted,
+		obs.MetricBounced:        res.Bounced,
 		obs.MetricOverloads:      res.Overloads,
 		obs.MetricDegradations:   res.Degradations,
 		obs.MetricRecoveries:     res.Recoveries,

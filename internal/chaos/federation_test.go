@@ -1,0 +1,83 @@
+package chaos
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// runFedScenario runs one seeded federated scenario with a hang guard.
+func runFedScenario(t *testing.T, seed uint64) *FedReport {
+	t.Helper()
+	type outcome struct {
+		rep *FedReport
+		err error
+	}
+	ch := make(chan outcome, 1)
+	s := NewFedScenario(seed)
+	go func() {
+		rep, err := s.Run()
+		ch <- outcome{rep, err}
+	}()
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			t.Fatal(o.err)
+		}
+		return o.rep
+	case <-time.After(60 * time.Second):
+		t.Fatalf("fed seed %d: scenario hung", seed)
+		return nil
+	}
+}
+
+func TestFedScenarioDeterministic(t *testing.T) {
+	for seed := uint64(1); seed <= 50; seed++ {
+		a, b := NewFedScenario(seed), NewFedScenario(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: fed scenario generation not deterministic:\n%+v\n%+v", seed, a, b)
+		}
+		if a.KillShard < 0 || a.KillShard >= a.Topology.Shards {
+			t.Errorf("seed %d: kill targets shard %d of %d", seed, a.KillShard, a.Topology.Shards)
+		}
+	}
+}
+
+// TestFedChaosSmoke drives seeded kill-a-whole-shard scenarios through the
+// live federation and checks the federation invariants on each. Across the
+// batch the failure machinery must demonstrably fire: at least one shard
+// must lose every worker, and the bounce path (migration or honest
+// rejection) must have carried traffic.
+func TestFedChaosSmoke(t *testing.T) {
+	var wholeShardDeaths, bounced, migrated, lost int
+	for seed := uint64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rep := runFedScenario(t, seed)
+			for _, v := range rep.Violations {
+				t.Errorf("fed seed %d: %s", seed, v)
+			}
+			res := rep.Result
+			if res.Routed != rep.Scenario.Tasks {
+				t.Errorf("fed seed %d: routed %d tasks, scenario specifies %d",
+					seed, res.Routed, rep.Scenario.Tasks)
+			}
+			dead := res.Shards[rep.Scenario.KillShard]
+			if dead.WorkerFailures == rep.Scenario.Topology.WorkersPerShard {
+				wholeShardDeaths++
+			}
+			bounced += res.Bounced
+			migrated += res.Migrated
+			lost += res.Combined().LostToFailure
+		})
+	}
+	if wholeShardDeaths == 0 {
+		t.Error("no scenario killed a whole shard; the shard-death path went unexercised")
+	}
+	if bounced == 0 {
+		t.Error("no scenario bounced a single task; the federation reject path went unexercised")
+	}
+	t.Logf("aggregate over 12 seeds: whole-shard deaths=%d bounced=%d migrated=%d lost=%d",
+		wholeShardDeaths, bounced, migrated, lost)
+}

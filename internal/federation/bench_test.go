@@ -1,0 +1,52 @@
+package federation
+
+import (
+	"fmt"
+	"testing"
+
+	"rtsads/internal/workload"
+)
+
+// BenchmarkFederationThroughput measures federated scheduling throughput —
+// tasks admitted and driven to a terminal outcome per second of wall time —
+// under the paper's §5.1 workload at a fixed total worker count, as the
+// shard count grows. The deterministic simulation (Simulate) is the
+// engine, so the measurement isolates scheduling work (routing, per-shard
+// search, migration bookkeeping) from virtual-clock sleeping.
+//
+// scripts/bench_cluster.sh runs this suite and writes BENCH_cluster.json;
+// the committed copy at the repo root is the baseline CI gates against.
+func BenchmarkFederationThroughput(b *testing.B) {
+	const totalWorkers = 8
+	w, err := workload.Generate(workload.DefaultParams(totalWorkers))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			tp, err := SplitWorkers(totalWorkers, shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := SimConfig{
+				Workload:  w,
+				Topology:  tp,
+				Placement: AffinityFirst,
+				Migrate:   true,
+			}
+			b.ReportAllocs()
+			settled := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := Simulate(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				c := res.Combined()
+				settled += c.Hits + c.Purged + c.ScheduledMissed + c.LostToFailure + c.Shed
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(settled)/b.Elapsed().Seconds(), "tasks/s")
+		})
+	}
+}

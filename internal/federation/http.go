@@ -1,0 +1,105 @@
+package federation
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"rtsads/internal/obs"
+)
+
+// Handler returns the federation's debug endpoints:
+//
+//	/metrics — one merged Prometheus exposition: the router's
+//	    rtsads_fed_* counters plus every shard's rtsads_* families, each
+//	    shard's samples carrying a shard="<i>" label so per-shard totals
+//	    reconcile against the federation counters from one scrape. TYPE
+//	    headers are emitted for the router's metrics and shard 0's; later
+//	    shards' lazily-created families scrape as untyped, which the text
+//	    format permits.
+//	/healthz — JSON worker liveness per shard, plus an overall status.
+func (f *Federation) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		f.reg.WritePrometheus(w)
+		for i, o := range f.obsShards {
+			o.Registry().WritePrometheusLabeled(w, fmt.Sprintf("shard=%q", fmt.Sprint(i)), i == 0)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		type shardHealth struct {
+			Shard   int                `json:"shard"`
+			Alive   int                `json:"alive"`
+			Total   int                `json:"total"`
+			Workers []obs.WorkerHealth `json:"workers"`
+		}
+		out := struct {
+			Status string        `json:"status"`
+			Shards []shardHealth `json:"shards"`
+		}{Status: "ok"}
+		for i, o := range f.obsShards {
+			workers := o.Health()
+			alive := 0
+			for _, h := range workers {
+				if h.Alive {
+					alive++
+				}
+			}
+			if alive < len(workers) {
+				out.Status = "degraded"
+			}
+			out.Shards = append(out.Shards, shardHealth{Shard: i, Alive: alive, Total: len(workers), Workers: workers})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out)
+	})
+	return mux
+}
+
+// Server serves a Federation's Handler in the background until Close.
+type Server struct {
+	lis net.Listener
+	srv *http.Server
+}
+
+// Serve starts the federation debug endpoint on addr (host:port; port 0
+// picks a free port).
+func Serve(addr string, f *Federation) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("federation: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		lis: lis,
+		srv: &http.Server{Handler: f.Handler(), ReadHeaderTimeout: 5 * time.Second},
+	}
+	go s.srv.Serve(lis)
+	return s, nil
+}
+
+// Addr returns the bound address (resolving ":0" to the actual port).
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.lis.Addr().String()
+}
+
+// URL returns the endpoint's base URL.
+func (s *Server) URL() string {
+	if s == nil {
+		return ""
+	}
+	return "http://" + s.Addr()
+}
+
+// Close stops the server immediately.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

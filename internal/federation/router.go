@@ -1,0 +1,383 @@
+package federation
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"rtsads/internal/admission"
+	"rtsads/internal/core"
+	"rtsads/internal/experiment"
+	"rtsads/internal/faultinject"
+	"rtsads/internal/livecluster"
+	"rtsads/internal/metrics"
+	"rtsads/internal/obs"
+	"rtsads/internal/simtime"
+	"rtsads/internal/task"
+	"rtsads/internal/workload"
+)
+
+// Config configures a live federated run.
+type Config struct {
+	// Workload is the global problem instance; its Params.Workers must
+	// equal Topology.TotalWorkers(). Required.
+	Workload *workload.Workload
+	// Topology partitions the worker pool. Required.
+	Topology Topology
+	// Placement selects the routing policy (default affinity-first).
+	Placement Placement
+	// Migrate enables deadline-safe cross-shard migration of rejected
+	// tasks; without it every shard rejection is shed locally.
+	Migrate bool
+
+	// Algorithm, Scale, Liveness, Admission, Backpressure, SlackGuard,
+	// Degrade and Parallel configure every shard identically; see
+	// livecluster.Config. Faults is a global plan split by worker range
+	// across the shards.
+	Algorithm    experiment.Algorithm
+	Scale        float64
+	Faults       *faultinject.Plan
+	Liveness     livecluster.Liveness
+	Admission    admission.Config
+	Backpressure int
+	SlackGuard   time.Duration
+	Degrade      *core.DegradeConfig
+	Parallel     int
+
+	// JournalCap bounds each shard's journal (see obs.NewJournal).
+	JournalCap int
+	// SettleTimeout bounds the wall-clock wait for every task to reach a
+	// terminal bucket after the last submission (default 2 minutes); on
+	// expiry the run is sealed anyway and Reconcile reports the imbalance.
+	SettleTimeout time.Duration
+}
+
+// Federation runs N live scheduler shards behind one router. Build with
+// New, run once with Run; the metrics handler (http.go) can be attached
+// any time after New.
+type Federation struct {
+	cfg Config
+	tp  Topology
+
+	obsShards []*obs.Observer
+	faults    []*faultinject.Plan
+
+	reg      *obs.Registry
+	routed   *obs.Counter
+	migrated *obs.Counter
+	bounced  *obs.Counter
+	rejected *obs.Counter
+	routedBy []*obs.Counter
+
+	clock  *livecluster.Clock
+	shards []*livecluster.Cluster
+
+	// mu serialises routing decisions (first placements and migrations)
+	// so the Submitted tie-break and the tried sets stay consistent. Lock
+	// order: mu before any cluster lock; clusters never call back into the
+	// router while holding their own locks.
+	mu        sync.Mutex
+	submitted []int
+	perShard  []int
+	tried     map[task.ID]map[int]bool
+	orig      map[task.ID]*task.Task
+	routedN   int
+	migratedN int
+	bouncedN  int
+	rejectedN int
+}
+
+// New validates the configuration and builds the federation: per-shard
+// observers, the router's own registry, and the split fault plans. The
+// shard clusters themselves are created by Run, on a shared clock.
+func New(cfg Config) (*Federation, error) {
+	if cfg.Workload == nil {
+		return nil, fmt.Errorf("federation: Workload is required")
+	}
+	if err := cfg.Topology.Validate(); err != nil {
+		return nil, err
+	}
+	if got, want := cfg.Workload.Params.Workers, cfg.Topology.TotalWorkers(); got != want {
+		return nil, fmt.Errorf("federation: workload has %d workers but topology needs %d", got, want)
+	}
+	switch cfg.Placement {
+	case AffinityFirst, LeastCE, Hashed:
+	default:
+		return nil, fmt.Errorf("federation: unknown placement %v", cfg.Placement)
+	}
+	if cfg.Scale == 0 {
+		cfg.Scale = 20
+	}
+	if cfg.Scale < 0 {
+		return nil, fmt.Errorf("federation: Scale %v must be positive", cfg.Scale)
+	}
+	if cfg.SettleTimeout <= 0 {
+		cfg.SettleTimeout = 2 * time.Minute
+	}
+	faults, err := SplitFaults(cfg.Faults, cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	f := &Federation{
+		cfg:       cfg,
+		tp:        cfg.Topology,
+		faults:    faults,
+		reg:       obs.NewRegistry(),
+		submitted: make([]int, cfg.Topology.Shards),
+		perShard:  make([]int, cfg.Topology.Shards),
+		tried:     make(map[task.ID]map[int]bool),
+		orig:      make(map[task.ID]*task.Task, len(cfg.Workload.Tasks)),
+	}
+	for _, t := range cfg.Workload.Tasks {
+		f.orig[t.ID] = t
+	}
+	f.routed = f.reg.Counter(MetricRouted)
+	f.migrated = f.reg.Counter(MetricMigrated)
+	f.bounced = f.reg.Counter(MetricBounced)
+	f.rejected = f.reg.Counter(MetricRejected)
+	f.reg.Gauge(MetricShards).Set(int64(cfg.Topology.Shards))
+	f.routedBy = make([]*obs.Counter, cfg.Topology.Shards)
+	f.obsShards = make([]*obs.Observer, cfg.Topology.Shards)
+	for i := range f.routedBy {
+		f.routedBy[i] = f.reg.Counter(fmt.Sprintf(MetricRoutedShardPattern, i))
+		f.obsShards[i] = obs.New(cfg.JournalCap)
+	}
+	return f, nil
+}
+
+// Topology returns the federation's worker partition.
+func (f *Federation) Topology() Topology { return f.tp }
+
+// Registry returns the router's own metric registry.
+func (f *Federation) Registry() *obs.Registry { return f.reg }
+
+// ShardObserver returns shard i's observer (its registry carries the
+// standard rtsads_* families, exposed with a shard label by the handler).
+func (f *Federation) ShardObserver(i int) *obs.Observer { return f.obsShards[i] }
+
+// Run executes the workload across the shards: it builds one cluster per
+// shard on a shared virtual clock, replays the global arrival sequence
+// through the router, waits until every task has reached a terminal
+// bucket, then seals the shards and collects their results.
+func (f *Federation) Run() (*Result, error) {
+	clock, err := livecluster.NewClock(f.cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	f.clock = clock
+
+	f.shards = make([]*livecluster.Cluster, f.tp.Shards)
+	for i := range f.shards {
+		i := i
+		cl, err := livecluster.New(livecluster.Config{
+			Workload:  ShardWorkload(f.cfg.Workload, f.tp, i),
+			Algorithm: f.cfg.Algorithm,
+			Scale:     f.cfg.Scale,
+			Clock:     clock,
+			External:  true,
+			OnReject: func(t *task.Task, reason admission.Reason, now simtime.Instant) bool {
+				return f.onReject(i, t, reason, now)
+			},
+			Obs:          f.obsShards[i],
+			Faults:       f.faults[i],
+			Liveness:     f.cfg.Liveness,
+			Admission:    f.cfg.Admission,
+			Backpressure: f.cfg.Backpressure,
+			SlackGuard:   f.cfg.SlackGuard,
+			Degrade:      f.cfg.Degrade,
+			Parallel:     f.cfg.Parallel,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("federation: shard %d: %w", i, err)
+		}
+		f.shards[i] = cl
+	}
+
+	results := make([]*metrics.RunResult, f.tp.Shards)
+	errs := make([]error, f.tp.Shards)
+	failed := make(chan int, f.tp.Shards)
+	var wg sync.WaitGroup
+	for i, cl := range f.shards {
+		wg.Add(1)
+		go func(i int, cl *livecluster.Cluster) {
+			defer wg.Done()
+			res, err := cl.Run()
+			results[i], errs[i] = res, err
+			if err != nil {
+				failed <- i
+			}
+		}(i, cl)
+	}
+
+	// Pump the global arrival sequence through the router in real
+	// (scaled) time.
+	pumpErr := func() error {
+		for _, t := range f.cfg.Workload.Tasks {
+			select {
+			case i := <-failed:
+				return fmt.Errorf("federation: shard %d failed mid-run: %w", i, errs[i])
+			default:
+			}
+			clock.SleepUntil(t.Arrival)
+			f.routeArrival(t)
+		}
+		return nil
+	}()
+
+	// Wait until every distinct task has reached a non-bounce terminal
+	// bucket somewhere — hit, purged, scheduled-missed, lost or shed. A
+	// task mid-migration is in no terminal bucket, so sealing here cannot
+	// race a bounce.
+	if pumpErr == nil {
+		deadline := time.Now().Add(f.cfg.SettleTimeout)
+		total := int64(len(f.cfg.Workload.Tasks))
+	settle:
+		for f.settled() < total {
+			select {
+			case i := <-failed:
+				pumpErr = fmt.Errorf("federation: shard %d failed mid-run: %w", i, errs[i])
+				break settle
+			default:
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	for _, cl := range f.shards {
+		cl.Seal()
+	}
+	wg.Wait()
+	if pumpErr != nil {
+		return nil, pumpErr
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("federation: shard %d: %w", i, err)
+		}
+	}
+
+	f.mu.Lock()
+	res := &Result{
+		Topology:       f.tp,
+		Placement:      f.cfg.Placement,
+		Shards:         results,
+		Routed:         f.routedN,
+		Migrated:       f.migratedN,
+		Bounced:        f.bouncedN,
+		Rejected:       f.rejectedN,
+		PerShardRouted: append([]int(nil), f.perShard...),
+	}
+	f.mu.Unlock()
+	return res, nil
+}
+
+// settled sums the non-bounce terminal counters across all shard
+// registries — the number of distinct tasks whose fate is decided.
+func (f *Federation) settled() int64 {
+	var sum int64
+	for _, o := range f.obsShards {
+		snap := o.Registry().Snapshot()
+		sum += snap[obs.MetricHits] + snap[obs.MetricPurged] + snap[obs.MetricMissed] +
+			snap[obs.MetricLost] + snap[obs.MetricShed]
+	}
+	return sum
+}
+
+// routeArrival places one task on its first shard. When every shard is
+// dead the task still goes to shard 0, whose host loop will bounce it
+// (declined — nowhere to go) and count it lost, keeping the books honest.
+func (f *Federation) routeArrival(t *task.Task) {
+	now := f.clock.Now()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	views := f.viewsLocked(t, now)
+	s := f.cfg.Placement.Pick(t, views, nil)
+	if s < 0 {
+		s = 0
+	}
+	f.routedN++
+	f.perShard[s]++
+	f.submitted[s]++
+	f.routed.Inc()
+	f.routedBy[s].Inc()
+	// Submit cannot fail here: shards are only sealed after the pump and
+	// settle complete. If it ever does, the error is surfaced by
+	// Reconcile as a routed-but-never-settled imbalance.
+	_ = f.shards[s].Submit(Localize(t, f.tp, s))
+}
+
+// onReject is each shard's bounce callback: re-offer a rejected task to
+// the best feasible sibling. Returning true transfers ownership (the task
+// was submitted to the sibling); false hands it back to the rejecting
+// shard to shed or lose locally. Tasks shed for shutdown never get here.
+func (f *Federation) onReject(from int, t *task.Task, reason admission.Reason, now simtime.Instant) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.bouncedN++
+	f.bounced.Inc()
+	decline := func() bool {
+		f.rejectedN++
+		f.rejected.Inc()
+		return false
+	}
+	if !f.cfg.Migrate {
+		return decline()
+	}
+	g := f.orig[t.ID]
+	if g == nil {
+		// A task the router never placed (not ours to migrate).
+		return decline()
+	}
+	tried := f.tried[t.ID]
+	if tried == nil {
+		tried = make(map[int]bool, f.tp.Shards)
+		f.tried[t.ID] = tried
+	}
+	tried[from] = true
+	views := f.viewsLocked(g, now)
+	s := f.cfg.Placement.Pick(g, views, func(i int) bool {
+		return i != from && !tried[i] && views[i].Feasible(g, now)
+	})
+	if s < 0 {
+		return decline()
+	}
+	if err := f.shards[s].Submit(Localize(g, f.tp, s)); err != nil {
+		return decline()
+	}
+	tried[s] = true
+	f.submitted[s]++
+	f.migratedN++
+	f.migrated.Inc()
+	return true
+}
+
+// viewsLocked projects every shard's load summary onto one task. Caller
+// holds f.mu.
+func (f *Federation) viewsLocked(t *task.Task, now simtime.Instant) []ShardView {
+	views := make([]ShardView, f.tp.Shards)
+	for i, cl := range f.shards {
+		sum := cl.LoadSummary()
+		ov := f.tp.Overlap(t, i)
+		var comm time.Duration
+		if ov == 0 {
+			comm = f.cfg.Workload.Cost.Remote
+		}
+		rqs := time.Duration(1) << 56 // no alive worker: beyond any deadline
+		if sum.MinFree != simtime.Never {
+			rqs = simtime.NonNeg(sum.MinFree.Sub(now))
+		}
+		views[i] = ShardView{
+			Alive:      sum.Alive,
+			Sealed:     sum.Sealed,
+			RQs:        rqs,
+			QueuedWork: sum.QueuedWork,
+			Overlap:    ov,
+			Comm:       comm,
+			Submitted:  f.submitted[i],
+		}
+	}
+	return views
+}

@@ -1,0 +1,457 @@
+package federation
+
+import (
+	"fmt"
+	"time"
+
+	"rtsads/internal/admission"
+	"rtsads/internal/core"
+	"rtsads/internal/experiment"
+	"rtsads/internal/metrics"
+	"rtsads/internal/obs"
+	"rtsads/internal/simtime"
+	"rtsads/internal/task"
+	"rtsads/internal/workload"
+)
+
+// SimConfig configures a deterministic federated simulation: the analytic
+// counterpart of the live router, sharing its routing and migration logic
+// but advancing a global virtual clock event by event, so runs are
+// bit-for-bit reproducible — the form the acceptance tests and the
+// throughput benchmark use.
+type SimConfig struct {
+	// Workload is the global problem instance; Params.Workers must equal
+	// Topology.TotalWorkers(). Required.
+	Workload *workload.Workload
+	// Topology partitions the worker pool. Required.
+	Topology Topology
+	// Placement selects the routing policy (default affinity-first).
+	Placement Placement
+	// Migrate enables cross-shard migration of admission rejects.
+	Migrate bool
+	// Algorithm selects each shard's planner (default RT-SADS).
+	Algorithm experiment.Algorithm
+	// VertexCost is the virtual scheduling time charged per search vertex
+	// (default 1µs — the deterministic model of host scheduling speed).
+	VertexCost time.Duration
+	// PhaseCost is a fixed virtual scheduling time charged per phase
+	// (default 0).
+	PhaseCost time.Duration
+	// MinAdvance is the minimum clock advance per phase (default 1µs).
+	MinAdvance time.Duration
+	// Admission configures each shard's gate; the zero value admits
+	// everything (rejection then only happens on migration-eligible
+	// hopeless/queue-full verdicts when enabled).
+	Admission admission.Config
+	// Obs, when non-nil, must hold one observer per shard; the simulation
+	// mirrors the live cluster's counter semantics into them so registry
+	// totals reconcile with the per-shard results.
+	Obs []*obs.Observer
+	// MaxPhases aborts pathological runs (default 10 million, summed
+	// across shards).
+	MaxPhases int
+}
+
+// simShard is one scheduler domain of the simulation.
+type simShard struct {
+	id      int
+	batch   *task.Batch
+	inbox   []*task.Task
+	freeAt  []simtime.Instant
+	planner core.Planner
+	adm     *admission.Controller
+	res     *metrics.RunResult
+	o       *obs.Observer
+	// wakeAt is the next instant this shard must run a scheduling step;
+	// Never while its batch is empty (arrivals and migrations wake it).
+	wakeAt simtime.Instant
+}
+
+// simFed is the simulation-side router state, mirroring Federation.
+type simFed struct {
+	cfg    SimConfig
+	tp     Topology
+	shards []*simShard
+
+	submitted []int
+	perShard  []int
+	tried     map[task.ID]map[int]bool
+	orig      map[task.ID]*task.Task
+	routedN   int
+	migratedN int
+	bouncedN  int
+	rejectedN int
+}
+
+// Simulate runs the federated workload to completion on virtual time and
+// returns the per-shard results plus the router's counters. Identical
+// configurations always produce identical results.
+func Simulate(cfg SimConfig) (*Result, error) {
+	if cfg.Workload == nil {
+		return nil, fmt.Errorf("federation: Workload is required")
+	}
+	if err := cfg.Topology.Validate(); err != nil {
+		return nil, err
+	}
+	if got, want := cfg.Workload.Params.Workers, cfg.Topology.TotalWorkers(); got != want {
+		return nil, fmt.Errorf("federation: workload has %d workers but topology needs %d", got, want)
+	}
+	if cfg.Algorithm == "" {
+		cfg.Algorithm = experiment.RTSADS
+	}
+	if cfg.VertexCost <= 0 {
+		cfg.VertexCost = time.Microsecond
+	}
+	if cfg.MinAdvance <= 0 {
+		cfg.MinAdvance = time.Microsecond
+	}
+	if cfg.MaxPhases <= 0 {
+		cfg.MaxPhases = 10_000_000
+	}
+	if cfg.Obs != nil && len(cfg.Obs) != cfg.Topology.Shards {
+		return nil, fmt.Errorf("federation: %d observers for %d shards", len(cfg.Obs), cfg.Topology.Shards)
+	}
+	if err := cfg.Admission.Validate(); err != nil {
+		return nil, fmt.Errorf("federation: %w", err)
+	}
+
+	f := &simFed{
+		cfg:       cfg,
+		tp:        cfg.Topology,
+		shards:    make([]*simShard, cfg.Topology.Shards),
+		submitted: make([]int, cfg.Topology.Shards),
+		perShard:  make([]int, cfg.Topology.Shards),
+		tried:     make(map[task.ID]map[int]bool),
+		orig:      make(map[task.ID]*task.Task, len(cfg.Workload.Tasks)),
+	}
+	for _, t := range cfg.Workload.Tasks {
+		f.orig[t.ID] = t
+	}
+	for i := range f.shards {
+		sw := ShardWorkload(cfg.Workload, cfg.Topology, i)
+		scfg := core.SearchConfig{
+			Workers: cfg.Topology.WorkersPerShard,
+			Comm: func(t *task.Task, slot int) time.Duration {
+				return sw.Cost.Cost(t.Affinity, slot)
+			},
+			VertexCost: cfg.VertexCost,
+			PhaseCost:  cfg.PhaseCost,
+			Policy:     core.NewAdaptive(),
+		}
+		planner, err := buildSimPlanner(cfg.Algorithm, scfg)
+		if err != nil {
+			return nil, err
+		}
+		var adm *admission.Controller
+		if cfg.Admission.Enabled() {
+			if adm, err = admission.New(cfg.Admission); err != nil {
+				return nil, fmt.Errorf("federation: %w", err)
+			}
+		}
+		var o *obs.Observer
+		if cfg.Obs != nil {
+			o = cfg.Obs[i]
+		}
+		f.shards[i] = &simShard{
+			id:      i,
+			batch:   task.NewBatch(),
+			freeAt:  make([]simtime.Instant, cfg.Topology.WorkersPerShard),
+			planner: planner,
+			adm:     adm,
+			res: &metrics.RunResult{
+				Algorithm:  planner.Name() + "/sim",
+				Workers:    cfg.Topology.WorkersPerShard,
+				WorkerBusy: make([]time.Duration, cfg.Topology.WorkersPerShard),
+			},
+			o:      o,
+			wakeAt: simtime.Never,
+		}
+		o.SetWorkers(cfg.Topology.WorkersPerShard)
+	}
+
+	tasks := cfg.Workload.Tasks // sorted by arrival
+	now := simtime.Instant(0)
+	next := 0
+	totalPhases := 0
+	for {
+		for next < len(tasks) && !tasks[next].Arrival.After(now) {
+			f.route(tasks[next], now)
+			next++
+		}
+		// Step every due shard; migrations refill sibling inboxes at the
+		// same instant, so iterate until the round is quiet. Each planning
+		// step pushes the shard's wakeAt strictly past now, and migration
+		// chains are bounded by the per-task tried sets, so the inner loop
+		// terminates.
+		for {
+			stepped := false
+			for _, sh := range f.shards {
+				if len(sh.inbox) == 0 && (sh.wakeAt == simtime.Never || sh.wakeAt.After(now)) {
+					continue
+				}
+				if err := sh.step(f, now); err != nil {
+					return nil, err
+				}
+				totalPhases = 0
+				for _, s := range f.shards {
+					totalPhases += s.res.Phases
+				}
+				if totalPhases > cfg.MaxPhases {
+					return nil, fmt.Errorf("federation: exceeded %d phases at %s", cfg.MaxPhases, now)
+				}
+				stepped = true
+			}
+			if !stepped {
+				break
+			}
+		}
+		event := simtime.Never
+		if next < len(tasks) {
+			event = tasks[next].Arrival
+		}
+		for _, sh := range f.shards {
+			event = event.Min(sh.wakeAt)
+		}
+		if event == simtime.Never {
+			break // no arrivals, no pending work: workers just drain
+		}
+		now = event
+	}
+
+	res := &Result{
+		Topology:       f.tp,
+		Placement:      cfg.Placement,
+		Shards:         make([]*metrics.RunResult, len(f.shards)),
+		Routed:         f.routedN,
+		Migrated:       f.migratedN,
+		Bounced:        f.bouncedN,
+		Rejected:       f.rejectedN,
+		PerShardRouted: append([]int(nil), f.perShard...),
+	}
+	for i, sh := range f.shards {
+		res.Shards[i] = sh.res
+		sh.o.RunEnd(now, sh.res.String())
+	}
+	return res, nil
+}
+
+// route places one task on its first shard, mirroring the live router.
+func (f *simFed) route(t *task.Task, now simtime.Instant) {
+	views := f.views(t, now)
+	s := f.cfg.Placement.Pick(t, views, nil)
+	if s < 0 {
+		s = 0
+	}
+	f.routedN++
+	f.perShard[s]++
+	f.submitted[s]++
+	f.deliver(s, t, now)
+}
+
+// deliver hands a (global) task to a shard's inbox in localized form.
+func (f *simFed) deliver(s int, g *task.Task, now simtime.Instant) {
+	sh := f.shards[s]
+	sh.inbox = append(sh.inbox, Localize(g, f.tp, s))
+}
+
+// reject handles one shard-side admission rejection: migrate when a
+// feasible sibling exists, shed locally otherwise — the same bookkeeping
+// as livecluster's bounce path plus Federation.onReject.
+func (f *simFed) reject(from *simShard, t *task.Task, reason admission.Reason, now simtime.Instant) {
+	f.bouncedN++
+	migrate := func() bool {
+		if !f.cfg.Migrate {
+			return false
+		}
+		g := f.orig[t.ID]
+		if g == nil {
+			return false
+		}
+		tried := f.tried[t.ID]
+		if tried == nil {
+			tried = make(map[int]bool, f.tp.Shards)
+			f.tried[t.ID] = tried
+		}
+		tried[from.id] = true
+		views := f.views(g, now)
+		s := f.cfg.Placement.Pick(g, views, func(i int) bool {
+			return i != from.id && !tried[i] && views[i].Feasible(g, now)
+		})
+		if s < 0 {
+			return false
+		}
+		tried[s] = true
+		f.submitted[s]++
+		f.migratedN++
+		f.deliver(s, g, now)
+		return true
+	}
+	if migrate() {
+		from.res.Bounced++
+		from.o.Bounce(t.ID, string(reason), now)
+		return
+	}
+	f.rejectedN++
+	from.res.Shed++
+	switch reason {
+	case admission.Hopeless:
+		from.res.ShedHopeless++
+	case admission.QueueFull:
+		from.res.ShedQueueFull++
+	}
+	from.o.Shed(t.ID, string(reason), now)
+}
+
+// views projects every shard's current state onto one task.
+func (f *simFed) views(t *task.Task, now simtime.Instant) []ShardView {
+	views := make([]ShardView, len(f.shards))
+	for i, sh := range f.shards {
+		minFree := simtime.Never
+		var queued time.Duration
+		for _, fr := range sh.freeAt {
+			fr = fr.Max(now)
+			queued += fr.Sub(now)
+			minFree = minFree.Min(fr)
+		}
+		ov := f.tp.Overlap(t, i)
+		var comm time.Duration
+		if ov == 0 {
+			comm = f.cfg.Workload.Cost.Remote
+		}
+		views[i] = ShardView{
+			Alive:      len(sh.freeAt),
+			RQs:        simtime.NonNeg(minFree.Sub(now)),
+			QueuedWork: queued,
+			Overlap:    ov,
+			Comm:       comm,
+			Submitted:  f.submitted[i],
+		}
+	}
+	return views
+}
+
+// step runs one scheduling iteration of a shard at the global instant:
+// absorb the inbox through the admission gate, purge missed tasks, plan a
+// phase, and deliver the schedule analytically — the machine package's
+// loop body, per shard.
+func (sh *simShard) step(f *simFed, now simtime.Instant) error {
+	in := sh.inbox
+	sh.inbox = nil
+	for _, t := range in {
+		sh.res.Total++
+		sh.o.Arrival(t.ID, now)
+		sh.admit(f, t, now)
+	}
+	for _, t := range sh.batch.PurgeMissed(now) {
+		sh.res.Purged++
+		sh.o.Purge(t.ID, now)
+	}
+	if sh.batch.Len() == 0 {
+		sh.wakeAt = simtime.Never
+		return nil
+	}
+
+	loads := make([]time.Duration, len(sh.freeAt))
+	for k, fr := range sh.freeAt {
+		loads[k] = simtime.NonNeg(fr.Sub(now))
+	}
+	sh.o.PhaseStart(sh.res.Phases, sh.batch.Len(), now)
+	out, err := sh.planner.PlanPhase(core.PhaseInput{Now: now, Batch: sh.batch.Tasks(), Loads: loads})
+	if err != nil {
+		return fmt.Errorf("federation: shard %d phase %d: %w", sh.id, sh.res.Phases, err)
+	}
+	sh.o.PhaseEnd(sh.res.Phases, now.Add(out.Used), obs.PhaseStats{
+		Quantum:    out.Quantum,
+		Used:       out.Used,
+		Generated:  out.Stats.Generated,
+		Backtracks: out.Stats.Backtracks,
+		DeadEnd:    out.Stats.DeadEnd,
+		Expired:    out.Stats.Expired,
+	})
+	sh.res.Phases++
+	sh.res.SchedulingTime += out.Used
+	sh.res.VerticesGenerated += out.Stats.Generated
+	sh.res.Backtracks += out.Stats.Backtracks
+	if out.Stats.DeadEnd {
+		sh.res.DeadEnds++
+	}
+	if out.Stats.Expired {
+		sh.res.QuantaExpired++
+	}
+
+	deliver := now.Add(simtime.MaxDur(out.Used, f.cfg.MinAdvance))
+	scheduled := make([]*task.Task, 0, len(out.Schedule))
+	for _, a := range out.Schedule {
+		start := deliver.Max(sh.freeAt[a.Proc])
+		actual := a.Task.ActualProc() + a.Comm
+		finish := start.Add(actual)
+		sh.freeAt[a.Proc] = finish
+		sh.res.WorkerBusy[a.Proc] += actual
+		sh.res.Response.Add(finish.Sub(a.Task.Arrival))
+		if finish.After(sh.res.Makespan) {
+			sh.res.Makespan = finish
+		}
+		hit := !finish.After(a.Task.Deadline)
+		if hit {
+			sh.res.Hits++
+		} else {
+			sh.res.ScheduledMissed++
+		}
+		scheduled = append(scheduled, a.Task)
+		sh.o.Deliver(sh.res.Phases-1, a.Task.ID, a.Proc, deliver)
+		sh.o.Exec(a.Task.ID, a.Proc, start, finish, hit, finish.Sub(a.Task.Arrival))
+	}
+	sh.batch.RemoveScheduled(scheduled)
+
+	if len(out.Schedule) > 0 {
+		sh.wakeAt = deliver
+		return nil
+	}
+	// Nothing feasible right now: skip to the earliest event that can
+	// change the picture — a worker freeing up or a purge point (the batch
+	// is non-empty, so one always exists; arrivals wake the shard
+	// separately).
+	event := simtime.Never
+	for _, fr := range sh.freeAt {
+		if fr.After(deliver) {
+			event = event.Min(fr)
+		}
+	}
+	for _, t := range sh.batch.Tasks() {
+		event = event.Min(t.Deadline.Add(-t.Proc + 1))
+	}
+	sh.wakeAt = deliver.Max(event)
+	return nil
+}
+
+// admit runs one inbox task through the shard's gate into its batch.
+func (sh *simShard) admit(f *simFed, t *task.Task, now simtime.Instant) {
+	d := sh.adm.Admit(t, now, sh.batch.Tasks())
+	if !d.Admit {
+		f.reject(sh, t, d.Reason, now)
+		return
+	}
+	if d.Victim != nil {
+		sh.batch.RemoveScheduled([]*task.Task{d.Victim})
+		f.reject(sh, d.Victim, admission.QueueFull, now)
+	}
+	sh.res.Admitted++
+	sh.o.Admitted(t.ID)
+	sh.batch.Add(t)
+}
+
+// buildSimPlanner mirrors livecluster's planner switch for the sim side.
+func buildSimPlanner(a experiment.Algorithm, scfg core.SearchConfig) (core.Planner, error) {
+	switch a {
+	case experiment.RTSADS:
+		return core.NewRTSADS(scfg)
+	case experiment.DCOLS:
+		return core.NewDCOLS(scfg)
+	case experiment.EDFGreedy:
+		return core.NewEDFGreedy(scfg)
+	case experiment.Myopic:
+		return core.NewMyopic(scfg, 7, 1)
+	default:
+		return nil, fmt.Errorf("federation: unknown algorithm %q", a)
+	}
+}

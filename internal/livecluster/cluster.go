@@ -162,6 +162,51 @@ type Config struct {
 	// overshoot) that would otherwise turn a zero-slack schedule into a
 	// deadline miss. 0 disables.
 	SlackGuard time.Duration
+	// Clock, when non-nil, is shared with other clusters so a federation's
+	// shards agree on virtual time; Run uses it instead of creating its
+	// own, and Scale is ignored. Optional.
+	Clock *Clock
+	// External switches the cluster into externally-fed mode for use as a
+	// federation shard: the workload's task list no longer seeds the run —
+	// tasks arrive via Submit, Total counts absorbed submissions, and the
+	// run ends once Seal has been called and the backlog has drained. The
+	// workload still supplies the worker count, placement and cost model
+	// (and sizes the in-process backend's ready queues, so keep its task
+	// list populated even though it is not replayed).
+	External bool
+	// OnReject, when non-nil, is offered every task the admission gate — or
+	// a total local worker loss — would otherwise shed, before it is counted
+	// shed: returning true takes ownership (the cluster counts the task
+	// Bounced and forgets it), false declines (the cluster sheds it locally
+	// as usual). Called from the host goroutine with no cluster locks held;
+	// the callback must not call Submit on this same cluster. Tasks turned
+	// away because the cluster is shutting down are never offered.
+	OnReject func(t *task.Task, reason admission.Reason, now simtime.Instant) bool
+}
+
+// Summary is a point-in-time load snapshot of one cluster, exported so a
+// federation router can place tasks by each shard's state: it is the live
+// analogue of the paper's Min_Load term — the earliest instant any worker
+// frees up (RQs) plus how much planned work is queued ahead of a newcomer.
+type Summary struct {
+	// Workers is the shard's configured worker count; Alive is how many
+	// still survive.
+	Workers int
+	Alive   int
+	// Backlog counts tasks admitted but not yet delivered (the ready batch
+	// plus submissions not yet absorbed by the host loop).
+	Backlog int
+	// Inflight counts tasks delivered to workers and not yet completed.
+	Inflight int
+	// QueuedWork is the planned work queued across alive workers:
+	// Σ max(0, freeAt − now). Dividing by Alive estimates the shard's RQs.
+	QueuedWork time.Duration
+	// MinFree is the earliest virtual instant an alive worker frees up
+	// (clamped to now when idle), or simtime.Never when no worker is alive.
+	MinFree simtime.Instant
+	// Sealed reports that the feed has been closed; the shard accepts no
+	// further submissions.
+	Sealed bool
 }
 
 // Cluster drives a live run: one host (the caller's goroutine) plus worker
@@ -175,6 +220,63 @@ type Cluster struct {
 	stop     chan struct{}
 	stopOnce sync.Once
 	grace    time.Duration
+
+	// External feed (shard mode): feedMu guards feed and sealed; feedTick
+	// wakes the host loop on new submissions (buffered 1, coalescing).
+	feedMu   sync.Mutex
+	feed     []*task.Task
+	sealed   bool
+	feedTick chan struct{}
+
+	// sumMu guards summary, the load snapshot handed out by LoadSummary.
+	sumMu   sync.Mutex
+	summary Summary
+}
+
+// Submit feeds tasks to an externally-fed cluster (Config.External). Safe
+// to call from any goroutine while Run is in progress; submissions are
+// absorbed by the host loop in order. It fails once Seal has been called
+// (including the implicit seal when Run returns), so a caller can tell a
+// rejected handoff from a silently dropped one.
+func (c *Cluster) Submit(ts ...*task.Task) error {
+	if !c.cfg.External {
+		return fmt.Errorf("livecluster: Submit requires Config.External")
+	}
+	c.feedMu.Lock()
+	if c.sealed {
+		c.feedMu.Unlock()
+		return fmt.Errorf("livecluster: Submit after Seal")
+	}
+	c.feed = append(c.feed, ts...)
+	c.feedMu.Unlock()
+	select {
+	case c.feedTick <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// Seal closes the external feed: no further Submit succeeds, and Run ends
+// once the already-submitted backlog has drained. Idempotent; safe from
+// any goroutine.
+func (c *Cluster) Seal() {
+	c.feedMu.Lock()
+	c.sealed = true
+	c.feedMu.Unlock()
+	select {
+	case c.feedTick <- struct{}{}:
+	default:
+	}
+}
+
+// LoadSummary returns the cluster's most recent load snapshot. The host
+// loop republishes it once per scheduling iteration, so it trails the true
+// state by at most one phase — good enough for placement, while the target
+// shard's own admission gate and planner remain the hard guarantee.
+func (c *Cluster) LoadSummary() Summary {
+	c.sumMu.Lock()
+	defer c.sumMu.Unlock()
+	return c.summary
 }
 
 // Stop asks a running cluster to shut down gracefully: the host stops
@@ -236,7 +338,17 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.SlackGuard < 0 {
 		return nil, fmt.Errorf("livecluster: SlackGuard %v must be non-negative", cfg.SlackGuard)
 	}
-	return &Cluster{cfg: cfg, stop: make(chan struct{})}, nil
+	if cfg.OnReject != nil && !cfg.External {
+		return nil, fmt.Errorf("livecluster: OnReject requires External mode")
+	}
+	c := &Cluster{cfg: cfg, stop: make(chan struct{}), feedTick: make(chan struct{}, 1)}
+	if cfg.External {
+		// Routers may read the summary before Run publishes the first live
+		// one: start with an idle, fully-alive shard.
+		n := cfg.Workload.Params.Workers
+		c.summary = Summary{Workers: n, Alive: n}
+	}
+	return c, nil
 }
 
 // flight is one delivered-but-unfinished job the host tracks so it can be
@@ -310,9 +422,13 @@ type runState struct {
 // their deadlines on a surviving worker or are counted honestly as lost.
 func (c *Cluster) Run() (*metrics.RunResult, error) {
 	w := c.cfg.Workload
-	clock, err := NewClock(c.cfg.Scale)
-	if err != nil {
-		return nil, err
+	clock := c.cfg.Clock
+	if clock == nil {
+		var err error
+		clock, err = NewClock(c.cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
 	}
 	inj, err := c.cfg.Faults.Bind(clock, w.Params.Workers)
 	if err != nil {
@@ -324,10 +440,16 @@ func (c *Cluster) Run() (*metrics.RunResult, error) {
 		return nil, err
 	}
 
+	// Externally-fed shards start empty: Total counts absorbed submissions
+	// rather than the workload's task list.
+	var seed []*task.Task
+	if !c.cfg.External {
+		seed = append([]*task.Task(nil), w.Tasks...)
+	}
 	res := &metrics.RunResult{
 		Algorithm:  "", // set below once the planner is built
 		Workers:    w.Params.Workers,
-		Total:      len(w.Tasks),
+		Total:      len(seed),
 		WorkerBusy: make([]time.Duration, w.Params.Workers),
 	}
 
@@ -354,7 +476,7 @@ func (c *Cluster) Run() (*metrics.RunResult, error) {
 		strikes:  make([]int, w.Params.Workers),
 		freeAt:   make([]simtime.Instant, w.Params.Workers),
 		batch:    task.NewBatch(),
-		pending:  append([]*task.Task(nil), w.Tasks...),
+		pending:  seed,
 	}
 	for k := range r.alive {
 		r.alive[k] = true
@@ -366,6 +488,19 @@ func (c *Cluster) Run() (*metrics.RunResult, error) {
 	go r.collect()
 
 	hostErr := r.loop()
+
+	if c.cfg.External {
+		// Seal so late Submits error instead of vanishing, then account any
+		// submissions the loop never absorbed (a Stop can end the loop with
+		// feed left over) as shutdown sheds so the books balance.
+		c.Seal()
+		for _, t := range r.takeFeed() {
+			r.mu.Lock()
+			res.Total++
+			r.mu.Unlock()
+			r.shed(t, admission.ShuttingDown, clock.Now())
+		}
+	}
 
 	closeErr := backend.Close() // closing drains worker queues, then Done closes
 	r.collectWG.Wait()
@@ -483,6 +618,15 @@ func (r *runState) loop() error {
 			r.o.Arrival(t.ID, t.Arrival)
 			r.admit(t, now, true)
 		}
+		if r.c.cfg.External {
+			for _, t := range r.takeFeed() {
+				r.mu.Lock()
+				r.res.Total++
+				r.mu.Unlock()
+				r.o.Arrival(t.ID, now)
+				r.admit(t, now, true)
+			}
+		}
 		if purged := r.batch.PurgeMissed(now); len(purged) > 0 {
 			r.mu.Lock()
 			r.res.Purged += len(purged)
@@ -493,9 +637,14 @@ func (r *runState) loop() error {
 			r.mu.Unlock()
 		}
 		r.checkStragglers(now)
+		r.publishSummary(now)
 
 		if r.batch.Len() == 0 {
-			if r.next >= len(r.pending) && r.inflightCount() == 0 {
+			if r.c.cfg.External {
+				if r.feedDone() && r.inflightCount() == 0 {
+					return nil // sealed, absorbed, delivered and accounted for
+				}
+			} else if r.next >= len(r.pending) && r.inflightCount() == 0 {
 				return nil // all work delivered and accounted for
 			}
 			r.wait(r.nextEvent(now))
@@ -504,6 +653,20 @@ func (r *runState) loop() error {
 
 		active := r.activeWorkers()
 		if len(active) == 0 {
+			if r.c.cfg.External {
+				// Every local worker is gone, but a sibling shard may still
+				// serve the backlog: offer each task to the router; what it
+				// declines is honestly lost. The loop keeps running so later
+				// submissions bounce the same way, and the run still ends on
+				// seal-and-drain.
+				for _, t := range r.batch.PurgeMissed(simtime.Never) {
+					if !r.bounce(t, admission.ShardDown, now) {
+						r.lose(t, now)
+					}
+				}
+				r.wait(r.nextEvent(now))
+				continue
+			}
 			// Every worker is gone: the remaining work is honestly
 			// unservable.
 			lost := append(r.batch.PurgeMissed(simtime.Never), r.pending[r.next:]...)
@@ -722,12 +885,12 @@ func (r *runState) admit(t *task.Task, now simtime.Instant, arrival bool) {
 	}
 	d := r.adm.Admit(t, now, r.batch.Tasks())
 	if !d.Admit {
-		r.shed(t, d.Reason, now)
+		r.reject(t, d.Reason, now)
 		return
 	}
 	if d.Victim != nil {
 		r.batch.RemoveScheduled([]*task.Task{d.Victim})
-		r.shed(d.Victim, admission.QueueFull, now)
+		r.reject(d.Victim, admission.QueueFull, now)
 	}
 	if arrival {
 		r.mu.Lock()
@@ -736,6 +899,45 @@ func (r *runState) admit(t *task.Task, now simtime.Instant, arrival bool) {
 		r.o.Admitted(t.ID)
 	}
 	r.batch.Add(t)
+}
+
+// reject routes one non-admitted task: offered to the federation router
+// first when one is attached, shed locally otherwise. Host goroutine only.
+func (r *runState) reject(t *task.Task, reason admission.Reason, now simtime.Instant) {
+	if r.bounce(t, reason, now) {
+		return
+	}
+	r.shed(t, reason, now)
+}
+
+// bounce offers one locally-unservable task to the federation router via
+// Config.OnReject. True means the router took ownership: the task is
+// counted Bounced — a terminal bucket for this domain — and forgotten
+// here. Host goroutine only; the callback runs with no cluster locks held.
+func (r *runState) bounce(t *task.Task, reason admission.Reason, now simtime.Instant) bool {
+	cb := r.c.cfg.OnReject
+	if cb == nil || reason == admission.ShuttingDown {
+		return false
+	}
+	if !cb(t, reason, now) {
+		return false
+	}
+	r.mu.Lock()
+	r.res.Bounced++
+	r.record(metrics.Completion{Task: t.ID, Proc: -1})
+	r.mu.Unlock()
+	r.o.Bounce(t.ID, string(reason), now)
+	return true
+}
+
+// lose accounts one task dropped because no local worker survives and the
+// router declined it. Host goroutine only.
+func (r *runState) lose(t *task.Task, now simtime.Instant) {
+	r.mu.Lock()
+	r.res.LostToFailure++
+	r.o.Lost(t.ID, -1, now)
+	r.record(metrics.Completion{Task: t.ID, Proc: -1})
+	r.mu.Unlock()
 }
 
 // shed accounts one task rejected or evicted by admission control: a
@@ -914,6 +1116,10 @@ func (r *runState) wait(until simtime.Instant) {
 	if d <= 0 {
 		return
 	}
+	var feedC <-chan struct{}
+	if r.c.cfg.External {
+		feedC = r.c.feedTick
+	}
 	timer := time.NewTimer(d)
 	defer timer.Stop()
 	select {
@@ -921,8 +1127,55 @@ func (r *runState) wait(until simtime.Instant) {
 	case f := <-r.failCh:
 		r.handleFailure(f)
 	case <-r.doneTick:
+	case <-feedC:
 	case <-stopC:
 	}
+}
+
+// takeFeed drains the external feed. Host goroutine (and post-loop
+// cleanup) only.
+func (r *runState) takeFeed() []*task.Task {
+	c := r.c
+	c.feedMu.Lock()
+	ts := c.feed
+	c.feed = nil
+	c.feedMu.Unlock()
+	return ts
+}
+
+// feedDone reports that the external feed is sealed and fully absorbed.
+func (r *runState) feedDone() bool {
+	c := r.c
+	c.feedMu.Lock()
+	defer c.feedMu.Unlock()
+	return c.sealed && len(c.feed) == 0
+}
+
+// publishSummary refreshes the load snapshot a federation router reads via
+// LoadSummary. Host goroutine only; no-op outside external mode.
+func (r *runState) publishSummary(now simtime.Instant) {
+	if !r.c.cfg.External {
+		return
+	}
+	s := Summary{Workers: len(r.alive), MinFree: simtime.Never}
+	for k, a := range r.alive {
+		if !a {
+			continue
+		}
+		s.Alive++
+		f := r.freeAt[k].Max(now)
+		s.QueuedWork += f.Sub(now)
+		s.MinFree = s.MinFree.Min(f)
+	}
+	s.Backlog = r.batch.Len()
+	s.Inflight = r.inflightCount()
+	r.c.feedMu.Lock()
+	s.Backlog += len(r.c.feed)
+	s.Sealed = r.c.sealed
+	r.c.feedMu.Unlock()
+	r.c.sumMu.Lock()
+	r.c.summary = s
+	r.c.sumMu.Unlock()
 }
 
 // activeWorkers returns the surviving processor IDs, ascending.

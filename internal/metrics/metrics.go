@@ -71,6 +71,14 @@ type RunResult struct {
 	ShedQueueFull int
 	// ShedShutdown counts tasks turned away during a graceful shutdown.
 	ShedShutdown int
+	// Bounced counts tasks this scheduler domain handed back to a
+	// federation router for cross-shard migration instead of shedding or
+	// losing them locally. It is a terminal bucket for *this* domain —
+	// Hits + Purged + ScheduledMissed + LostToFailure + Shed + Bounced ==
+	// Total — while the migrated task is counted again in the sibling
+	// shard's Total, so federation-wide the non-bounce buckets still sum
+	// to the number of distinct tasks. Zero outside federated runs.
+	Bounced int
 	// Overloads counts job deliveries deferred by backend backpressure
 	// (the worker's queue cap was reached and the host was told to retry).
 	// Deferred tasks return to the batch, so this is not a terminal bucket.
@@ -157,6 +165,9 @@ func (r *RunResult) String() string {
 	if r.Shed > 0 {
 		s += fmt.Sprintf(" shed=%d (hopeless=%d queueFull=%d shutdown=%d)",
 			r.Shed, r.ShedHopeless, r.ShedQueueFull, r.ShedShutdown)
+	}
+	if r.Bounced > 0 {
+		s += fmt.Sprintf(" bounced=%d", r.Bounced)
 	}
 	if r.Overloads > 0 {
 		s += fmt.Sprintf(" overloads=%d", r.Overloads)

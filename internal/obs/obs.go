@@ -53,6 +53,7 @@ const (
 	// fallback planner is active.
 	MetricAdmitted     = "rtsads_task_admitted_total"
 	MetricShed         = "rtsads_task_shed_total"
+	MetricBounced      = "rtsads_task_bounced_total"
 	MetricShedPattern  = "rtsads_task_shed_total{reason=%q}"
 	MetricOverloads    = "rtsads_backpressure_deferrals_total"
 	MetricDegradations = "rtsads_degradations_total"
@@ -111,7 +112,8 @@ type Observer struct {
 	arrivals, deliveries, hits, missed, purged, lost       *Counter
 	rerouted, workerFailures, disruptions, stragglers      *Counter
 	heartbeatsSent, heartbeatsRecv, redials, redialsFailed *Counter
-	admitted, shed, overloads, degradations, recoveries    *Counter
+	admitted, shed, bounced, overloads                     *Counter
+	degradations, recoveries                               *Counter
 	workersAlive, workersTotal, inflight, batchSize        *Gauge
 	degradedMode, batchSizeMax                             *Gauge
 	phaseDur, quantumSize, responseTime                    *Histogram
@@ -156,6 +158,7 @@ func New(journalCap int) *Observer {
 		redialsFailed:  reg.Counter(MetricRedialFailures),
 		admitted:       reg.Counter(MetricAdmitted),
 		shed:           reg.Counter(MetricShed),
+		bounced:        reg.Counter(MetricBounced),
 		overloads:      reg.Counter(MetricOverloads),
 		degradations:   reg.Counter(MetricDegradations),
 		recoveries:     reg.Counter(MetricRecoveries),
@@ -387,6 +390,18 @@ func (o *Observer) Shed(id task.ID, reason string, at simtime.Instant) {
 	o.mu.Unlock()
 	c.Inc()
 	o.note(at, Entry{Type: "shed", Task: int(id), Worker: -1, Detail: reason})
+}
+
+// Bounce records a task handed back to a federation router for
+// cross-shard migration instead of being shed or lost locally — the
+// counter mirrors RunResult.Bounced exactly. reason is the admission
+// reason that triggered the bounce.
+func (o *Observer) Bounce(id task.ID, reason string, at simtime.Instant) {
+	if o == nil {
+		return
+	}
+	o.bounced.Inc()
+	o.note(at, Entry{Type: "bounce", Task: int(id), Worker: -1, Detail: reason})
 }
 
 // Overloaded records a backend deferring deferred jobs for a worker under

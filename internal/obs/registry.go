@@ -225,9 +225,35 @@ func baseName(name string) string {
 	return name
 }
 
+// labeled merges an extra label (`shard="0"`) into a metric name that may
+// already carry a label set: `a` -> `a{extra}`, `a{b="c"}` -> `a{extra,b="c"}`.
+func labeled(name, extra string) string {
+	if extra == "" {
+		return name
+	}
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i+1] + extra + "," + name[i+1:]
+	}
+	return name + "{" + extra + "}"
+}
+
 // WritePrometheus writes every metric in the Prometheus text exposition
 // format, sorted by name, with one # TYPE line per metric family.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.writeProm(w, "", true)
+}
+
+// WritePrometheusLabeled is WritePrometheus with an extra label pair
+// (e.g. `shard="2"`) merged into every sample line, including histogram
+// bucket/sum/count lines — the per-shard exposition dimension a federated
+// run serves from one merged /metrics endpoint. withTypes controls the
+// # TYPE header lines: when several labeled registries are concatenated
+// into one exposition, only the first may emit them.
+func (r *Registry) WritePrometheusLabeled(w io.Writer, extra string, withTypes bool) error {
+	return r.writeProm(w, extra, withTypes)
+}
+
+func (r *Registry) writeProm(w io.Writer, extra string, withTypes bool) error {
 	if r == nil {
 		return nil
 	}
@@ -239,24 +265,30 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	var all []metric
 	types := make(map[string]string)
 	for name, c := range r.counters {
-		all = append(all, metric{name, fmt.Sprintf("%s %d\n", name, c.Value())})
+		all = append(all, metric{name, fmt.Sprintf("%s %d\n", labeled(name, extra), c.Value())})
 		types[baseName(name)] = "counter"
 	}
 	for name, g := range r.gauges {
-		all = append(all, metric{name, fmt.Sprintf("%s %d\n", name, g.Value())})
+		all = append(all, metric{name, fmt.Sprintf("%s %d\n", labeled(name, extra), g.Value())})
 		types[baseName(name)] = "gauge"
 	}
 	for name, h := range r.hists {
 		var b strings.Builder
+		bucketLabel := func(le string) string {
+			if extra == "" {
+				return le
+			}
+			return extra + "," + le
+		}
 		cum := int64(0)
 		for i, upper := range histBuckets {
 			cum += h.buckets[i].Load()
-			fmt.Fprintf(&b, "%s_bucket{le=\"%g\"} %d\n", name, upper.Seconds(), cum)
+			fmt.Fprintf(&b, "%s_bucket{%s} %d\n", name, bucketLabel(fmt.Sprintf("le=\"%g\"", upper.Seconds())), cum)
 		}
 		cum += h.buckets[len(histBuckets)].Load()
-		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-		fmt.Fprintf(&b, "%s_sum %g\n", name, h.Sum().Seconds())
-		fmt.Fprintf(&b, "%s_count %d\n", name, h.Count())
+		fmt.Fprintf(&b, "%s_bucket{%s} %d\n", name, bucketLabel(`le="+Inf"`), cum)
+		fmt.Fprintf(&b, "%s %g\n", labeled(name+"_sum", extra), h.Sum().Seconds())
+		fmt.Fprintf(&b, "%s %d\n", labeled(name+"_count", extra), h.Count())
 		all = append(all, metric{name, b.String()})
 		types[baseName(name)] = "histogram"
 	}
@@ -266,7 +298,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	var b strings.Builder
 	lastBase := ""
 	for _, m := range all {
-		if base := baseName(m.name); base != lastBase {
+		if base := baseName(m.name); withTypes && base != lastBase {
 			lastBase = base
 			fmt.Fprintf(&b, "# TYPE %s %s\n", base, types[base])
 		}

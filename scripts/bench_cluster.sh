@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Runs the tracked federation benchmark suite
+# (BenchmarkFederationThroughput: tasks admitted+completed per second at
+# shard counts 1/2/4, fixed total workers) and writes BENCH_cluster.json.
+# The committed BENCH_cluster.json at the repo root is the baseline the CI
+# bench-regression job compares against (scripts/benchcmp, gated on the
+# shards=4 throughput).
+#
+# Usage: scripts/bench_cluster.sh [output.json]
+#   BENCHTIME=2s COUNT=3 scripts/bench_cluster.sh   # longer / repeated runs
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_cluster.json}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+go test -run '^$' -bench BenchmarkFederationThroughput -benchmem \
+    -benchtime "${BENCHTIME:-1s}" -count "${COUNT:-1}" \
+    ./internal/federation/ | tee "$TMP"
+
+go run ./scripts/benchjson -suite BenchmarkFederationThroughput <"$TMP" >"$OUT"
+echo "wrote $OUT"

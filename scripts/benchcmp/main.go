@@ -1,16 +1,27 @@
-// Command benchcmp compares two BENCH_search.json files (as written by
-// scripts/bench.sh) and exits non-zero when the expand-only benchmark — the
-// allocation-free fast path the search core is built around — regresses more
-// than the threshold on ns/op or allocs/op.
+// Command benchcmp compares two BENCH_*.json files (as written by
+// scripts/bench.sh and scripts/bench_cluster.sh) and exits non-zero when
+// the gate benchmark regresses more than the threshold on any gated
+// metric. Throughput metrics (suffix _per_s / _per_sec) regress downward;
+// everything else (ns_per_op, allocs_per_op, B_per_op) regresses upward.
 //
-// Usage: go run ./scripts/benchcmp base.json new.json
+// The defaults gate the search core's allocation-free fast path:
+// expand-only on ns_per_op and allocs_per_op, 20% threshold, with a hard
+// zero rule — a zero cost baseline means any non-zero value fails outright
+// (the expand path is allocation-free by construction).
+//
+// Usage:
+//
+//	go run ./scripts/benchcmp base.json new.json
+//	go run ./scripts/benchcmp -gate 'shards=4' -metrics tasks_per_s -threshold 0.30 base.json new.json
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 )
 
 // File mirrors the schema written by scripts/benchjson.
@@ -21,11 +32,6 @@ type File struct {
 	CPU        string                        `json:"cpu,omitempty"`
 	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
 }
-
-const (
-	gateBench = "expand-only"
-	threshold = 0.20 // >20% worse fails
-)
 
 func load(path string) (*File, error) {
 	data, err := os.ReadFile(path)
@@ -42,17 +48,27 @@ func load(path string) (*File, error) {
 	return &f, nil
 }
 
+// betterIsMax reports whether larger values of the metric are better
+// (throughput); for those a regression is a drop below the baseline.
+func betterIsMax(key string) bool {
+	return strings.HasSuffix(key, "_per_s") || strings.HasSuffix(key, "_per_sec")
+}
+
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: benchcmp base.json new.json")
+	gate := flag.String("gate", "expand-only", "benchmark whose regression fails the comparison")
+	metrics := flag.String("metrics", "ns_per_op,allocs_per_op", "comma-separated metrics to gate on")
+	threshold := flag.Float64("threshold", 0.20, "relative regression that fails (0.20 = 20% worse)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-gate name] [-metrics a,b] [-threshold frac] base.json new.json")
 		os.Exit(2)
 	}
-	base, err := load(os.Args[1])
+	base, err := load(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcmp:", err)
 		os.Exit(2)
 	}
-	cur, err := load(os.Args[2])
+	cur, err := load(flag.Arg(1))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcmp:", err)
 		os.Exit(2)
@@ -76,14 +92,14 @@ func main() {
 		fmt.Printf("%-28s %14.1f %14.1f %9s\n", name, b, c, delta)
 	}
 
-	bm, ok := base.Benchmarks[gateBench]
+	bm, ok := base.Benchmarks[*gate]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "benchcmp: baseline has no %q benchmark\n", gateBench)
+		fmt.Fprintf(os.Stderr, "benchcmp: baseline has no %q benchmark\n", *gate)
 		os.Exit(2)
 	}
-	cm, ok := cur.Benchmarks[gateBench]
+	cm, ok := cur.Benchmarks[*gate]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "benchcmp: new results have no %q benchmark\n", gateBench)
+		fmt.Fprintf(os.Stderr, "benchcmp: new results have no %q benchmark\n", *gate)
 		os.Exit(2)
 	}
 
@@ -91,21 +107,30 @@ func main() {
 	check := func(metric string) {
 		b, c := bm[metric], cm[metric]
 		switch {
-		case b == 0 && c > 0:
-			// A zero baseline is a hard invariant: the expand path is
-			// allocation-free, and any alloc at all is a regression.
-			fmt.Printf("FAIL %s/%s: baseline 0, now %.1f\n", gateBench, metric, c)
+		case betterIsMax(metric) && b > 0 && c < b*(1-*threshold):
+			fmt.Printf("FAIL %s/%s: %.1f -> %.1f (%+.1f%%, threshold -%.0f%%)\n",
+				*gate, metric, b, c, (c-b)/b*100, *threshold*100)
 			failed = true
-		case b > 0 && c > b*(1+threshold):
+		case betterIsMax(metric):
+			fmt.Printf("ok   %s/%s: %.1f -> %.1f\n", *gate, metric, b, c)
+		case b == 0 && c > 0:
+			// A zero cost baseline is a hard invariant (e.g. the expand path
+			// is allocation-free): any value at all is a regression.
+			fmt.Printf("FAIL %s/%s: baseline 0, now %.1f\n", *gate, metric, c)
+			failed = true
+		case b > 0 && c > b*(1+*threshold):
 			fmt.Printf("FAIL %s/%s: %.1f -> %.1f (%+.1f%%, threshold %+.0f%%)\n",
-				gateBench, metric, b, c, (c-b)/b*100, threshold*100)
+				*gate, metric, b, c, (c-b)/b*100, *threshold*100)
 			failed = true
 		default:
-			fmt.Printf("ok   %s/%s: %.1f -> %.1f\n", gateBench, metric, b, c)
+			fmt.Printf("ok   %s/%s: %.1f -> %.1f\n", *gate, metric, b, c)
 		}
 	}
-	check("ns_per_op")
-	check("allocs_per_op")
+	for _, m := range strings.Split(*metrics, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			check(m)
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}

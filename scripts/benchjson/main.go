@@ -1,15 +1,22 @@
 // Command benchjson converts `go test -bench` output on stdin into the
-// BENCH_search.json format tracked by the repo: one entry per benchmark,
-// with ns/op, B/op, allocs/op and any custom metrics (tasks/s). With
-// -count > 1 the best run wins (min for costs, max for throughput), which
-// damps scheduler noise in CI.
+// BENCH_*.json format tracked by the repo: one entry per benchmark, with
+// ns/op, B/op, allocs/op and any custom metrics (tasks/s). With -count > 1
+// the best run wins (min for costs, max for throughput), which damps
+// scheduler noise in CI.
+//
+// -suite names the tracked suite (the top-level Benchmark function); it is
+// recorded in the output and stripped from sub-benchmark names, so entries
+// read "expand-only" or "shards=4" rather than the full Go benchmark path.
 //
 // Usage: go test -bench BenchmarkSearchCore -benchmem ./internal/search/ | go run ./scripts/benchjson
+//
+//	go test -bench BenchmarkFederationThroughput ./internal/federation/ | go run ./scripts/benchjson -suite BenchmarkFederationThroughput
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
@@ -39,7 +46,9 @@ func betterIsMax(key string) bool {
 }
 
 func main() {
-	out := File{Suite: "BenchmarkSearchCore", Benchmarks: map[string]map[string]float64{}}
+	suite := flag.String("suite", "BenchmarkSearchCore", "tracked suite: the top-level Benchmark function name")
+	flag.Parse()
+	out := File{Suite: *suite, Benchmarks: map[string]map[string]float64{}}
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
 		line := sc.Text()
@@ -55,7 +64,7 @@ func main() {
 		if m == nil {
 			continue
 		}
-		name := strings.TrimPrefix(m[1], "BenchmarkSearchCore/")
+		name := strings.TrimPrefix(m[1], *suite+"/")
 		name = strings.TrimPrefix(name, "Benchmark")
 		// Strip the trailing -GOMAXPROCS suffix Go appends when >1.
 		if i := strings.LastIndex(name, "-"); i > 0 {

@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Federation smoke test: start a live 2-shard federated run with a fault
+# plan that kills a worker inside shard 1 and an admission gate tight
+# enough to force cross-shard bounces, then curl the merged /metrics
+# mid-run and assert the per-shard label dimension is exposed and
+# reconciles with the federation totals:
+#
+#   - rtsads_fed_shards reports the topology
+#   - the per-shard rtsads_fed_routed_total{shard="i"} counters sum to
+#     rtsads_fed_routed_total
+#   - the shard-labelled rtsads_* families appear for every shard, and the
+#     injected worker failure surfaces under shard="1" (not shard="0")
+#   - /healthz reports the dead worker in the right shard
+#
+# The final accounting identities (Reconcile) are enforced by rtcluster
+# itself: it exits non-zero when the federation books do not balance.
+#
+# Run from the repository root: ./scripts/federation_smoke.sh
+set -euo pipefail
+
+ADDR="127.0.0.1:8078"
+WORKDIR="$(mktemp -d)"
+OUT="$WORKDIR/stdout.log"
+trap 'kill "$RUN_PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+
+fail() { echo "federation_smoke: FAIL: $*" >&2; exit 1; }
+
+scrape() { curl -sf "http://$ADDR/metrics" 2>/dev/null || true; }
+
+metric() { # metric <scrape-file> <sample> — print the sample's value, default 0
+    awk -v m="$2" '$1 == m { print $2; found=1 } END { if (!found) print 0 }' "$1"
+}
+
+echo "federation_smoke: building rtcluster"
+go build -o "$WORKDIR/rtcluster" ./cmd/rtcluster
+
+# Two shards of two workers on a slow clock (scale 300) so the run stays
+# observable; kill global worker 2 — shard 1's first worker — early, and
+# cap each shard's ready queue so the burst forces bounces through the
+# router (migrations where the sibling has room, honest sheds where not).
+echo "federation_smoke: starting 2-shard faulted live run on $ADDR"
+"$WORKDIR/rtcluster" -workers 4 -shards 2 -txns 200 -scale 300 -sf 4 \
+    -placement affinity -faults "kill=2@1ms" \
+    -admission reject -queue-cap 24 \
+    -debug-addr "$ADDR" >"$OUT" 2>&1 &
+RUN_PID=$!
+
+# Wait for the endpoint, the kill landing in shard 1, and a consistent
+# scrape in which the per-shard routed counters sum to the federation
+# total (the counters move mid-run, so poll until one scrape balances).
+deadline=$((SECONDS + 60))
+ok_scrape=""
+while [ "$SECONDS" -lt "$deadline" ]; do
+    if ! kill -0 "$RUN_PID" 2>/dev/null; then
+        cat "$OUT" >&2
+        fail "run exited before the federation was observed mid-run"
+    fi
+    SNAP="$WORKDIR/metrics.txt"
+    scrape >"$SNAP"
+    routed=$(metric "$SNAP" rtsads_fed_routed_total)
+    routed0=$(metric "$SNAP" 'rtsads_fed_routed_total{shard="0"}')
+    routed1=$(metric "$SNAP" 'rtsads_fed_routed_total{shard="1"}')
+    failures1=$(metric "$SNAP" 'rtsads_worker_failures_total{shard="1"}')
+    bounced=$(metric "$SNAP" rtsads_fed_bounced_total)
+    if [ "$routed" -ge 1 ] && [ $((routed0 + routed1)) -eq "$routed" ] &&
+       [ "$failures1" -ge 1 ] && [ "$bounced" -ge 1 ]; then
+        ok_scrape="$SNAP"
+        break
+    fi
+    sleep 0.2
+done
+[ -n "$ok_scrape" ] || fail "no consistent scrape within 60s: routed=$routed shard0=$routed0 shard1=$routed1 failures(shard1)=$failures1 bounced=$bounced"
+echo "federation_smoke: mid-run /metrics: routed=$routed (= $routed0 + $routed1), bounced=$bounced, shard-1 failures=$failures1"
+
+[ "$(metric "$ok_scrape" rtsads_fed_shards)" -eq 2 ] || fail "rtsads_fed_shards != 2"
+[ "$(metric "$ok_scrape" 'rtsads_worker_failures_total{shard="0"}')" -eq 0 ] ||
+    fail "worker failure leaked into shard 0's namespace"
+for shard in 0 1; do
+    grep -q "rtsads_task_admitted_total{shard=\"$shard\"}" "$ok_scrape" ||
+        fail "per-shard label dimension missing for shard $shard"
+done
+
+HEALTH=$(curl -sf "http://$ADDR/healthz")
+echo "federation_smoke: mid-run /healthz: $HEALTH"
+echo "$HEALTH" | grep -q '"status":"degraded"' || fail "/healthz not degraded after the kill: $HEALTH"
+echo "$HEALTH" | python3 -c '
+import json, sys
+h = json.load(sys.stdin)
+shards = {s["shard"]: s for s in h["shards"]}
+assert shards[0]["alive"] == shards[0]["total"], "shard 0 lost a worker it should not have"
+assert shards[1]["alive"] < shards[1]["total"], "shard 1 does not report the killed worker"
+print("federation_smoke: healthz shard states check out")
+' || fail "/healthz shard breakdown wrong: $HEALTH"
+
+echo "federation_smoke: waiting for the run to finish"
+wait "$RUN_PID" || { cat "$OUT" >&2; fail "run exited non-zero (federation accounting did not reconcile?)"; }
+cat "$OUT"
+
+grep -q 'topology: 2 shard(s) × 2 worker(s) (4 total)' "$OUT" || fail "topology banner missing"
+grep -q 'routing: 200 routed' "$OUT" || fail "routing summary missing or wrong task count"
+grep -q 'shard 1:' "$OUT" || fail "per-shard summaries missing"
+
+echo "federation_smoke: PASS"
