@@ -91,11 +91,20 @@ type SearchConfig struct {
 	// SumCost swaps the §4.4 load-balancing cost CE = max_k ce_k for the
 	// total-completion alternative Σ_k ce_k — a design-choice ablation.
 	SumCost bool
-	// Parallel, when positive, searches the root's branches on up to that
-	// many goroutines per phase (search.RunParallel); the merge is
-	// deterministic, so the planner contract is preserved. Zero keeps the
-	// sequential engine.
+	// Parallel, when positive, runs each phase's search on up to that many
+	// work-stealing workers (search.RunParallel); the signature-ordered
+	// settle merge is deterministic, so the planner contract is preserved.
+	// Zero keeps the sequential engine.
 	Parallel int
+	// StealDepth, FrontierCap and DupCap tune the work-stealing driver
+	// when Parallel is positive: the number of tree levels cut into
+	// stealable frames, the per-engine bound on published frames, and the
+	// per-frame duplicate-table capacity (negative disables duplicate
+	// detection). Zero selects each knob's default; all are ignored by the
+	// sequential engine. See search.ParallelOptions.
+	StealDepth  int
+	FrontierCap int
+	DupCap      int
 }
 
 // Priority is the batch ordering heuristic.
@@ -140,6 +149,12 @@ func (c SearchConfig) Validate() error {
 	}
 	if c.Parallel < 0 {
 		return fmt.Errorf("core: Parallel %d must be non-negative", c.Parallel)
+	}
+	if c.StealDepth < 0 {
+		return fmt.Errorf("core: StealDepth %d must be non-negative", c.StealDepth)
+	}
+	if c.FrontierCap < 0 {
+		return fmt.Errorf("core: FrontierCap %d must be non-negative", c.FrontierCap)
 	}
 	return nil
 }
@@ -233,7 +248,12 @@ func (s *searchPlanner) PlanPhase(in PhaseInput) (PhaseResult, error) {
 	var res *search.Result
 	var err error
 	if s.cfg.Parallel > 0 {
-		res, err = search.RunParallel(p, s.rep, search.ParallelOptions{Degree: s.cfg.Parallel})
+		res, err = search.RunParallel(p, s.rep, search.ParallelOptions{
+			Degree:      s.cfg.Parallel,
+			StealDepth:  s.cfg.StealDepth,
+			FrontierCap: s.cfg.FrontierCap,
+			DupCap:      s.cfg.DupCap,
+		})
 	} else {
 		res, err = search.Run(p, s.rep)
 	}

@@ -31,9 +31,9 @@ type Config struct {
 	Migrate bool
 
 	// Algorithm, Scale, Liveness, Admission, Backpressure, SlackGuard,
-	// Degrade and Parallel configure every shard identically; see
-	// livecluster.Config. Faults is a global plan split by worker range
-	// across the shards.
+	// Degrade and the Parallel/StealDepth/FrontierCap/DupCap search knobs
+	// configure every shard identically; see livecluster.Config. Faults is
+	// a global plan split by worker range across the shards.
 	Algorithm    experiment.Algorithm
 	Scale        float64
 	Faults       *faultinject.Plan
@@ -43,6 +43,9 @@ type Config struct {
 	SlackGuard   time.Duration
 	Degrade      *core.DegradeConfig
 	Parallel     int
+	StealDepth   int
+	FrontierCap  int
+	DupCap       int
 
 	// JournalCap bounds each shard's journal (see obs.NewJournal).
 	JournalCap int
@@ -186,6 +189,9 @@ func (f *Federation) Run() (*Result, error) {
 			SlackGuard:   f.cfg.SlackGuard,
 			Degrade:      f.cfg.Degrade,
 			Parallel:     f.cfg.Parallel,
+			StealDepth:   f.cfg.StealDepth,
+			FrontierCap:  f.cfg.FrontierCap,
+			DupCap:       f.cfg.DupCap,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("federation: shard %d: %w", i, err)

@@ -1,0 +1,76 @@
+package search
+
+import "sync"
+
+// wsDeque is a per-worker double-ended work queue of frames in the
+// Chase-Lev access pattern: the owning worker pushes and pops at the
+// bottom (LIFO — the most recently spawned, smallest-signature subtrees,
+// which keeps the owner close to the sequential depth-first order), and
+// thieves steal from the top (FIFO — the oldest, shallowest spawns, which
+// hand a thief the largest available subtree and so minimize steal
+// traffic). A plain mutex per deque replaces Chase-Lev's lock-free
+// protocol: frames are coarse units (whole subtrees), so the deques see a
+// few operations per millisecond of search, far below contention range,
+// and the mutex keeps the memory-ordering argument trivial under -race.
+type wsDeque struct {
+	mu  sync.Mutex
+	buf []*frame
+}
+
+// pushBottom appends f at the owner's end.
+func (d *wsDeque) pushBottom(f *frame) {
+	d.mu.Lock()
+	d.buf = append(d.buf, f)
+	d.mu.Unlock()
+}
+
+// popBottom removes the owner's-end frame.
+func (d *wsDeque) popBottom() (*frame, bool) {
+	d.mu.Lock()
+	n := len(d.buf)
+	if n == 0 {
+		d.mu.Unlock()
+		return nil, false
+	}
+	f := d.buf[n-1]
+	d.buf[n-1] = nil
+	d.buf = d.buf[:n-1]
+	d.mu.Unlock()
+	return f, true
+}
+
+// stealTop removes the oldest frame — the thief's end.
+func (d *wsDeque) stealTop() (*frame, bool) {
+	d.mu.Lock()
+	if len(d.buf) == 0 {
+		d.mu.Unlock()
+		return nil, false
+	}
+	f := d.buf[0]
+	copy(d.buf, d.buf[1:])
+	d.buf[len(d.buf)-1] = nil
+	d.buf = d.buf[:len(d.buf)-1]
+	d.mu.Unlock()
+	return f, true
+}
+
+// dequeBufPool recycles deque backing arrays (the "steal buffers") across
+// RunParallel calls, the same way vertexPool recycles vertices: a
+// benchmark loop or a per-phase planner reuses the arrays instead of
+// re-growing them every phase.
+var dequeBufPool = sync.Pool{New: func() any { return new([]*frame) }}
+
+func (d *wsDeque) acquireBuf() {
+	b := dequeBufPool.Get().(*[]*frame)
+	d.buf = (*b)[:0]
+	*b = nil
+}
+
+func (d *wsDeque) releaseBuf() {
+	for i := range d.buf {
+		d.buf[i] = nil
+	}
+	b := d.buf[:0]
+	d.buf = nil
+	dequeBufPool.Put(&b)
+}

@@ -1,0 +1,107 @@
+package search
+
+import (
+	"sync"
+	"time"
+)
+
+// Duplicate detection, after Orr & Sinnen's duplicate-free state space:
+// two partial schedules that assign the same task set to the same
+// per-worker completion offsets are the same search state — everything the
+// engine can reach from one it can reach from the other, at the same cost.
+// The depth-first engine revisits such states constantly (two equal-length
+// tasks swapped between two workers, a task skipped at different points),
+// and on the tracked Fig-5 batch nearly half of all expansions are
+// re-expansions of an already-seen state. The work-stealing driver keys
+// each state by a canonical signature over (cursor, depth, CE, loads,
+// used-task set) and rejects re-expansions without charging the quantum.
+//
+// The table is per frame, not shared across workers: whether a shared
+// table contains a state would depend on which worker got there first,
+// and the pruning — and with it the returned schedule — would stop being
+// a deterministic function of the input. A frame's traversal is
+// deterministic, so its table is too. The table is also bounded (DupCap
+// entries): past the cap, new states are no longer recorded — lookups
+// still hit the recorded prefix — so memory stays bounded on huge
+// subtrees and the degradation is itself deterministic.
+
+// dupKey is a 128-bit state signature: two independent FNV-1a streams
+// over the same words. A single 64-bit hash would make a pruning decision
+// on a ~2^-64 collision; squaring that keeps the "signatures equal implies
+// states equal" assumption comfortably below any realistic search size.
+type dupKey struct{ a, b uint64 }
+
+const (
+	fnvOffset  = 14695981039346656037
+	fnvPrime   = 1099511628211
+	fnvOffset2 = 9650029242287828579
+	fnvPrime2  = 1099511628211 + 2*161 // distinct odd prime-ish multiplier stream
+)
+
+// stateKey computes the canonical signature of the engine's current state:
+// the vertex's representation cursor, its depth, its cost, the per-worker
+// completion offsets, and the used-task bitset. Representations are
+// required to expand as a pure function of exactly these inputs (see
+// Representation), which is what makes equal keys equal states.
+func stateKey(v *Vertex, st *PathState) dupKey {
+	a := uint64(fnvOffset)
+	b := uint64(fnvOffset2)
+	mix := func(x uint64) {
+		a = (a ^ x) * fnvPrime
+		b = (b ^ x) * fnvPrime2
+	}
+	mix(uint64(v.Cursor))
+	mix(uint64(v.Depth))
+	mix(uint64(v.CE))
+	for _, l := range st.Loads {
+		mix(uint64(l))
+	}
+	if st.Used != nil {
+		for _, w := range st.Used.words {
+			mix(w)
+		}
+	}
+	return dupKey{a: a, b: b}
+}
+
+// dupTable is one frame's bounded duplicate-state set.
+type dupTable struct {
+	seen map[dupKey]struct{}
+	cap  int
+}
+
+var dupTablePool = sync.Pool{New: func() any {
+	return &dupTable{seen: make(map[dupKey]struct{}, 256)}
+}}
+
+func newDupTable(capEntries int) *dupTable {
+	t := dupTablePool.Get().(*dupTable)
+	t.cap = capEntries
+	return t
+}
+
+func freeDupTable(t *dupTable) {
+	clear(t.seen)
+	dupTablePool.Put(t)
+}
+
+// visit records the state and reports whether it was already present.
+func (t *dupTable) visit(k dupKey) bool {
+	if _, ok := t.seen[k]; ok {
+		return true
+	}
+	if len(t.seen) < t.cap {
+		t.seen[k] = struct{}{}
+	}
+	return false
+}
+
+// Defaults for the work-stealing knobs (see ParallelOptions).
+const (
+	defaultStealDepth  = 3
+	defaultFrontierCap = 256
+	defaultDupCap      = 4096
+)
+
+// durationMax is the "no budget pressure" sentinel used in Clock mode.
+const durationMax = time.Duration(1<<63 - 1)

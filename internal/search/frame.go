@@ -1,0 +1,141 @@
+package search
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file defines the unit of work the work-stealing parallel driver
+// schedules: a frame. A frame is a subtree of the task space G rooted at a
+// vertex the spawning engine chose not to explore inline. The frame carries
+// only the subtree's root vertex — the vertex's parent chain IS the compact
+// path delta, so a thief repositions its PathState with RebuildTo in
+// O(depth) instead of replaying the spawner's traversal.
+//
+// Every frame is stamped with a DFS signature: the packed sequence of
+// sibling indices at each spawn level on the path from the search root.
+// Signatures order frames exactly as the sequential depth-first engine
+// would reach their subtrees, which is what makes the parallel result
+// deterministic: results are merged in signature order, so the winning
+// schedule never depends on which worker ran which frame, or when.
+
+// frameSig is the packed DFS signature: eight one-byte levels, most
+// significant byte first. At spawn level L (0-based from the root), a
+// spawned sibling with expansion index j >= 1 gets byte j+1; the inline
+// spine child (index 0) extends the signature with nothing — its content
+// keeps the spawner's signature, whose zero bytes order before any spawned
+// sibling's. Unsigned comparison of two signatures is therefore exactly
+// the sequential engine's visit order of the corresponding subtrees.
+type frameSig uint64
+
+const (
+	// maxSpawnLevels is the number of sibling-index bytes a signature can
+	// hold; spawning stops below that depth and the engine degrades to
+	// inline depth-first search.
+	maxSpawnLevels = 8
+	// maxSiblingIndex is the largest expansion index a signature byte can
+	// encode (the byte stores index+1). An expansion wider than this is
+	// kept entirely inline.
+	maxSiblingIndex = 254
+	// noLeafSig is the cut value meaning "no leaf found yet": every real
+	// signature compares below it.
+	noLeafSig = frameSig(^uint64(0))
+)
+
+// child returns the signature extended at spawn level lvl with expansion
+// index idx (idx >= 1; the byte stores idx+1 so that a missing level — the
+// spine — reads as zero and orders first).
+func (s frameSig) child(lvl, idx int) frameSig {
+	shift := uint(8 * (maxSpawnLevels - 1 - lvl))
+	return s | frameSig(uint64(idx+1)<<shift)
+}
+
+// frameState is the lifecycle of a frame. Transitions: queued -> running
+// -> done (ran to completion or was cooperatively stopped), or queued ->
+// dropped (popped after the cut made it irrelevant; never ran).
+type frameState int32
+
+const (
+	frameQueued frameState = iota
+	frameRunning
+	frameDone
+	frameDropped
+)
+
+// eventKind tags the entries of a frame's charge-stamped timeline.
+type eventKind int8
+
+const (
+	// evImprove records that the frame's engine walked a vertex that beat
+	// its running best. The merge replays these in order against the
+	// global best, reproducing the sequential engine's preference.
+	evImprove eventKind = iota
+	// evSpawn records a child frame handed to the deques. The settle pass
+	// uses the charge stamp to decide whether the reference sequential
+	// search would have reached the spawn point before its budget died.
+	evSpawn
+	// evLeaf records that the engine reached a complete schedule.
+	evLeaf
+	// evEnd records natural completion (dead-end or a pruning limit) with
+	// the frame's final statistics.
+	evEnd
+	// evExpire is a counter checkpoint recorded when the engine's
+	// speculative budget cap runs out mid-frame: the settle pass merges its
+	// statistics when — and only when — the reference quantum also died in
+	// this frame no earlier, which keeps the merged counters exact for the
+	// frame the quantum actually died in.
+	evExpire
+)
+
+// frameEvent is one timeline entry. charge is the engine's own virtual
+// consumption at the top of the iteration that produced the event — the
+// settle pass includes the event iff the frame's true budget share exceeds
+// it, which is exactly the sequential engine's loop-top expiry check.
+type frameEvent struct {
+	kind   eventKind
+	charge time.Duration
+	v      *Vertex // evImprove: the improving vertex
+	child  *frame  // evSpawn: the spawned frame
+	stats  Stats   // evImprove/evLeaf/evEnd: counter snapshot
+}
+
+// frame is one schedulable subtree.
+type frame struct {
+	start *Vertex  // subtree root; parent chain = the path delta
+	sig   frameSig // DFS signature (see frameSig)
+	level int      // next spawn level for engines running this frame
+
+	state    atomic.Int32 // frameState
+	excluded atomic.Bool  // settle decided the reference search never runs it
+
+	// Filled when the frame finishes running.
+	events []frameEvent
+	total  time.Duration // engine's virtual consumption at return
+	ran    bool          // engine ran to its own natural end (not stopped)
+}
+
+var framePool = sync.Pool{New: func() any { return new(frame) }}
+
+func newFrame(start *Vertex, sig frameSig, level int) *frame {
+	f := framePool.Get().(*frame)
+	f.start = start
+	f.sig = sig
+	f.level = level
+	f.state.Store(int32(frameQueued))
+	f.excluded.Store(false)
+	f.events = f.events[:0]
+	f.total = 0
+	f.ran = false
+	return f
+}
+
+// free recycles the frame and its event buffer. The caller must guarantee
+// the settle pass is finished with it.
+func freeFrame(f *frame) {
+	for i := range f.events {
+		f.events[i] = frameEvent{}
+	}
+	f.start = nil
+	framePool.Put(f)
+}

@@ -4,167 +4,583 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"rtsads/internal/queue"
 )
 
-// ParallelOptions configures RunParallel.
+// ParallelOptions configures RunParallel's work-stealing driver.
 type ParallelOptions struct {
-	// Degree bounds the number of branch-searching goroutines; 0 means
-	// GOMAXPROCS. The effective degree never exceeds the root's branching
-	// factor.
+	// Degree is the number of worker goroutines; 0 means GOMAXPROCS.
 	Degree int
+	// StealDepth is the number of tree levels (from the root) at which an
+	// engine publishes sibling subtrees as stealable frames instead of
+	// keeping them on its private candidate list. 0 means the default (3);
+	// values above 8 are clamped (a frame signature holds 8 levels).
+	// Deeper stealing yields more, smaller frames: better balance on
+	// skewed trees, more scheduling overhead.
+	StealDepth int
+	// FrontierCap bounds the frames one engine may spawn. When an
+	// expansion would exceed it the engine stops spawning for the rest of
+	// its frame and degrades to inline depth-first search, so the stealable
+	// frontier — and with it the driver's memory — stays bounded on wide
+	// trees. 0 means the default (256).
+	FrontierCap int
+	// DupCap bounds each frame's duplicate-state table (see dup.go).
+	// 0 means the default (4096 states); negative disables duplicate
+	// detection, which makes the parallel search expand exactly the
+	// vertex set the sequential engine does.
+	DupCap int
 }
 
-// RunParallel is the parallel counterpart of Run, after Orr & Sinnen's
-// parallel branch exploration: it expands the root once, then searches each
-// root successor's subtree with an independent sequential engine on a
-// bounded pool of goroutines, and merges the per-branch results
-// deterministically.
+func (o ParallelOptions) stealDepth() int {
+	d := o.StealDepth
+	if d <= 0 {
+		d = defaultStealDepth
+	}
+	if d > maxSpawnLevels {
+		d = maxSpawnLevels
+	}
+	return d
+}
+
+func (o ParallelOptions) frontierCap() int {
+	if o.FrontierCap <= 0 {
+		return defaultFrontierCap
+	}
+	return o.FrontierCap
+}
+
+func (o ParallelOptions) dupCap() int {
+	switch {
+	case o.DupCap < 0:
+		return 0
+	case o.DupCap == 0:
+		return defaultDupCap
+	default:
+		return o.DupCap
+	}
+}
+
+// RunParallel is the parallel counterpart of Run: a work-stealing search
+// over a duplicate-free state space, after Orr & Sinnen. The tree is cut
+// into frames — subtrees published at the top StealDepth levels — that
+// workers exchange through per-worker deques (owner pops newest, thieves
+// steal oldest, so a thief always grabs the largest available subtree and
+// repositions with a single O(depth) PathState.RebuildTo). Each frame's
+// engine rejects duplicate partial-schedule states by canonical signature,
+// so equal states reached along different paths are expanded once instead
+// of once per path.
 //
-// Determinism. core.Planner requires planners to be deterministic functions
-// of their input, so in virtual-budget mode each branch gets its own full
-// quantum budget (pre-charged with the root expansion) rather than racing
-// siblings for a shared atomic budget — the interleaving of goroutines must
-// not be able to change the winning schedule. The model is a scheduling
-// host with one core per branch: the phase's scheduling cost is the
-// critical path, root + max over branches, which is what merged
-// Stats.Consumed reports. In Clock mode all branches share the wall clock,
-// matching the live cluster's real deadline (live runs are inherently
-// timing-dependent).
+// Determinism. core.Planner requires planners to be deterministic
+// functions of their input, so the driver is built so that neither
+// goroutine interleaving nor the worker count can change the returned
+// schedule:
 //
-// The merge emulates the sequential engine's preference order: branches are
-// scanned in root-successor order (the representation's best-first order),
-// the best vertex is updated by the same strict better() rule (depth, then
-// CE, ties keep the earlier branch), and the scan stops after the first
-// branch that reached a leaf — the sequential search would have stopped
-// inside it and never explored later branches. Branches beyond the first
-// leaf are cancelled cooperatively and their partial results discarded, so
-// the outcome never depends on how far a cancelled branch happened to get.
-// For searches that complete without expiring, RunParallel therefore
-// returns the same schedule as Run; under expiry it returns at least as
-// deep a best (every branch gets the sequential budget, and branches the
-// sequential search would have starved still report their bests).
+//   - The frame decomposition is a function of the tree alone (spawn at
+//     depth < StealDepth, stop at the deterministic FrontierCap), never of
+//     timing. Every frame carries a DFS signature ordering it exactly
+//     where the sequential engine would have visited its subtree.
+//   - Frames execute speculatively, recording a timeline of
+//     (virtual-charge, event) pairs: best-vertex improvements, spawns,
+//     leaf/limit terminations. A single settle pass then replays frames in
+//     signature order against the one shared quantum, truncating each
+//     frame's timeline to the budget the sequential search would have had
+//     when it reached that subtree. What survives the settle is therefore
+//     the sequential result — including under quantum expiry — while the
+//     speculative exploration ran on every core.
+//   - The incumbent terminal bound: the first frame (in signature order)
+//     to reach a leaf or a pruning limit ends the reference search, so any
+//     worker that finds one publishes its signature to a shared atomic;
+//     every engine re-reads the bound each iteration and abandons its
+//     frame the moment a smaller signature owns the search's end. This is
+//     sound even before the settle confirms the leaf: if the leaf is later
+//     truncated by the budget, the quantum died inside an earlier frame
+//     and everything after it was unreachable anyway.
 //
-// The per-branch pruning bounds (MaxDepth, MaxBacktracks) apply within each
-// branch independently.
+// With duplicate detection disabled (DupCap < 0) the merged result is
+// bit-identical to Run's in every regime. With it enabled (the default)
+// completed searches still return Run's exact schedule (a duplicate's
+// subtree can never outrank its first visit under the strict-better
+// merge), and expiring searches return an at-least-as-deep schedule,
+// since budget is never spent re-expanding known states. Either way the
+// result is bit-identical across runs and worker counts.
+//
+// In Clock (wall-clock) mode all frames share the live deadline and the
+// settle pass does not truncate; live runs are inherently
+// timing-dependent, as with the sequential engine.
+//
+// The per-branch pruning bounds (MaxDepth, MaxBacktracks) apply within
+// each frame independently; the first frame in signature order to report
+// a limit ends the search, mirroring the sequential engine.
 func RunParallel(p *Problem, rep Representation, opt ParallelOptions) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-
-	// Phase 1: expand the root inline, exactly like the first iteration of
-	// the sequential loop.
-	rootBudget := newBudget(p)
-	st := NewPathState(p)
-	root := rep.Root(p)
-	res := &Result{Best: root}
-	if rep.IsLeaf(p, root) {
-		res.Stats.Leaf = true
-		res.Stats.Consumed = rootBudget.consumed()
-		return res, nil
-	}
-	if rootBudget.expired() {
-		res.Stats.Expired = true
-		res.Stats.Consumed = rootBudget.consumed()
-		return res, nil
-	}
-	succs, generated := rep.Expand(p, root, st)
-	res.Stats.Expanded++
-	res.Stats.Generated += generated
-	rootBudget.charge(generated)
-	if len(succs) == 0 {
-		res.Stats.DeadEnd = true
-		res.Stats.Consumed = rootBudget.consumed()
-		return res, nil
-	}
-	branches := append([]*Vertex(nil), succs...)
-	PutSuccs(succs)
-
 	degree := opt.Degree
 	if degree <= 0 {
 		degree = runtime.GOMAXPROCS(0)
 	}
-	if degree > len(branches) {
-		degree = len(branches)
+
+	root := rep.Root(p)
+	r := &wsRun{
+		p:           p,
+		rep:         rep,
+		stealDepth:  opt.stealDepth(),
+		frontierCap: opt.frontierCap(),
+		dupCap:      opt.dupCap(),
+		merged:      &Result{Best: root},
+		allDead:     true,
+		grace:       true,
+		wakeCh:      make(chan struct{}, degree),
+		doneCh:      make(chan struct{}),
+	}
+	r.pending = queue.NewHeap(func(a, b *frame) bool { return a.sig < b.sig })
+	r.cut.Store(uint64(noLeafSig))
+
+	r.workers = make([]*wsWorker, degree)
+	for i := range r.workers {
+		w := &wsWorker{id: i, run: r, st: NewPathState(p)}
+		w.deque.acquireBuf()
+		r.workers[i] = w
 	}
 
-	// Phase 2: search each branch's subtree. leafIdx is the smallest branch
-	// index that reached a leaf so far; branches with a larger index cannot
-	// influence the merge and are skipped or cancelled.
-	results := make([]*Result, len(branches))
-	var next atomic.Int64
-	var leafIdx atomic.Int64
-	leafIdx.Store(int64(len(branches)))
+	f0 := newFrame(root, 0, 0)
+	r.register(f0)
+	r.workers[0].deque.pushBottom(f0)
+
 	var wg sync.WaitGroup
-	for g := 0; g < degree; g++ {
+	for _, w := range r.workers[1:] {
 		wg.Add(1)
-		go func() {
+		go func(w *wsWorker) {
 			defer wg.Done()
-			bst := NewPathState(p)
-			for {
-				i := int(next.Add(1) - 1)
-				if i >= len(branches) {
-					return
-				}
-				if int64(i) > leafIdx.Load() {
-					continue // a better-ordered branch already found a leaf
-				}
-				e := &engine{
-					p:      p,
-					rep:    rep,
-					st:     bst,
-					budget: rootBudget.fork(),
-					stop:   func() bool { return leafIdx.Load() < int64(i) },
-				}
-				bst.RebuildTo(p, branches[i])
-				e.run(branches[i])
-				e.res.Stats.Consumed = e.budget.consumed()
-				if e.res.Stats.Leaf {
-					for {
-						cur := leafIdx.Load()
-						if int64(i) >= cur || leafIdx.CompareAndSwap(cur, int64(i)) {
-							break
-						}
-					}
-				}
-				if !e.stopped {
-					results[i] = e.res
-				}
-			}
-		}()
+			w.loop()
+		}(w)
 	}
+	r.workers[0].loop() // the caller is worker 0
 	wg.Wait()
 
-	// Phase 3: deterministic merge in root-successor order up to (and
-	// including) the first leaf-bearing branch.
-	cut := int(leafIdx.Load())
-	consumed := rootBudget.consumed()
-	deadEnd := true
-	for i, br := range results {
-		if i > cut {
+	// Everything left in the heap was never settled: the reference search
+	// ended before reaching it. Recycle the frames; their vertices are
+	// unreachable and fall to the GC.
+	for {
+		f, ok := r.pending.Pop()
+		if !ok {
 			break
 		}
-		if br == nil {
-			continue // cancelled; by construction i > final cut, defensive
-		}
-		res.Stats.Generated += br.Stats.Generated
-		res.Stats.Expanded += br.Stats.Expanded
-		res.Stats.Backtracks += br.Stats.Backtracks
-		res.Stats.Leaf = res.Stats.Leaf || br.Stats.Leaf
-		res.Stats.Expired = res.Stats.Expired || br.Stats.Expired
-		res.Stats.DepthLimited = res.Stats.DepthLimited || br.Stats.DepthLimited
-		res.Stats.BacktrackLimited = res.Stats.BacktrackLimited || br.Stats.BacktrackLimited
-		deadEnd = deadEnd && br.Stats.DeadEnd
-		if br.Stats.Consumed > consumed {
-			consumed = br.Stats.Consumed
-		}
-		if better(br.Best, res.Best) {
-			res.Best = br.Best
-		}
+		freeFrame(f)
 	}
-	res.Stats.DeadEnd = deadEnd && !res.Stats.Leaf
+	for _, w := range r.workers {
+		w.deque.releaseBuf()
+	}
+
+	res := r.merged
+	res.Stats.DeadEnd = r.allDead && !res.Stats.Leaf && !res.Stats.Expired &&
+		!res.Stats.DepthLimited && !res.Stats.BacktrackLimited
 	if p.Clock != nil {
-		consumed = p.Clock()
+		res.Stats.Consumed = p.Clock()
+	} else {
+		res.Stats.Consumed = r.c
 	}
-	res.Stats.Consumed = consumed
 	return res, nil
+}
+
+// wsRun is the shared state of one RunParallel call.
+type wsRun struct {
+	p           *Problem
+	rep         Representation
+	stealDepth  int
+	frontierCap int
+	dupCap      int
+
+	// settledC is the reference consumption after the settled prefix,
+	// read lock-free by every engine's budget cap. It only covers frames
+	// that order strictly before any frame still running, so the cap
+	// quantum-settledC never undershoots a frame's true budget share.
+	settledC atomic.Int64
+	// cut is the incumbent terminal bound: the smallest signature whose
+	// frame reached a leaf or pruning limit. Engines poll it every
+	// iteration and abandon frames it excludes.
+	cut      atomic.Uint64
+	finished atomic.Bool
+
+	wakeCh chan struct{}
+	doneCh chan struct{}
+
+	workers []*wsWorker
+
+	// Settle state, guarded by mu. pending holds every registered,
+	// not-yet-settled frame ordered by signature; frames stay in it while
+	// queued or running, so an empty heap means the search is complete.
+	mu         sync.Mutex
+	pending    *queue.Heap[*frame]
+	merged     *Result
+	c          time.Duration // reference consumption so far
+	allDead    bool
+	settleDone bool
+	closed     bool
+	// grace records that the reference search's next move is a free walk
+	// onto the upcoming frame's start: the sequential engine's leaf, depth
+	// and best-vertex checks all precede its expiry check, so the
+	// iteration that pops a frame's start always runs them, even on a dead
+	// quantum. True initially (the root gets its checks unconditionally)
+	// and after every settled dead-end frame (whose final pop hands the
+	// walk to the next subtree).
+	grace bool
+}
+
+// register makes a frame visible to the settle pass. It must run before
+// the frame is pushed to any deque.
+func (r *wsRun) register(f *frame) {
+	r.mu.Lock()
+	r.pending.Push(f)
+	r.mu.Unlock()
+}
+
+// wake nudges one parked worker.
+func (r *wsRun) wake() {
+	select {
+	case r.wakeCh <- struct{}{}:
+	default:
+	}
+}
+
+// cutMin lowers the incumbent terminal bound to s if it improves it.
+func (r *wsRun) cutMin(s frameSig) {
+	for {
+		cur := r.cut.Load()
+		if uint64(s) >= cur || r.cut.CompareAndSwap(cur, uint64(s)) {
+			return
+		}
+	}
+}
+
+// advance runs the settle pass as far as completed frames allow: it pops
+// the signature-ordered heap while the minimum frame has a decided fate,
+// merging each settled frame's truncated timeline into the result. Workers
+// call it after every frame transition; the mutex makes the pass
+// effectively single-threaded.
+func (r *wsRun) advance() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for !r.settleDone {
+		top, ok := r.pending.Peek()
+		if !ok {
+			r.settleDone = true
+			break
+		}
+		if top.excluded.Load() || frameSig(r.cut.Load()) < top.sig {
+			// The frame cannot affect the result. If it never started, claim
+			// it so no worker runs it; if it is running, wait for its engine
+			// to notice the bound; if it finished, discard its results.
+			if !top.state.CompareAndSwap(int32(frameQueued), int32(frameDropped)) {
+				st := frameState(top.state.Load())
+				if st == frameRunning {
+					top.excluded.Store(true)
+					return
+				}
+			}
+			r.pending.Pop()
+			r.excludeChildren(top)
+			freeFrame(top)
+			continue
+		}
+		if frameState(top.state.Load()) != frameDone {
+			return // wait for its runner
+		}
+		r.pending.Pop()
+		r.settleFrame(top)
+		freeFrame(top)
+	}
+	if r.settleDone && !r.closed {
+		r.closed = true
+		r.finished.Store(true)
+		close(r.doneCh)
+	}
+}
+
+// excludeChildren marks every frame an excluded frame spawned as excluded
+// too: in the reference search, an unreached spawner never spawns.
+func (r *wsRun) excludeChildren(f *frame) {
+	for i := range f.events {
+		if f.events[i].kind == evSpawn {
+			f.events[i].child.excluded.Store(true)
+		}
+	}
+}
+
+// settleFrame merges one completed frame into the result under the
+// reference budget. Called with mu held, in strict signature order.
+func (r *wsRun) settleFrame(f *frame) {
+	grace := r.grace
+	r.grace = false
+	avail := durationMax // Clock mode: the wall clock already bounded everyone
+	if r.p.Clock == nil {
+		avail = r.p.Quantum - r.c
+		if avail <= 0 {
+			// The quantum died before the reference search entered this
+			// frame's subtree. Without grace, nothing at or after the frame
+			// exists; with it, the frame's start still gets the sequential
+			// engine's pre-expiry checks: its charge-0 improvement, and a
+			// leaf or depth-limit verdict detected before any expansion.
+			r.settleDone = true
+			r.c = r.p.Quantum
+			if grace {
+				if len(f.events) > 0 && f.events[0].kind == evImprove &&
+					f.events[0].charge == 0 && better(f.events[0].v, r.merged.Best) {
+					r.merged.Best = f.events[0].v
+				}
+				if len(f.events) > 1 && f.events[1].charge == 0 {
+					if f.events[1].kind == evLeaf {
+						r.merged.Stats.Leaf = true
+						return
+					}
+					if f.events[1].kind == evEnd && f.events[1].stats.DepthLimited {
+						r.merged.Stats.DepthLimited = true
+						return
+					}
+				}
+			}
+			r.merged.Stats.Expired = true
+			return
+		}
+	}
+
+	var last Stats
+	haveLast := false
+	ended := false
+	truncated := false
+	for i := range f.events {
+		ev := &f.events[i]
+		if ev.charge >= avail {
+			truncated = true
+			for j := i; j < len(f.events); j++ {
+				if f.events[j].kind == evSpawn {
+					f.events[j].child.excluded.Store(true)
+				}
+			}
+			break
+		}
+		switch ev.kind {
+		case evImprove:
+			if better(ev.v, r.merged.Best) {
+				r.merged.Best = ev.v
+			}
+			last, haveLast = ev.stats, true
+		case evLeaf, evExpire:
+			last, haveLast = ev.stats, true
+		case evEnd:
+			last, haveLast = ev.stats, true
+			ended = true
+		}
+	}
+
+	if ended && !truncated {
+		// The frame's whole traversal fits the reference budget.
+		r.addStats(last)
+		r.c += f.total
+		r.settledC.Store(int64(r.c))
+		if last.Leaf || last.DepthLimited || last.BacktrackLimited {
+			// Terminal in signature order: the sequential search ends here.
+			r.merged.Stats.Leaf = r.merged.Stats.Leaf || last.Leaf
+			r.merged.Stats.DepthLimited = r.merged.Stats.DepthLimited || last.DepthLimited
+			r.merged.Stats.BacktrackLimited = r.merged.Stats.BacktrackLimited || last.BacktrackLimited
+			r.settleDone = true
+			return
+		}
+		r.allDead = r.allDead && last.DeadEnd
+		// A dead-end frame's final pop walks straight onto the next frame's
+		// start, ahead of any expiry check.
+		r.grace = last.DeadEnd
+		return
+	}
+
+	// The reference budget died inside this frame. Keep the last
+	// checkpointed counters (the schedule-bearing events are exact; the
+	// counters between the last checkpoint and expiry are unrecorded) and
+	// end the search.
+	if haveLast {
+		r.addStats(last)
+	}
+	r.merged.Stats.Expired = true
+	r.c = r.p.Quantum
+	r.settleDone = true
+}
+
+// addStats accumulates one settled frame's counters.
+func (r *wsRun) addStats(s Stats) {
+	m := &r.merged.Stats
+	m.Generated += s.Generated
+	m.Expanded += s.Expanded
+	m.Backtracks += s.Backtracks
+	m.Duplicates += s.Duplicates
+}
+
+// wsWorker is one work-stealing worker: a deque of frames it spawned and a
+// reusable PathState it repositions per frame.
+type wsWorker struct {
+	id    int
+	run   *wsRun
+	deque wsDeque
+	st    *PathState
+	timer *time.Timer
+}
+
+func (w *wsWorker) loop() {
+	r := w.run
+	for !r.finished.Load() {
+		f, ok := w.deque.popBottom()
+		if !ok {
+			f, ok = w.steal()
+		}
+		if !ok {
+			if !w.park() {
+				return
+			}
+			continue
+		}
+		w.runFrame(f)
+	}
+}
+
+// steal scans the other workers' deques round-robin from the thief's
+// successor, taking the oldest (largest-subtree) frame it finds.
+func (w *wsWorker) steal() (*frame, bool) {
+	n := len(w.run.workers)
+	for i := 1; i < n; i++ {
+		if f, ok := w.run.workers[(w.id+i)%n].deque.stealTop(); ok {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// park blocks until new work may exist. The timeout bounds the cost of a
+// lost wakeup; the done channel ends the run. It reports false when the
+// run is finished.
+func (w *wsWorker) park() bool {
+	if w.timer == nil {
+		w.timer = time.NewTimer(100 * time.Microsecond)
+	} else {
+		w.timer.Reset(100 * time.Microsecond)
+	}
+	select {
+	case <-w.run.wakeCh:
+		if !w.timer.Stop() {
+			<-w.timer.C
+		}
+		return true
+	case <-w.timer.C:
+		return true
+	case <-w.run.doneCh:
+		if !w.timer.Stop() {
+			<-w.timer.C
+		}
+		return false
+	}
+}
+
+// runFrame executes one frame's engine speculatively and records its fate.
+func (w *wsWorker) runFrame(f *frame) {
+	r := w.run
+	if !f.state.CompareAndSwap(int32(frameQueued), int32(frameRunning)) {
+		return // settle dropped it first
+	}
+	if f.excluded.Load() || frameSig(r.cut.Load()) < f.sig {
+		f.state.Store(int32(frameDropped))
+		r.advance()
+		return
+	}
+
+	w.st.RebuildTo(r.p, f.start)
+	ctx := &wsFrameCtx{run: r, fr: f, worker: w, spawning: true, level: f.level}
+	if r.dupCap > 0 {
+		ctx.dup = newDupTable(r.dupCap)
+	}
+	e := &engine{
+		p:      r.p,
+		rep:    r.rep,
+		st:     w.st,
+		budget: newBudget(r.p),
+		ws:     ctx,
+		stop: func() bool {
+			return f.excluded.Load() || frameSig(r.cut.Load()) < f.sig || r.finished.Load()
+		},
+	}
+	e.run(f.start)
+	if ctx.dup != nil {
+		freeDupTable(ctx.dup)
+		ctx.dup = nil
+	}
+	f.total = e.budget.virtual
+	f.ran = !e.stopped
+	if f.ran {
+		s := &e.res.Stats
+		if s.Leaf || s.DepthLimited || s.BacktrackLimited {
+			r.cutMin(f.sig)
+		}
+	}
+	f.state.Store(int32(frameDone))
+	r.advance()
+}
+
+// wsFrameCtx is the engine-side view of the frame being run: the spawn
+// policy state and the event recorder.
+type wsFrameCtx struct {
+	run      *wsRun
+	fr       *frame
+	worker   *wsWorker
+	dup      *dupTable
+	spawning bool
+	level    int
+	spawned  int
+	// prevTop/lastTop are the engine's virtual consumption at the top of
+	// the previous and current loop iterations; events are stamped with
+	// the loop-top charge of the iteration that produced them, which is
+	// the quantity the sequential engine's expiry check gates on.
+	prevTop time.Duration
+	lastTop time.Duration
+}
+
+// capNow is the engine's dynamic budget ceiling: the quantum minus the
+// settled reference consumption. It starts at the full quantum and only
+// tightens as strictly-earlier frames settle, so it never undershoots the
+// frame's true share; the settle pass does the exact truncation.
+func (c *wsFrameCtx) capNow() time.Duration {
+	return c.run.p.Quantum - time.Duration(c.run.settledC.Load())
+}
+
+// record appends one timeline event.
+func (c *wsFrameCtx) record(kind eventKind, charge time.Duration, v *Vertex, stats Stats) {
+	c.fr.events = append(c.fr.events, frameEvent{kind: kind, charge: charge, v: v, stats: stats})
+}
+
+// maybeSpawn publishes succs[1:] as stealable frames when the spawn policy
+// allows, returning the spine successor for inline descent. Any condition
+// that blocks spawning blocks it for the rest of the frame — the policy
+// must be a function of the tree, not of scheduling, or determinism dies.
+func (c *wsFrameCtx) maybeSpawn(succs []*Vertex) []*Vertex {
+	if !c.spawning || len(succs) <= 1 {
+		return succs
+	}
+	if c.level >= c.run.stealDepth || c.level >= maxSpawnLevels ||
+		len(succs)-1 > maxSiblingIndex || c.spawned+len(succs)-1 > c.run.frontierCap {
+		c.spawning = false
+		return succs
+	}
+	lvl := c.level
+	c.level++
+	c.spawned += len(succs) - 1
+	// Push in reverse so the owner's next pop (bottom, LIFO) is the
+	// smallest-signature sibling — closest to sequential order — while
+	// thieves steal the largest-signature, biggest-subtree end.
+	for j := len(succs) - 1; j >= 1; j-- {
+		child := newFrame(succs[j], c.fr.sig.child(lvl, j), lvl+1)
+		c.record(evSpawn, c.lastTop, nil, Stats{})
+		c.fr.events[len(c.fr.events)-1].child = child
+		c.run.register(child)
+		c.worker.deque.pushBottom(child)
+		c.run.wake()
+	}
+	return succs[:1]
 }

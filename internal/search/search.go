@@ -420,9 +420,13 @@ type Representation interface {
 
 // Stats describes one search run.
 type Stats struct {
-	Generated  int  // vertices generated and evaluated
-	Expanded   int  // vertices whose successors were generated
-	Backtracks int  // expansions that did not extend the previous vertex
+	Generated  int // vertices generated and evaluated
+	Expanded   int // vertices whose successors were generated
+	Backtracks int // expansions that did not extend the previous vertex
+	// Duplicates counts expansions skipped because the vertex's canonical
+	// state signature had already been visited (work-stealing driver with
+	// duplicate detection enabled; always 0 for the sequential engine).
+	Duplicates int
 	DeadEnd    bool // the candidate list emptied before a leaf was reached
 	Leaf       bool // a complete schedule was reached
 	Expired    bool // the quantum ran out
@@ -500,17 +504,33 @@ func Run(p *Problem, rep Representation) (*Result, error) {
 }
 
 // engine is one sequential quantum-bounded search over a subtree. The
-// parallel driver runs one engine per root branch; Run runs one over the
-// whole space.
+// work-stealing parallel driver runs one engine per frame; Run runs one
+// over the whole space.
 type engine struct {
 	p      *Problem
 	rep    Representation
 	st     *PathState // positioned at the start vertex by the caller
 	budget *budget
 	stop   func() bool // optional cooperative cancellation
+	// ws, when non-nil, hooks the engine into the work-stealing driver:
+	// duplicate rejection, sibling spawning, event recording, and the
+	// dynamic budget cap (see parallel.go). Nil for the sequential Run.
+	ws *wsFrameCtx
 
 	res     *Result
 	stopped bool // the stop hook ended the search
+}
+
+// expired reports whether the engine's budget is out. Under the
+// work-stealing driver (virtual mode) the ceiling is dynamic: the quantum
+// minus the settled reference consumption, which starts at the full
+// quantum and only tightens as strictly-earlier frames settle — always at
+// least this frame's true share, so speculation never under-explores.
+func (e *engine) expired() bool {
+	if e.ws != nil && e.p.Clock == nil {
+		return e.budget.virtual >= e.ws.capNow()
+	}
+	return e.budget.expired()
 }
 
 // run searches the subtree rooted at start. st must already be positioned
@@ -519,6 +539,10 @@ func (e *engine) run(start *Vertex) {
 	e.res = &Result{Best: start}
 	cv := start
 	cl := newCandidateList(e.p.Strategy)
+	if e.ws != nil {
+		// The frame's start is its initial best: charge-0 improvement.
+		e.ws.record(evImprove, 0, start, e.res.Stats)
+	}
 	defer func() {
 		// Recycle abandoned candidates: they were never expanded, so
 		// nothing — including Best's path, whose vertices were all popped
@@ -533,16 +557,40 @@ func (e *engine) run(start *Vertex) {
 	}()
 
 	for {
+		if e.ws != nil {
+			// Events are stamped with loop-top charges: the quantity the
+			// sequential engine's expiry check gates on. A leaf is produced
+			// by the iteration that WALKED onto it (the previous one), so
+			// both the previous and current loop-top charges are tracked.
+			e.ws.prevTop = e.ws.lastTop
+			e.ws.lastTop = e.budget.virtual
+		}
 		if e.rep.IsLeaf(e.p, cv) {
 			e.res.Stats.Leaf = true
+			if e.ws != nil {
+				e.ws.record(evLeaf, e.ws.prevTop, cv, e.res.Stats)
+				e.ws.record(evEnd, e.ws.prevTop, nil, e.res.Stats)
+			}
 			return
 		}
 		if e.p.MaxDepth > 0 && cv.Depth >= e.p.MaxDepth {
 			e.res.Stats.DepthLimited = true
+			if e.ws != nil {
+				e.ws.record(evEnd, e.ws.prevTop, nil, e.res.Stats)
+			}
 			return
 		}
-		if e.budget.expired() {
+		if e.expired() {
+			// Under the work-stealing driver this ends speculation at the
+			// dynamic cap; the settle pass decides where the reference
+			// search's quantum actually died. No end event — a frame
+			// without one is, by definition, budget-bounded — but the
+			// counters are checkpointed so a truncated frame's statistics
+			// stay exact up to the last fully-counted iteration.
 			e.res.Stats.Expired = true
+			if e.ws != nil {
+				e.ws.record(evExpire, e.ws.prevTop, nil, e.res.Stats)
+			}
 			return
 		}
 		if e.stop != nil && e.stop() {
@@ -550,15 +598,30 @@ func (e *engine) run(start *Vertex) {
 			return
 		}
 
-		succs, generated := e.rep.Expand(e.p, cv, e.st)
-		e.res.Stats.Expanded++
-		e.res.Stats.Generated += generated
-		e.budget.charge(generated)
-		barren := len(succs) == 0
+		var succs []*Vertex
+		barren := true
+		if e.ws != nil && e.ws.dup != nil && e.ws.dup.visit(stateKey(cv, e.st)) {
+			// Re-expansion of a known state: prune it as if barren, free of
+			// charge — the first visit already paid for (and explored) it.
+			e.res.Stats.Duplicates++
+		} else {
+			var generated int
+			succs, generated = e.rep.Expand(e.p, cv, e.st)
+			e.res.Stats.Expanded++
+			e.res.Stats.Generated += generated
+			e.budget.charge(generated)
+			barren = len(succs) == 0
+		}
 
 		if barren && cl.len() == 0 {
 			e.res.Stats.DeadEnd = true
+			if e.ws != nil {
+				e.ws.record(evEnd, e.ws.lastTop, nil, e.res.Stats)
+			}
 			return
+		}
+		if e.ws != nil && !barren {
+			succs = e.ws.maybeSpawn(succs)
 		}
 		cl.push(succs)
 		PutSuccs(succs) // push copied the pointers; recycle the slice
@@ -566,27 +629,45 @@ func (e *engine) run(start *Vertex) {
 		next, ok := cl.pop()
 		if !ok {
 			e.res.Stats.DeadEnd = true
+			if e.ws != nil {
+				e.ws.record(evEnd, e.ws.lastTop, nil, e.res.Stats)
+			}
 			return
 		}
 		if next.Parent != cv {
 			e.res.Stats.Backtracks++
+			if e.ws != nil {
+				// First backtrack ends spawning for good: everything at or
+				// above the spine has been visited, so a later spawn would
+				// be out of signature order.
+				e.ws.spawning = false
+			}
 			if e.p.MaxBacktracks > 0 && e.res.Stats.Backtracks > e.p.MaxBacktracks {
 				e.res.Stats.BacktrackLimited = true
 				FreeVertex(next) // popped but never walked
+				if e.ws != nil {
+					e.ws.record(evEnd, e.ws.lastTop, nil, e.res.Stats)
+				}
 				return
 			}
 		}
 		e.st.MoveTo(e.p, cv, next)
 		if barren && cv != e.res.Best && cv != start {
 			// cv produced nothing and the path moved off it: no child, CL
-			// entry, or best pointer can reference it, so recycle it now
-			// rather than leaving the whole exhausted frontier to the GC.
+			// entry, best pointer — or, under the driver, recorded event:
+			// an event-recorded vertex is the best of the iteration that
+			// walked it, and Best cannot have moved since — can still
+			// reference it, so recycle it now rather than leaving the whole
+			// exhausted frontier to the GC.
 			FreeVertex(cv)
 		}
 		cv = next
 
 		if better(cv, e.res.Best) {
 			e.res.Best = cv
+			if e.ws != nil {
+				e.ws.record(evImprove, e.ws.lastTop, cv, e.res.Stats)
+			}
 		}
 	}
 }

@@ -1,0 +1,185 @@
+package search_test
+
+// Differential tests pinning the work-stealing parallel driver against the
+// sequential engine:
+//
+//   - 50 seeded Fig-5 batches (EDF order + affinity communication makes the
+//     trees heavily skewed — the regime that starved the old static
+//     partitioning) × worker counts 1/2/4/8 must return the sequential
+//     engine's schedule bit for bit.
+//   - with duplicate detection off (DupCap < 0) the equivalence is exact in
+//     EVERY regime, including quantum expiry: same schedule, same depth,
+//     same termination flags.
+//   - with duplicate detection on (the default), expiring searches must be
+//     at least as deep as sequential and still bit-identical across worker
+//     counts and repeats.
+//   - the spawn-policy knobs (StealDepth, FrontierCap) must not affect the
+//     result, only the decomposition.
+//
+// The CI race job runs this file with -count=2 to shake out ordering flakes.
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"rtsads/internal/represent"
+	"rtsads/internal/search"
+)
+
+var wsDegrees = []int{1, 2, 4, 8}
+
+func runSeq(t *testing.T, p *search.Problem) *search.Result {
+	t.Helper()
+	res, err := search.Run(p, represent.NewAssignment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func runWS(t *testing.T, p *search.Problem, opt search.ParallelOptions) *search.Result {
+	t.Helper()
+	res, err := search.RunParallel(p, represent.NewAssignment(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestWorkStealingBitIdenticalAcrossWorkers is the ISSUE-6 acceptance
+// test: 50 seeded skewed trees, worker counts 1/2/4/8, schedule equal to
+// sequential bit for bit — with duplicate detection both off and on (a
+// completing search's schedule is exact either way).
+func TestWorkStealingBitIdenticalAcrossWorkers(t *testing.T) {
+	for seed := uint64(1); seed <= 50; seed++ {
+		workers := 4
+		if seed%2 == 0 {
+			workers = 10
+		}
+		mk := func() *search.Problem {
+			return fig5Problem(t, workers, 40, seed, time.Nanosecond)
+		}
+		seq := runSeq(t, mk())
+		want := flatten(seq.Schedule())
+		for _, degree := range wsDegrees {
+			for _, dupCap := range []int{-1, 0} {
+				par := runWS(t, mk(), search.ParallelOptions{Degree: degree, DupCap: dupCap})
+				if got := flatten(par.Schedule()); !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed=%d degree=%d dupCap=%d: schedule differs from sequential:\n%v\nvs\n%v",
+						seed, degree, dupCap, got, want)
+				}
+				if par.Best.Depth != seq.Best.Depth || par.Stats.Leaf != seq.Stats.Leaf ||
+					par.Stats.Expired != seq.Stats.Expired {
+					t.Fatalf("seed=%d degree=%d dupCap=%d: depth/flags diverge: %+v vs %+v",
+						seed, degree, dupCap, par.Stats, seq.Stats)
+				}
+			}
+		}
+	}
+}
+
+// TestWorkStealingExpiringExactEquality: with duplicate detection off, the
+// settle pass's budget truncation must reproduce the sequential engine's
+// quantum expiry exactly — same schedule, same depth, same flags — at any
+// worker count. This is the hard case: the quantum dies mid-tree and the
+// speculative frames must be cut at precisely the sequential boundary.
+func TestWorkStealingExpiringExactEquality(t *testing.T) {
+	expired := 0
+	for seed := uint64(1); seed <= 10; seed++ {
+		mk := func() *search.Problem {
+			// 1µs/vertex over a 120-task batch blows the 500µs quantum.
+			return fig5Problem(t, 10, 120, seed, time.Microsecond)
+		}
+		seq := runSeq(t, mk())
+		if seq.Stats.Expired {
+			expired++
+		}
+		want := flatten(seq.Schedule())
+		for _, degree := range wsDegrees {
+			par := runWS(t, mk(), search.ParallelOptions{Degree: degree, DupCap: -1})
+			if got := flatten(par.Schedule()); !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed=%d degree=%d: expiring schedule differs from sequential:\n%v\nvs\n%v",
+					seed, degree, got, want)
+			}
+			if par.Best.Depth != seq.Best.Depth ||
+				par.Stats.Expired != seq.Stats.Expired || par.Stats.Leaf != seq.Stats.Leaf {
+				t.Fatalf("seed=%d degree=%d: depth/flags diverge: %+v vs %+v",
+					seed, degree, par.Stats, seq.Stats)
+			}
+		}
+	}
+	if expired == 0 {
+		t.Fatal("fixture never expired; the test is not exercising the truncation path")
+	}
+}
+
+// TestWorkStealingDedupExpiringDominates: with duplicate detection on, an
+// expiring search must reach at least the sequential depth (budget is
+// never spent re-expanding known states) and must still be a deterministic
+// function of the input — identical across worker counts and repeats.
+func TestWorkStealingDedupExpiringDominates(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		mk := func() *search.Problem {
+			return fig5Problem(t, 10, 120, seed, time.Microsecond)
+		}
+		seq := runSeq(t, mk())
+		var want []schedKey
+		for i, degree := range wsDegrees {
+			par := runWS(t, mk(), search.ParallelOptions{Degree: degree})
+			if par.Best.Depth < seq.Best.Depth {
+				t.Fatalf("seed=%d degree=%d: dedup search shallower than sequential: %d < %d",
+					seed, degree, par.Best.Depth, seq.Best.Depth)
+			}
+			got := flatten(par.Schedule())
+			if i == 0 {
+				want = got
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed=%d degree=%d: dedup schedule changed with worker count", seed, degree)
+			}
+		}
+	}
+}
+
+// TestWorkStealingKnobsPreserveResult: the spawn-policy knobs change the
+// frame decomposition, never the answer.
+func TestWorkStealingKnobsPreserveResult(t *testing.T) {
+	mk := func() *search.Problem {
+		return fig5Problem(t, 10, 60, 11, time.Nanosecond)
+	}
+	seq := runSeq(t, mk())
+	want := flatten(seq.Schedule())
+	for _, stealDepth := range []int{1, 3, 8, 32} {
+		for _, frontierCap := range []int{1, 4, 64, 4096} {
+			opt := search.ParallelOptions{Degree: 4, StealDepth: stealDepth, FrontierCap: frontierCap}
+			par := runWS(t, mk(), opt)
+			if got := flatten(par.Schedule()); !reflect.DeepEqual(got, want) {
+				t.Fatalf("stealDepth=%d frontierCap=%d: schedule differs from sequential",
+					stealDepth, frontierCap)
+			}
+		}
+	}
+}
+
+// TestWorkStealingRepeatDeterminism: same input, same options, repeated
+// runs: identical schedule. Under -race this doubles as the ordering
+// stress for the deques, the settle heap, and the incumbent bound.
+func TestWorkStealingRepeatDeterminism(t *testing.T) {
+	for _, degree := range []int{2, 8} {
+		var want []schedKey
+		for rep := 0; rep < 10; rep++ {
+			p := fig5Problem(t, 10, 120, 7, time.Microsecond)
+			res := runWS(t, p, search.ParallelOptions{Degree: degree, StealDepth: 8})
+			got := flatten(res.Schedule())
+			if rep == 0 {
+				want = got
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("degree=%d repeat %d: schedule changed across runs", degree, rep)
+			}
+		}
+	}
+}
