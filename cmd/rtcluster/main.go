@@ -98,7 +98,8 @@ func run(args []string, out io.Writer) (retErr error) {
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON file of the live run (chrome://tracing, Perfetto)")
 	traceLimit := fs.Int("trace-limit", 0, "maximum trace events to keep (0 = unlimited)")
 	progress := fs.Duration("progress", 0, "report run progress to stderr at this wall-clock interval (0 = off)")
-	journalOut := fs.String("journal", "", "write the structured event journal as JSON Lines to this file")
+	journalOut := fs.String("journal", "", "write the structured event journal as JSON Lines to this file (federation-merged when -shards > 1)")
+	taskTraceOut := fs.String("task-trace", "", "write a task-per-track Chrome trace of task lifecycles to this file (single cluster or federation-merged)")
 	admissionPolicy := fs.String("admission", "off", "overload admission control: off, reject, shed-oldest or shed-least-slack (non-off also rejects hopeless tasks at enqueue)")
 	queueCap := fs.Int("queue-cap", 0, "bound the host's ready queue to this many tasks; beyond it the -admission policy sheds (0 = unbounded)")
 	degradeAfter := fs.Int("degrade-after", 0, "fall back to EDF-greedy planning after this many consecutive bad phases, recovering hysteretically (0 = off)")
@@ -185,8 +186,8 @@ func run(args []string, out io.Writer) (retErr error) {
 			if err != nil {
 				return err
 			}
-			if *traceOut != "" || *journalOut != "" || *progress > 0 {
-				return fmt.Errorf("-trace, -journal and -progress attach to a single cluster; with -shards %d use -debug-addr for the merged per-shard view", *shards)
+			if *traceOut != "" || *progress > 0 {
+				return fmt.Errorf("-trace and -progress attach to a single cluster; with -shards %d use -journal/-task-trace (federation-merged) or -debug-addr for the live per-shard view", *shards)
 			}
 			return runFederation(out, federation.Config{
 				Workload:    w,
@@ -203,13 +204,13 @@ func run(args []string, out io.Writer) (retErr error) {
 				StealDepth:  *stealDepth,
 				FrontierCap: *frontierCap,
 				DupCap:      *dupCap,
-			}, *debugAddr)
+			}, *debugAddr, *journalOut, *taskTraceOut)
 		}
 
 		// Observability: one observer feeds the registry, the journal, the
 		// trace sink, the debug endpoint and the progress reporter.
 		var observer *obs.Observer
-		if *debugAddr != "" || *traceOut != "" || *journalOut != "" || *progress > 0 {
+		if *debugAddr != "" || *traceOut != "" || *journalOut != "" || *taskTraceOut != "" || *progress > 0 {
 			observer = obs.New(0)
 			if *traceOut != "" {
 				observer.EnableTrace(*traceLimit)
@@ -264,6 +265,12 @@ func run(args []string, out io.Writer) (retErr error) {
 					retErr = werr
 				}
 			}
+			if *taskTraceOut != "" {
+				entries, _ := observer.Journal().Export()
+				if werr := writeTaskTrace(*taskTraceOut, entries, out); werr != nil && retErr == nil {
+					retErr = werr
+				}
+			}
 		}()
 
 		// Graceful shutdown: the first SIGINT/SIGTERM stops admission and
@@ -312,7 +319,7 @@ func run(args []string, out io.Writer) (retErr error) {
 // whole workload; the summary reports each shard, the folded federation
 // view, and the routing counters, and the accounting identities are
 // verified before success is reported.
-func runFederation(out io.Writer, cfg federation.Config, debugAddr string) error {
+func runFederation(out io.Writer, cfg federation.Config, debugAddr, journalOut, taskTraceOut string) (retErr error) {
 	f, err := federation.New(cfg)
 	if err != nil {
 		return err
@@ -328,8 +335,24 @@ func runFederation(out io.Writer, cfg federation.Config, debugAddr string) error
 			return err
 		}
 		defer srv.Close()
-		fmt.Fprintf(out, "debug endpoint: %s (/metrics with per-shard labels, /healthz)\n", srv.URL())
+		fmt.Fprintf(out, "debug endpoint: %s (/metrics with per-shard labels, /healthz, /slo, /trace/task, /journal)\n", srv.URL())
 	}
+	// Flush the merged journal and task-flow trace on every exit path, like
+	// the single-cluster flight recorder.
+	defer func() {
+		if journalOut != "" {
+			entries, evicted := f.MergedEntries()
+			if werr := writeMergedJournal(journalOut, entries, evicted, out); werr != nil && retErr == nil {
+				retErr = werr
+			}
+		}
+		if taskTraceOut != "" {
+			entries, _ := f.MergedEntries()
+			if werr := writeTaskTrace(taskTraceOut, entries, out); werr != nil && retErr == nil {
+				retErr = werr
+			}
+		}
+	}()
 	start := time.Now()
 	res, err := f.Run()
 	if err != nil {
@@ -378,6 +401,34 @@ func writeJournal(path string, observer *obs.Observer, out io.Writer) error {
 		return fmt.Errorf("write %s: %w", path, err)
 	}
 	fmt.Fprintf(out, "wrote %s (%d journal entries, %d evicted)\n", path, j.Len(), j.Evicted())
+	return nil
+}
+
+// writeMergedJournal exports a federation-merged journal as JSONL.
+func writeMergedJournal(path string, entries []obs.Entry, evicted int64, out io.Writer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := obs.WriteEntriesJSONL(f, entries, evicted); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	fmt.Fprintf(out, "wrote %s (%d merged journal entries, %d evicted)\n", path, len(entries), evicted)
+	return nil
+}
+
+// writeTaskTrace exports lifecycle entries as a task-per-track Chrome trace.
+func writeTaskTrace(path string, entries []obs.Entry, out io.Writer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := obs.WriteTaskFlowTrace(f, entries); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	fmt.Fprintf(out, "wrote %s (task-flow trace) — open in chrome://tracing or Perfetto\n", path)
 	return nil
 }
 

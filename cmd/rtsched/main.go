@@ -50,6 +50,7 @@ func run(args []string, out io.Writer) error {
 	csvDir := fs.String("csv", "", "directory to write per-figure CSV series into (optional)")
 	specPath := fs.String("spec", "", "run a custom JSON experiment spec instead of a built-in experiment")
 	chromeOut := fs.String("chrometrace", "", "run one traced RT-SADS run (P=10, defaults) and write Chrome trace-event JSON to this file")
+	taskTraceOut := fs.String("task-trace", "", "run one traced RT-SADS run (P=10, defaults) and write a task-per-track lifecycle Chrome trace to this file")
 	plotFlag := fs.Bool("plot", false, "also draw each figure as an ASCII chart")
 	dumpTasks := fs.String("dumptasks", "", "write the default workload's task set as JSON to this file and exit")
 	runTasks := fs.String("runtasks", "", "run RT-SADS over a task set previously written with -dumptasks (or an external trace)")
@@ -75,6 +76,9 @@ func run(args []string, out io.Writer) error {
 
 	if *chromeOut != "" {
 		return writeChromeTrace(*chromeOut, *seed, observer, out)
+	}
+	if *taskTraceOut != "" {
+		return writeTaskFlowTrace(*taskTraceOut, *seed, observer, out)
 	}
 	if *dumpTasks != "" {
 		return dumpTaskSet(*dumpTasks, *taskWorkers, *seed, out)
@@ -299,6 +303,43 @@ func writeChromeTrace(path string, seed uint64, observer *obs.Observer, out io.W
 	}
 	fmt.Fprintf(out, "run: %s\nwrote %s (%d events) — open in chrome://tracing or Perfetto\n",
 		res, path, timeline.Len())
+	return nil
+}
+
+// writeTaskFlowTrace runs one default RT-SADS run against a journaling
+// observer and exports the task-per-track lifecycle view: one Chrome trace
+// track per task, showing queueing, delivery and execution as one story.
+func writeTaskFlowTrace(path string, seed uint64, observer *obs.Observer, out io.Writer) error {
+	if observer == nil {
+		observer = obs.New(0)
+	}
+	p := workload.DefaultParams(10)
+	p.Seed = seed
+	w, err := workload.Generate(p)
+	if err != nil {
+		return err
+	}
+	planner, err := experiment.NewPlanner(experiment.RTSADS, w, experiment.DefaultRunConfig())
+	if err != nil {
+		return err
+	}
+	m, err := machine.New(machine.Config{Workers: p.Workers, Planner: planner, Obs: observer})
+	if err != nil {
+		return err
+	}
+	res, err := m.Run(w.Tasks)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := observer.Journal().WriteTaskFlowTrace(f); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	fmt.Fprintf(out, "run: %s\nwrote %s (task-flow trace) — open in chrome://tracing or Perfetto\n", res, path)
 	return nil
 }
 

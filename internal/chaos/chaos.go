@@ -251,6 +251,7 @@ func (s Scenario) check(res *metrics.RunResult, snap map[string]int64, journal [
 	}
 	if evicted == 0 {
 		deg, rec, shedEntries := 0, 0, 0
+		execHit, execMiss, purged, lost, bounced := 0, 0, 0, 0, 0
 		for _, e := range journal {
 			switch e.Type {
 			case "degrade":
@@ -259,6 +260,18 @@ func (s Scenario) check(res *metrics.RunResult, snap map[string]int64, journal [
 				rec++
 			case "shed":
 				shedEntries++
+			case "exec":
+				if e.Hit {
+					execHit++
+				} else {
+					execMiss++
+				}
+			case "purge":
+				purged++
+			case "lost":
+				lost++
+			case "bounce":
+				bounced++
 			}
 		}
 		if deg != res.Degradations || rec != res.Recoveries {
@@ -267,6 +280,26 @@ func (s Scenario) check(res *metrics.RunResult, snap map[string]int64, journal [
 		}
 		if shedEntries != res.Shed {
 			add("journal records %d shed events, counters say %d", shedEntries, res.Shed)
+		}
+		// Lifecycle spans reconcile against every terminal bucket, so the
+		// tracing plane cannot drift from the run accounting.
+		if execHit != res.Hits || execMiss != res.ScheduledMissed {
+			add("journal records %d hit / %d miss exec events, counters say %d / %d",
+				execHit, execMiss, res.Hits, res.ScheduledMissed)
+		}
+		if purged != res.Purged {
+			add("journal records %d purge events, counters say %d", purged, res.Purged)
+		}
+		if lost != res.LostToFailure {
+			add("journal records %d lost events, counters say %d", lost, res.LostToFailure)
+		}
+		if bounced != res.Bounced {
+			add("journal records %d bounce events, counters say %d", bounced, res.Bounced)
+		}
+		// Span completeness: every admitted task reaches exactly one
+		// terminal span — the invariant the lifecycle exporters rely on.
+		for _, msg := range obs.SpanViolations(journal) {
+			add("span completeness: %s", msg)
 		}
 	}
 

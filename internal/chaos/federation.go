@@ -75,6 +75,11 @@ type FedReport struct {
 	Scenario   FedScenario
 	Result     *federation.Result
 	Violations []string
+	// Journal is the federation-merged journal (router + shards) and
+	// Evicted its summed truncation count; the span-completeness gate only
+	// applies when nothing was evicted.
+	Journal []obs.Entry
+	Evicted int64
 }
 
 // Run executes the scenario through a live federation and checks the
@@ -121,12 +126,13 @@ func (s FedScenario) Run() (*FedReport, error) {
 		return nil, fmt.Errorf("chaos: fed seed %d: %w", s.Seed, err)
 	}
 	rep := &FedReport{Scenario: s, Result: res}
-	rep.Violations = s.check(res, f)
+	rep.Journal, rep.Evicted = f.MergedEntries()
+	rep.Violations = s.check(res, f, rep.Journal, rep.Evicted)
 	return rep, nil
 }
 
 // check evaluates the federation invariants against one finished run.
-func (s FedScenario) check(res *federation.Result, f *federation.Federation) []string {
+func (s FedScenario) check(res *federation.Result, f *federation.Federation, journal []obs.Entry, evicted int64) []string {
 	var v []string
 	add := func(format string, args ...any) { v = append(v, fmt.Sprintf(format, args...)) }
 
@@ -180,6 +186,31 @@ func (s FedScenario) check(res *federation.Result, f *federation.Federation) []s
 	} {
 		if got := snap[name]; got != int64(want) {
 			add("federation registry %s = %d, run result says %d", name, got, want)
+		}
+	}
+
+	// Federation-wide tracing plane: the merged journal's routing spans
+	// reconcile against the router's counters, and every admitted task —
+	// wherever in the federation it ran, even with a whole shard killed —
+	// reaches exactly one terminal span.
+	if evicted == 0 {
+		routes, migrates := 0, 0
+		for i := range journal {
+			switch journal[i].Type {
+			case "route":
+				routes++
+			case "migrate":
+				migrates++
+			}
+		}
+		if routes != res.Routed {
+			add("merged journal records %d route spans, router says %d", routes, res.Routed)
+		}
+		if migrates != res.Migrated {
+			add("merged journal records %d migrate spans, router says %d", migrates, res.Migrated)
+		}
+		for _, msg := range obs.SpanViolations(journal) {
+			add("span completeness: %s", msg)
 		}
 	}
 	return v

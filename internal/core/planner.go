@@ -39,7 +39,11 @@ type PhaseResult struct {
 	// phaseEnd + EndOffset <= deadline, so delivery at or before phaseEnd
 	// guarantees the deadline (§4.3's theorem).
 	Schedule []search.Assignment
-	// Stats carries the search counters for the phase.
+	// Stats carries the search counters for the phase — both the
+	// deterministic counters the experiments reconcile on and the
+	// timing-dependent introspection fields (steals, frames, frontier peak,
+	// incumbent updates) the callers forward into obs.PhaseStats for the
+	// /metrics search families.
 	Stats search.Stats
 }
 

@@ -20,6 +20,12 @@ import (
 //	    shards' lazily-created families scrape as untyped, which the text
 //	    format permits.
 //	/healthz — JSON worker liveness per shard, plus an overall status.
+//	/slo — per-shard SLO summaries plus the federation rollup (counters
+//	    summed, guarantee ratio recomputed, slack quantiles merged
+//	    conservatively).
+//	/trace/task?id=N — one task's assembled lifecycle over the merged
+//	    router + shard journals, wherever in the federation it ran.
+//	/journal — the federation-merged journal as JSON Lines.
 func (f *Federation) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -55,6 +61,25 @@ func (f *Federation) Handler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(out)
+	})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
+		shards := make([]obs.SLOSummary, len(f.obsShards))
+		for i, o := range f.obsShards {
+			shards[i] = o.SLOSummary()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Federation obs.SLOSummary   `json:"federation"`
+			Shards     []obs.SLOSummary `json:"shards"`
+		}{obs.Combine(shards), shards})
+	})
+	mux.HandleFunc("/trace/task", func(w http.ResponseWriter, r *http.Request) {
+		obs.ServeTaskTrace(w, r, f.MergedEntries)
+	})
+	mux.HandleFunc("/journal", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/jsonl")
+		entries, evicted := f.MergedEntries()
+		obs.WriteEntriesJSONL(w, entries, evicted)
 	})
 	return mux
 }

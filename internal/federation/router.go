@@ -64,6 +64,10 @@ type Federation struct {
 
 	obsShards []*obs.Observer
 	faults    []*faultinject.Plan
+	// journal records the router's own lifecycle spans (route, migrate,
+	// route-reject); MergedEntries folds it into the shard journals with
+	// the RouterShard tag.
+	journal *obs.Journal
 
 	reg      *obs.Registry
 	routed   *obs.Counter
@@ -130,6 +134,7 @@ func New(cfg Config) (*Federation, error) {
 		perShard:  make([]int, cfg.Topology.Shards),
 		tried:     make(map[task.ID]map[int]bool),
 		orig:      make(map[task.ID]*task.Task, len(cfg.Workload.Tasks)),
+		journal:   obs.NewJournal(cfg.JournalCap),
 	}
 	for _, t := range cfg.Workload.Tasks {
 		f.orig[t.ID] = t
@@ -309,6 +314,8 @@ func (f *Federation) routeArrival(t *task.Task) {
 	f.submitted[s]++
 	f.routed.Inc()
 	f.routedBy[s].Inc()
+	f.note(obs.Entry{Type: "route", Task: int(t.ID), Worker: s,
+		Detail: fmt.Sprintf("policy=%s", f.cfg.Placement)}, now)
 	// Submit cannot fail here: shards are only sealed after the pump and
 	// settle complete. If it ever does, the error is surfaced by
 	// Reconcile as a routed-but-never-settled imbalance.
@@ -327,6 +334,8 @@ func (f *Federation) onReject(from int, t *task.Task, reason admission.Reason, n
 	decline := func() bool {
 		f.rejectedN++
 		f.rejected.Inc()
+		f.note(obs.Entry{Type: "route-reject", Task: int(t.ID), Worker: -1,
+			Detail: string(reason)}, now)
 		return false
 	}
 	if !f.cfg.Migrate {
@@ -357,7 +366,36 @@ func (f *Federation) onReject(from int, t *task.Task, reason admission.Reason, n
 	f.submitted[s]++
 	f.migratedN++
 	f.migrated.Inc()
+	// The migrate span re-states the §4.3 verdict the sibling passed:
+	// RQs + se_lk against the slack left at this instant.
+	f.note(obs.Entry{Type: "migrate", Task: int(t.ID), Worker: s,
+		Detail: fmt.Sprintf("from shard %d, reason %s: RQs=%s comm=%s slack=%s",
+			from, reason, views[s].RQs, views[s].Comm, g.Deadline.Sub(now))}, now)
 	return true
+}
+
+// note stamps and records one router-journal entry.
+func (f *Federation) note(e obs.Entry, at simtime.Instant) {
+	e.Wall = time.Now()
+	e.Virtual = at
+	f.journal.Record(e)
+}
+
+// MergedEntries merges the router journal and every shard journal into one
+// record-ordered stream on the shared clock, each entry tagged with its
+// source (obs.RouterShard for the router). The second return is the summed
+// eviction count, so callers can tell a complete lifecycle view from a
+// truncated one.
+func (f *Federation) MergedEntries() ([]obs.Entry, int64) {
+	sources := make(map[int][]obs.Entry, len(f.obsShards)+1)
+	entries, evicted := f.journal.Export()
+	sources[obs.RouterShard] = entries
+	for i, o := range f.obsShards {
+		se, sev := o.Journal().Export()
+		sources[i] = se
+		evicted += sev
+	}
+	return obs.MergeEntries(sources), evicted
 }
 
 // viewsLocked projects every shard's load summary onto one task. Caller

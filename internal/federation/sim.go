@@ -245,6 +245,9 @@ func (f *simFed) route(t *task.Task, now simtime.Instant) {
 	f.routedN++
 	f.perShard[s]++
 	f.submitted[s]++
+	// The sim has no router journal; the placement span lands in the
+	// destination shard's journal so merged lifecycles stay complete.
+	f.shards[s].o.Route(t.ID, s, fmt.Sprintf("policy=%s", f.cfg.Placement), now)
 	f.deliver(s, t, now)
 }
 
@@ -283,6 +286,8 @@ func (f *simFed) reject(from *simShard, t *task.Task, reason admission.Reason, n
 		tried[s] = true
 		f.submitted[s]++
 		f.migratedN++
+		f.shards[s].o.Migrate(g.ID, s,
+			fmt.Sprintf("from shard %d, reason %s, §4.3 re-verdict feasible", from.id, reason), now)
 		f.deliver(s, g, now)
 		return true
 	}
@@ -292,6 +297,7 @@ func (f *simFed) reject(from *simShard, t *task.Task, reason admission.Reason, n
 		return
 	}
 	f.rejectedN++
+	from.o.RouteReject(t.ID, string(reason), now)
 	from.res.Shed++
 	switch reason {
 	case admission.Hopeless:
@@ -339,7 +345,7 @@ func (sh *simShard) step(f *simFed, now simtime.Instant) error {
 	sh.inbox = nil
 	for _, t := range in {
 		sh.res.Total++
-		sh.o.Arrival(t.ID, now)
+		sh.o.Arrival(t.ID, now, t.Deadline)
 		sh.admit(f, t, now)
 	}
 	for _, t := range sh.batch.PurgeMissed(now) {
@@ -361,12 +367,19 @@ func (sh *simShard) step(f *simFed, now simtime.Instant) error {
 		return fmt.Errorf("federation: shard %d phase %d: %w", sh.id, sh.res.Phases, err)
 	}
 	sh.o.PhaseEnd(sh.res.Phases, now.Add(out.Used), obs.PhaseStats{
-		Quantum:    out.Quantum,
-		Used:       out.Used,
-		Generated:  out.Stats.Generated,
-		Backtracks: out.Stats.Backtracks,
-		DeadEnd:    out.Stats.DeadEnd,
-		Expired:    out.Stats.Expired,
+		Quantum:          out.Quantum,
+		Used:             out.Used,
+		Generated:        out.Stats.Generated,
+		Backtracks:       out.Stats.Backtracks,
+		DeadEnd:          out.Stats.DeadEnd,
+		Expired:          out.Stats.Expired,
+		Expanded:         out.Stats.Expanded,
+		Duplicates:       out.Stats.Duplicates,
+		Steals:           out.Stats.Steals,
+		FramesSpawned:    out.Stats.FramesSpawned,
+		FramesSettled:    out.Stats.FramesSettled,
+		FrontierPeak:     out.Stats.FrontierPeak,
+		IncumbentUpdates: out.Stats.IncumbentUpdates,
 	})
 	sh.res.Phases++
 	sh.res.SchedulingTime += out.Used
@@ -398,8 +411,9 @@ func (sh *simShard) step(f *simFed, now simtime.Instant) error {
 			sh.res.ScheduledMissed++
 		}
 		scheduled = append(scheduled, a.Task)
-		sh.o.Deliver(sh.res.Phases-1, a.Task.ID, a.Proc, deliver)
-		sh.o.Exec(a.Task.ID, a.Proc, start, finish, hit, finish.Sub(a.Task.Arrival))
+		sh.o.Deliver(sh.res.Phases-1, a.Task.ID, a.Proc, a.Comm, deliver)
+		sh.o.Exec(a.Task.ID, a.Proc, start, finish, hit,
+			finish.Sub(a.Task.Arrival), a.Task.Deadline.Sub(finish))
 	}
 	sh.batch.RemoveScheduled(scheduled)
 
@@ -436,7 +450,7 @@ func (sh *simShard) admit(f *simFed, t *task.Task, now simtime.Instant) {
 		f.reject(sh, d.Victim, admission.QueueFull, now)
 	}
 	sh.res.Admitted++
-	sh.o.Admitted(t.ID)
+	sh.o.Admitted(t.ID, t.Deadline.Sub(now), now)
 	sh.batch.Add(t)
 }
 

@@ -578,7 +578,8 @@ func (r *runState) collect() {
 			r.res.WorkerBusy[d.Worker] += d.Finish.Sub(d.Start)
 		}
 		r.res.Response.Add(d.Finish.Sub(fl.t.Arrival))
-		r.o.Exec(fl.t.ID, d.Worker, d.Start, d.Finish, hit, d.Finish.Sub(fl.t.Arrival))
+		r.o.Exec(fl.t.ID, d.Worker, d.Start, d.Finish, hit,
+			d.Finish.Sub(fl.t.Arrival), fl.t.Deadline.Sub(d.Finish))
 		r.o.Inflight(len(r.inflight))
 		r.record(metrics.Completion{
 			Task: fl.t.ID, Proc: d.Worker, Start: d.Start, Finish: d.Finish,
@@ -621,7 +622,7 @@ func (r *runState) loop() error {
 		for r.next < len(r.pending) && !r.pending[r.next].Arrival.After(now) {
 			t := r.pending[r.next]
 			r.next++
-			r.o.Arrival(t.ID, t.Arrival)
+			r.o.Arrival(t.ID, t.Arrival, t.Deadline)
 			r.admit(t, now, true)
 		}
 		if r.c.cfg.External {
@@ -629,7 +630,7 @@ func (r *runState) loop() error {
 				r.mu.Lock()
 				r.res.Total++
 				r.mu.Unlock()
-				r.o.Arrival(t.ID, now)
+				r.o.Arrival(t.ID, now, t.Deadline)
 				r.admit(t, now, true)
 			}
 		}
@@ -750,7 +751,7 @@ func (r *runState) loop() error {
 		if out.Stats.Expired {
 			r.res.QuantaExpired++
 		}
-		var modeFlip, nowDegraded bool
+		var modeFlip, nowDegraded, phaseDegraded bool
 		if r.degrading != nil {
 			// Mirror the controller's cumulative counts as deltas so rebuilds
 			// (which replace the controller) keep the run totals monotonic.
@@ -758,6 +759,7 @@ func (r *runState) loop() error {
 			r.res.Degradations += dgs - r.lastDeg
 			r.res.Recoveries += recs - r.lastRec
 			r.res.DegradedPhases += dps - r.lastDP
+			phaseDegraded = dps > r.lastDP
 			r.lastDeg, r.lastRec, r.lastDP = dgs, recs, dps
 			nowDegraded = r.degrading.Degraded()
 			modeFlip = nowDegraded != r.wasDegraded
@@ -773,12 +775,20 @@ func (r *runState) loop() error {
 			r.o.DegradeMode(nowDegraded, phase, reason, r.clock.Now())
 		}
 		r.o.PhaseEnd(phase, r.clock.Now(), obs.PhaseStats{
-			Quantum:    out.Quantum,
-			Used:       out.Used,
-			Generated:  out.Stats.Generated,
-			Backtracks: out.Stats.Backtracks,
-			DeadEnd:    out.Stats.DeadEnd,
-			Expired:    out.Stats.Expired,
+			Quantum:          out.Quantum,
+			Used:             out.Used,
+			Generated:        out.Stats.Generated,
+			Backtracks:       out.Stats.Backtracks,
+			DeadEnd:          out.Stats.DeadEnd,
+			Expired:          out.Stats.Expired,
+			Degraded:         phaseDegraded,
+			Expanded:         out.Stats.Expanded,
+			Duplicates:       out.Stats.Duplicates,
+			Steals:           out.Stats.Steals,
+			FramesSpawned:    out.Stats.FramesSpawned,
+			FramesSettled:    out.Stats.FramesSettled,
+			FrontierPeak:     out.Stats.FrontierPeak,
+			IncumbentUpdates: out.Stats.IncumbentUpdates,
 		})
 
 		deliverAt := r.clock.Now()
@@ -805,7 +815,7 @@ func (r *runState) loop() error {
 				Comm:     a.Comm,
 				Deadline: t.Deadline,
 			})
-			r.o.Deliver(phase, t.ID, k, deliverAt)
+			r.o.Deliver(phase, t.ID, k, a.Comm, deliverAt)
 			scheduled = append(scheduled, t)
 		}
 		r.o.Inflight(len(r.inflight))
@@ -902,7 +912,7 @@ func (r *runState) admit(t *task.Task, now simtime.Instant, arrival bool) {
 		r.mu.Lock()
 		r.res.Admitted++
 		r.mu.Unlock()
-		r.o.Admitted(t.ID)
+		r.o.Admitted(t.ID, t.Deadline.Sub(now), now)
 	}
 	r.batch.Add(t)
 }

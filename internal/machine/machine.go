@@ -131,7 +131,7 @@ func (m *Machine) Run(tasks []*task.Task) (*metrics.RunResult, error) {
 		// Absorb every arrival at or before the current time.
 		for next < len(pending) && !pending[next].Arrival.After(now) {
 			m.cfg.Trace.Add(trace.Event{At: pending[next].Arrival, Kind: trace.Arrival, Task: pending[next].ID, Proc: -1})
-			m.cfg.Obs.Arrival(pending[next].ID, pending[next].Arrival)
+			m.cfg.Obs.Arrival(pending[next].ID, pending[next].Arrival, pending[next].Deadline)
 			batch.Add(pending[next])
 			next++
 		}
@@ -174,12 +174,19 @@ func (m *Machine) Run(tasks []*task.Task) (*metrics.RunResult, error) {
 		}
 		m.cfg.Trace.Add(trace.Event{At: now.Add(out.Used), Kind: trace.PhaseEnd, Phase: res.Phases, Proc: -1, Dur: out.Used})
 		m.cfg.Obs.PhaseEnd(res.Phases, now.Add(out.Used), obs.PhaseStats{
-			Quantum:    out.Quantum,
-			Used:       out.Used,
-			Generated:  out.Stats.Generated,
-			Backtracks: out.Stats.Backtracks,
-			DeadEnd:    out.Stats.DeadEnd,
-			Expired:    out.Stats.Expired,
+			Quantum:          out.Quantum,
+			Used:             out.Used,
+			Generated:        out.Stats.Generated,
+			Backtracks:       out.Stats.Backtracks,
+			DeadEnd:          out.Stats.DeadEnd,
+			Expired:          out.Stats.Expired,
+			Expanded:         out.Stats.Expanded,
+			Duplicates:       out.Stats.Duplicates,
+			Steals:           out.Stats.Steals,
+			FramesSpawned:    out.Stats.FramesSpawned,
+			FramesSettled:    out.Stats.FramesSettled,
+			FrontierPeak:     out.Stats.FrontierPeak,
+			IncumbentUpdates: out.Stats.IncumbentUpdates,
 		})
 
 		res.Phases++
@@ -240,8 +247,9 @@ func (m *Machine) Run(tasks []*task.Task) (*metrics.RunResult, error) {
 			scheduled = append(scheduled, a.Task)
 			m.cfg.Trace.Add(trace.Event{At: deliver, Kind: trace.Deliver, Phase: res.Phases - 1, Task: a.Task.ID, Proc: a.Proc})
 			m.cfg.Trace.Add(trace.Event{At: start, Kind: trace.Exec, Task: a.Task.ID, Proc: a.Proc, Dur: finish.Sub(start), Hit: hit})
-			m.cfg.Obs.Deliver(res.Phases-1, a.Task.ID, a.Proc, deliver)
-			m.cfg.Obs.Exec(a.Task.ID, a.Proc, start, finish, hit, finish.Sub(a.Task.Arrival))
+			m.cfg.Obs.Deliver(res.Phases-1, a.Task.ID, a.Proc, a.Comm, deliver)
+			m.cfg.Obs.Exec(a.Task.ID, a.Proc, start, finish, hit,
+				finish.Sub(a.Task.Arrival), a.Task.Deadline.Sub(finish))
 			m.record(res, metrics.Completion{
 				Task: a.Task.ID, Proc: a.Proc, Start: start, Finish: finish,
 				Hit: hit, Executed: true,

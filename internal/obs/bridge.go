@@ -9,14 +9,18 @@ import (
 
 // TraceEvents converts journal entries into trace events. Entry types that
 // are trace kinds (arrival, phase-start, phase-end, deliver, exec, purge,
-// heartbeat, worker-down, reroute) map one-to-one; observability-only
-// types (run-start, lost, redial, straggler, ...) are skipped, since the
-// trace timeline has no track for them.
-func TraceEvents(entries []Entry) []trace.Event {
+// heartbeat, worker-down, reroute, admit, shed, bounce, lost, route,
+// migrate) map one-to-one; the returned count says how many entries were
+// dropped because their type still has no track on the trace timeline
+// (run-start, overload, degrade, straggler, redial, ...), so exporters can
+// report the truncation instead of hiding it.
+func TraceEvents(entries []Entry) ([]trace.Event, int) {
 	out := make([]trace.Event, 0, len(entries))
+	dropped := 0
 	for _, e := range entries {
 		k := trace.KindFromString(e.Type)
 		if k == 0 {
+			dropped++
 			continue
 		}
 		out = append(out, trace.Event{
@@ -30,23 +34,27 @@ func TraceEvents(entries []Entry) []trace.Event {
 			Detail: e.Detail,
 		})
 	}
-	return out
+	return out, dropped
 }
 
 // TraceLog renders the journal as a trace.Log, ready for the package's
-// exporters (WriteChromeTrace, Gantt, Render). limit bounds the log
-// (0 = unlimited).
-func (j *Journal) TraceLog(limit int) *trace.Log {
+// exporters (WriteChromeTrace, Gantt, Render), plus the count of journal
+// entries with no trace kind. limit bounds the log (0 = unlimited).
+func (j *Journal) TraceLog(limit int) (*trace.Log, int) {
 	l := trace.NewLog(limit)
-	for _, e := range TraceEvents(j.Snapshot()) {
+	events, dropped := TraceEvents(j.Snapshot())
+	for _, e := range events {
 		l.Add(e)
 	}
-	return l
+	return l, dropped
 }
 
 // WriteChromeTrace renders the journal's traceable entries straight into
 // Chrome trace-event JSON — the bridge from a live run's journal to
-// chrome://tracing and Perfetto.
+// chrome://tracing and Perfetto. Entries whose type has no trace kind are
+// counted and surfaced as process metadata in the trace rather than
+// silently dropped.
 func (j *Journal) WriteChromeTrace(w io.Writer) error {
-	return j.TraceLog(0).WriteChromeTrace(w)
+	l, dropped := j.TraceLog(0)
+	return l.WriteChromeTraceMeta(w, dropped)
 }

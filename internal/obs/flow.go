@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"rtsads/internal/simtime"
+)
+
+// This file is the task-flow Chrome-trace exporter: where the journal
+// bridge renders the run machine-centric (one track per worker plus the
+// host), this renders it task-centric — one track per task flow, showing
+// each task's queued time, lifecycle decisions (admission, routing,
+// migration, reroutes) and execution as one horizontal story. Load the
+// output in chrome://tracing or Perfetto.
+
+// flowEvent is one Chrome trace-event entry (the JSON array flavour),
+// mirroring the trace package's private encoder for task-track layout.
+type flowEvent struct {
+	Name     string            `json:"name"`
+	Phase    string            `json:"ph"`
+	TimeUS   float64           `json:"ts"`
+	DurUS    float64           `json:"dur,omitempty"`
+	PID      int               `json:"pid"`
+	TID      int               `json:"tid"`
+	Args     map[string]string `json:"args,omitempty"`
+	Category string            `json:"cat,omitempty"`
+}
+
+const flowPID = 2 // distinct from the machine-centric trace's pid 1
+
+func flowUS(t simtime.Instant) float64 {
+	return float64(t) / float64(time.Microsecond)
+}
+
+// WriteTaskFlowTrace exports lifecycle entries (one journal or a
+// federation merge) as Chrome trace-event JSON with one track per task:
+// a queued span from arrival to execution start, the execution span, and
+// instants for every lifecycle decision in between. Tasks are tracks in
+// id order; the terminal state is part of the track name so a glance finds
+// the shed and lost flows.
+func WriteTaskFlowTrace(w io.Writer, entries []Entry) error {
+	traces := AssembleTaskTraces(entries)
+	ids := make([]int, 0, len(traces))
+	for id := range traces {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	events := make([]flowEvent, 0, len(entries)+len(ids))
+	for _, id := range ids {
+		tt := traces[id]
+		name := fmt.Sprintf("task %d", id)
+		if tt.Terminal != "" {
+			name += " · " + tt.Terminal
+		}
+		events = append(events, flowEvent{
+			Name: "thread_name", Phase: "M", PID: flowPID, TID: id,
+			Args: map[string]string{"name": name},
+		})
+
+		var arrivalAt simtime.Instant
+		haveArrival := false
+		var exec *Entry
+		for i := range tt.Spans {
+			if tt.Spans[i].Type == "exec" {
+				exec = &tt.Spans[i]
+			}
+		}
+		for i := range tt.Spans {
+			e := &tt.Spans[i]
+			switch e.Type {
+			case "arrival":
+				if !haveArrival {
+					arrivalAt, haveArrival = e.Virtual, true
+				}
+				events = append(events, flowInstant(e, "arrival", "lifecycle", nil))
+			case "admit":
+				events = append(events, flowInstant(e, "admit", "lifecycle",
+					map[string]string{"slack": e.Slack.String(), "shard": fmt.Sprintf("%d", e.Shard)}))
+			case "route", "migrate":
+				events = append(events, flowInstant(e, fmt.Sprintf("%s -> shard %d", e.Type, e.Worker), "federation",
+					map[string]string{"detail": e.Detail}))
+			case "route-reject", "bounce":
+				events = append(events, flowInstant(e, e.Type, "federation",
+					map[string]string{"reason": e.Detail}))
+			case "reroute":
+				events = append(events, flowInstant(e, fmt.Sprintf("reroute from worker %d", e.Worker), "failure", nil))
+			case "shed", "purge", "lost":
+				events = append(events, flowInstant(e, e.Type, "terminal",
+					map[string]string{"detail": e.Detail}))
+			case "deliver":
+				events = append(events, flowInstant(e, fmt.Sprintf("deliver -> worker %d", e.Worker), "lifecycle",
+					map[string]string{"comm": e.Dur.String()}))
+			case "exec":
+				verdict := "hit"
+				if !e.Hit {
+					verdict = "miss"
+				}
+				events = append(events, flowEvent{
+					Name: fmt.Sprintf("exec on worker %d", e.Worker), Phase: "X",
+					Category: "execution",
+					TimeUS:   flowUS(e.Virtual),
+					DurUS:    float64(e.Dur) / float64(time.Microsecond),
+					PID:      flowPID, TID: id,
+					Args: map[string]string{"deadline": verdict, "slack": e.Slack.String()},
+				})
+			}
+		}
+		// The queued span makes waiting visible: arrival up to execution
+		// start (or up to the last span for flows that never executed).
+		if haveArrival && len(tt.Spans) > 0 {
+			end := tt.Spans[len(tt.Spans)-1].Virtual
+			if exec != nil {
+				end = exec.Virtual
+			}
+			if end.After(arrivalAt) {
+				events = append(events, flowEvent{
+					Name: "queued", Phase: "X", Category: "queue",
+					TimeUS: flowUS(arrivalAt),
+					DurUS:  float64(end.Sub(arrivalAt)) / float64(time.Microsecond),
+					PID:    flowPID, TID: id,
+				})
+			}
+		}
+	}
+	return json.NewEncoder(w).Encode(events)
+}
+
+func flowInstant(e *Entry, name, cat string, args map[string]string) flowEvent {
+	return flowEvent{
+		Name: name, Phase: "i", Category: cat,
+		TimeUS: flowUS(e.Virtual),
+		PID:    flowPID, TID: e.Task,
+		Args: args,
+	}
+}
+
+// WriteTaskFlowTrace renders this journal's lifecycle as a task-per-track
+// Chrome trace.
+func (j *Journal) WriteTaskFlowTrace(w io.Writer) error {
+	return WriteTaskFlowTrace(w, j.Snapshot())
+}

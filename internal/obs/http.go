@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -74,6 +75,13 @@ func Serve(addr string, o *Observer) (*Server, error) {
 		w.Header().Set("Content-Type", "application/jsonl")
 		o.Journal().WriteJSONL(w)
 	})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(o.SLOSummary())
+	})
+	mux.HandleFunc("/trace/task", func(w http.ResponseWriter, r *http.Request) {
+		ServeTaskTrace(w, r, func() ([]Entry, int64) { return o.Journal().Export() })
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -87,6 +95,36 @@ func Serve(addr string, o *Observer) (*Server, error) {
 	}
 	go s.srv.Serve(lis)
 	return s, nil
+}
+
+// ServeTaskTrace answers /trace/task?id=N over any journal source — one
+// cluster's journal or a federation merge. The payload is the task's
+// assembled span chain, terminal state and slack accounting, plus the
+// journal's eviction count so a truncated ring is reported rather than
+// mistaken for a missing task. Shared by the single-cluster debug server
+// and the federation handler.
+func ServeTaskTrace(w http.ResponseWriter, r *http.Request, export func() ([]Entry, int64)) {
+	w.Header().Set("Content-Type", "application/json")
+	id, err := strconv.Atoi(r.URL.Query().Get("id"))
+	if err != nil {
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(map[string]string{"error": "missing or non-numeric id parameter"})
+		return
+	}
+	entries, evicted := export()
+	tt := TaskTraceFor(entries, id)
+	if tt == nil {
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(struct {
+			Error   string `json:"error"`
+			Evicted int64  `json:"evicted"`
+		}{fmt.Sprintf("no lifecycle spans for task %d", id), evicted})
+		return
+	}
+	json.NewEncoder(w).Encode(struct {
+		*TaskTrace
+		Evicted int64 `json:"evicted"`
+	}{tt, evicted})
 }
 
 // Addr returns the bound address (resolving ":0" to the actual port).

@@ -25,7 +25,9 @@ func get(t *testing.T, url string) (int, string, http.Header) {
 func TestServeEndpoints(t *testing.T) {
 	o := New(0)
 	o.SetWorkers(3)
-	o.Exec(1, 0, 0, 5, true, 5)
+	o.Arrival(1, 0, 7)
+	o.Admitted(1, 7, 0)
+	o.Exec(1, 0, 0, 5, true, 5, 2)
 	o.WorkerDown(2, true, "killed by test", 7)
 	o.Reroute(9, 2, 8)
 
@@ -85,6 +87,44 @@ func TestServeEndpoints(t *testing.T) {
 	}
 	if !strings.Contains(body, `"worker-down"`) || !strings.Contains(body, `"reroute"`) {
 		t.Errorf("/journal missing fault entries:\n%s", body)
+	}
+
+	code, body, _ = get(t, base+"/slo")
+	if code != http.StatusOK {
+		t.Fatalf("/slo status %d", code)
+	}
+	var slo SLOSummary
+	if err := json.Unmarshal([]byte(body), &slo); err != nil {
+		t.Fatalf("/slo not JSON: %v\n%s", err, body)
+	}
+	if slo.Hits != 1 || slo.Admitted != 1 || slo.GuaranteeRatioPPM != 1_000_000 {
+		t.Errorf("/slo = %+v, want 1 hit, 1 admitted, ratio 1000000", slo)
+	}
+	if slo.SlackAdmission.Count != 1 || slo.SlackCompletion.Count != 1 {
+		t.Errorf("/slo slack digests = %+v / %+v, want one sample each",
+			slo.SlackAdmission, slo.SlackCompletion)
+	}
+
+	code, body, _ = get(t, base+"/trace/task?id=1")
+	if code != http.StatusOK {
+		t.Fatalf("/trace/task?id=1 status %d:\n%s", code, body)
+	}
+	var tt struct {
+		TaskTrace
+		Evicted int64 `json:"evicted"`
+	}
+	if err := json.Unmarshal([]byte(body), &tt); err != nil {
+		t.Fatalf("/trace/task not JSON: %v\n%s", err, body)
+	}
+	if tt.Task != 1 || tt.Terminal != TerminalCompleted || len(tt.Spans) < 3 {
+		t.Errorf("/trace/task = %+v, want completed task 1 with arrival+admit+exec spans", tt.TaskTrace)
+	}
+
+	if code, _, _ := get(t, base+"/trace/task"); code != http.StatusBadRequest {
+		t.Errorf("/trace/task without id: status %d, want 400", code)
+	}
+	if code, _, _ := get(t, base+"/trace/task?id=999"); code != http.StatusNotFound {
+		t.Errorf("/trace/task unknown id: status %d, want 404", code)
 	}
 
 	code, body, _ = get(t, base+"/debug/vars")

@@ -23,7 +23,23 @@ type Entry struct {
 	Dur     time.Duration   `json:"dur,omitempty"`
 	Hit     bool            `json:"hit,omitempty"`
 	Detail  string          `json:"detail,omitempty"`
+	// Shard tags the scheduler domain an entry came from in
+	// federation-merged exports (RouterShard = the router itself);
+	// single-cluster journals leave it zero.
+	Shard int `json:"shard,omitempty"`
+	// Slack is the task's remaining deadline slack at the entry's instant:
+	// admit records d_l − t_c at admission, exec records deadline − finish
+	// (negative on a scheduled miss).
+	Slack time.Duration `json:"slack,omitempty"`
+	// Deadline is the task's absolute deadline (arrival and admit entries),
+	// so lifecycle assembly can decompose slack without the workload file.
+	Deadline simtime.Instant `json:"deadline,omitempty"`
 }
+
+// RouterShard is the Entry.Shard value tagging router-side entries (route,
+// migrate, route-reject) in federation-merged journals, distinguishing them
+// from shard 0's own entries.
+const RouterShard = -1
 
 // DefaultJournalCap bounds the journal when no capacity is given: enough
 // for every event of a sizeable run, small enough to never matter.
@@ -125,6 +141,13 @@ func (j *Journal) WriteJSONL(w io.Writer) error {
 		return nil
 	}
 	entries, evicted := j.Export()
+	return WriteEntriesJSONL(w, entries, evicted)
+}
+
+// WriteEntriesJSONL writes entries as JSON Lines with a leading
+// journal-truncated meta line when evicted > 0 — the serialization shared
+// by single-journal and federation-merged exports.
+func WriteEntriesJSONL(w io.Writer, entries []Entry, evicted int64) error {
 	enc := json.NewEncoder(w)
 	if evicted > 0 {
 		meta := struct {

@@ -77,6 +77,31 @@ const (
 	MetricQuantumSize     = "rtsads_quantum_size_seconds"
 	MetricResponseTime    = "rtsads_response_time_seconds"
 	MetricWorkerUpPattern = "rtsads_worker_up{worker=%q}"
+
+	// SLO-plane metrics: deadline-slack distributions at the two ends of a
+	// task's life (admission: d_l − t_c when the gate accepts; completion:
+	// deadline − finish, clamped at zero for misses since the histogram is
+	// non-negative), the live guarantee ratio in parts-per-million (hits
+	// over locally-terminal admitted tasks — the paper's guarantee read as
+	// a running SLI), and the degraded-phase burn counter (phases planned
+	// by the fallback planner while degraded mode was active).
+	MetricSlackAdmission  = "rtsads_slack_admission_seconds"
+	MetricSlackCompletion = "rtsads_slack_completion_seconds"
+	MetricGuaranteeRatio  = "rtsads_slo_guarantee_ratio_ppm"
+	MetricDegradedPhases  = "rtsads_degraded_phases_total"
+
+	// Search-introspection metrics: the work-stealing driver's behaviour
+	// summed across phases. Expanded/duplicates mirror search.Stats;
+	// steals/frames/incumbent updates are timing-dependent (they vary run
+	// to run without affecting results) and frontier peak is the high-water
+	// mark of pending subtree frames across the run.
+	MetricSearchExpanded         = "rtsads_search_expanded_total"
+	MetricSearchDuplicates       = "rtsads_search_duplicates_total"
+	MetricSearchSteals           = "rtsads_search_steals_total"
+	MetricSearchFramesSpawned    = "rtsads_search_frames_spawned_total"
+	MetricSearchFramesSettled    = "rtsads_search_frames_settled_total"
+	MetricSearchFrontierPeak     = "rtsads_search_frontier_peak"
+	MetricSearchIncumbentUpdates = "rtsads_search_incumbent_updates_total"
 )
 
 // PhaseStats is the per-phase search behaviour the observer records — a
@@ -89,6 +114,24 @@ type PhaseStats struct {
 	Backtracks int
 	DeadEnd    bool
 	Expired    bool
+	// Degraded marks a phase planned by the fallback planner while the
+	// degraded-mode controller was active; it mirrors the increments of
+	// RunResult.DegradedPhases exactly (the degraded-mode gauge flips
+	// before this phase's PhaseEnd, so the gauge alone can't attribute the
+	// transition phase correctly).
+	Degraded bool
+
+	// Work-stealing introspection (search.Stats pass-through; zero on
+	// sequential planners). Steals through IncumbentUpdates are
+	// timing-dependent: they describe how the parallel driver behaved, not
+	// what it computed, so they sit outside the determinism contract.
+	Expanded         int // vertices expanded (successor generation ran)
+	Duplicates       int // duplicate subtrees pruned by state signature
+	Steals           int // frames stolen between workers
+	FramesSpawned    int // subtree frames pushed for parallel execution
+	FramesSettled    int // frames merged back in signature order
+	FrontierPeak     int // high-water mark of pending frames
+	IncumbentUpdates int // shared terminal-bound improvements (CAS wins)
 }
 
 // WorkerHealth is one worker's liveness as the host sees it.
@@ -113,10 +156,14 @@ type Observer struct {
 	rerouted, workerFailures, disruptions, stragglers      *Counter
 	heartbeatsSent, heartbeatsRecv, redials, redialsFailed *Counter
 	admitted, shed, bounced, overloads                     *Counter
-	degradations, recoveries                               *Counter
+	degradations, recoveries, degradedPhases               *Counter
+	searchExpanded, searchDuplicates, searchSteals         *Counter
+	framesSpawned, framesSettled, incumbentUpdates         *Counter
 	workersAlive, workersTotal, inflight, batchSize        *Gauge
-	degradedMode, batchSizeMax                             *Gauge
+	degradedMode, batchSizeMax, guaranteeRatio             *Gauge
+	frontierPeak                                           *Gauge
 	phaseDur, quantumSize, responseTime                    *Histogram
+	slackAdmission, slackCompletion                        *Histogram
 
 	mu         sync.Mutex
 	alive      []bool
@@ -162,16 +209,29 @@ func New(journalCap int) *Observer {
 		overloads:      reg.Counter(MetricOverloads),
 		degradations:   reg.Counter(MetricDegradations),
 		recoveries:     reg.Counter(MetricRecoveries),
-		workersAlive:   reg.Gauge(MetricWorkersAlive),
-		workersTotal:   reg.Gauge(MetricWorkersTotal),
-		inflight:       reg.Gauge(MetricInflight),
-		batchSize:      reg.Gauge(MetricBatchSize),
-		degradedMode:   reg.Gauge(MetricDegradedMode),
-		batchSizeMax:   reg.Gauge(MetricBatchSizeMax),
-		phaseDur:       reg.Histogram(MetricPhaseDuration),
-		quantumSize:    reg.Histogram(MetricQuantumSize),
-		responseTime:   reg.Histogram(MetricResponseTime),
-		shedReason:     make(map[string]*Counter),
+		degradedPhases: reg.Counter(MetricDegradedPhases),
+
+		searchExpanded:   reg.Counter(MetricSearchExpanded),
+		searchDuplicates: reg.Counter(MetricSearchDuplicates),
+		searchSteals:     reg.Counter(MetricSearchSteals),
+		framesSpawned:    reg.Counter(MetricSearchFramesSpawned),
+		framesSettled:    reg.Counter(MetricSearchFramesSettled),
+		incumbentUpdates: reg.Counter(MetricSearchIncumbentUpdates),
+
+		workersAlive:    reg.Gauge(MetricWorkersAlive),
+		workersTotal:    reg.Gauge(MetricWorkersTotal),
+		inflight:        reg.Gauge(MetricInflight),
+		batchSize:       reg.Gauge(MetricBatchSize),
+		degradedMode:    reg.Gauge(MetricDegradedMode),
+		batchSizeMax:    reg.Gauge(MetricBatchSizeMax),
+		guaranteeRatio:  reg.Gauge(MetricGuaranteeRatio),
+		frontierPeak:    reg.Gauge(MetricSearchFrontierPeak),
+		phaseDur:        reg.Histogram(MetricPhaseDuration),
+		quantumSize:     reg.Histogram(MetricQuantumSize),
+		responseTime:    reg.Histogram(MetricResponseTime),
+		slackAdmission:  reg.Histogram(MetricSlackAdmission),
+		slackCompletion: reg.Histogram(MetricSlackCompletion),
+		shedReason:      make(map[string]*Counter),
 	}
 	return o
 }
@@ -274,13 +334,15 @@ func (o *Observer) Health() []WorkerHealth {
 	return out
 }
 
-// Arrival records a task reaching the host.
-func (o *Observer) Arrival(id task.ID, at simtime.Instant) {
+// Arrival records a task reaching the host. deadline is the task's
+// absolute deadline, stamped on the entry so lifecycle assembly and slack
+// accounting work from the journal alone.
+func (o *Observer) Arrival(id task.ID, at, deadline simtime.Instant) {
 	if o == nil {
 		return
 	}
 	o.arrivals.Inc()
-	o.note(at, Entry{Type: "arrival", Task: int(id), Worker: -1})
+	o.note(at, Entry{Type: "arrival", Task: int(id), Worker: -1, Deadline: deadline})
 }
 
 // PhaseStart records the beginning of scheduling phase n.
@@ -309,21 +371,37 @@ func (o *Observer) PhaseEnd(phase int, at simtime.Instant, s PhaseStats) {
 	}
 	o.phaseDur.Observe(s.Used)
 	o.quantumSize.Observe(s.Quantum)
+	o.searchExpanded.Add(int64(s.Expanded))
+	o.searchDuplicates.Add(int64(s.Duplicates))
+	o.searchSteals.Add(int64(s.Steals))
+	o.framesSpawned.Add(int64(s.FramesSpawned))
+	o.framesSettled.Add(int64(s.FramesSettled))
+	o.incumbentUpdates.Add(int64(s.IncumbentUpdates))
+	o.frontierPeak.SetMax(int64(s.FrontierPeak))
+	if s.Degraded {
+		o.degradedPhases.Inc()
+	}
 	o.note(at, Entry{Type: "phase-end", Phase: phase, Worker: -1, Dur: s.Used})
 }
 
 // Deliver records one task's assignment reaching a worker's ready queue.
-func (o *Observer) Deliver(phase int, id task.ID, worker int, at simtime.Instant) {
+// comm is the communication cost the placement pays (the §4.3 se_lk term's
+// c_lk component — zero when the worker holds a replica), carried on the
+// entry so slack accounting can separate comms from execution.
+func (o *Observer) Deliver(phase int, id task.ID, worker int, comm time.Duration, at simtime.Instant) {
 	if o == nil {
 		return
 	}
 	o.deliveries.Inc()
-	o.note(at, Entry{Type: "deliver", Phase: phase, Task: int(id), Worker: worker})
+	o.note(at, Entry{Type: "deliver", Phase: phase, Task: int(id), Worker: worker, Dur: comm})
 }
 
 // Exec records a task's completed execution. response is finish - arrival;
-// hit mirrors exactly the RunResult Hits/ScheduledMissed decision.
-func (o *Observer) Exec(id task.ID, worker int, start, finish simtime.Instant, hit bool, response time.Duration) {
+// hit mirrors exactly the RunResult Hits/ScheduledMissed decision; slack is
+// deadline - finish (negative on a miss), observed into the
+// completion-slack histogram (clamped at zero there) and stamped on the
+// entry signed.
+func (o *Observer) Exec(id task.ID, worker int, start, finish simtime.Instant, hit bool, response, slack time.Duration) {
 	if o == nil {
 		return
 	}
@@ -333,7 +411,13 @@ func (o *Observer) Exec(id task.ID, worker int, start, finish simtime.Instant, h
 		o.missed.Inc()
 	}
 	o.responseTime.Observe(response)
-	o.note(start, Entry{Type: "exec", Task: int(id), Worker: worker, Dur: finish.Sub(start), Hit: hit})
+	if slack > 0 {
+		o.slackCompletion.Observe(slack)
+	} else {
+		o.slackCompletion.Observe(0)
+	}
+	o.note(start, Entry{Type: "exec", Task: int(id), Worker: worker, Dur: finish.Sub(start), Hit: hit, Slack: slack})
+	o.updateGuarantee()
 }
 
 // Purge records a task dropped at batch formation with its deadline missed.
@@ -343,6 +427,7 @@ func (o *Observer) Purge(id task.ID, at simtime.Instant) {
 	}
 	o.purged.Inc()
 	o.note(at, Entry{Type: "purge", Task: int(id), Worker: -1})
+	o.updateGuarantee()
 }
 
 // Lost records a task written off to a worker failure.
@@ -352,6 +437,7 @@ func (o *Observer) Lost(id task.ID, worker int, at simtime.Instant) {
 	}
 	o.lost.Inc()
 	o.note(at, Entry{Type: "lost", Task: int(id), Worker: worker})
+	o.updateGuarantee()
 }
 
 // Reroute records a task reclaimed from a failed or unresponsive worker
@@ -364,13 +450,67 @@ func (o *Observer) Reroute(id task.ID, fromWorker int, at simtime.Instant) {
 	o.note(at, Entry{Type: "reroute", Task: int(id), Worker: fromWorker})
 }
 
-// Admitted counts a task passing admission control into the ready queue
-// (counter only: the arrival entry already journals the task).
-func (o *Observer) Admitted(id task.ID) {
+// Admitted records a task passing admission control into the ready queue:
+// the counter mirrors RunResult.Admitted, the admission-slack histogram
+// observes slack = d_l − t_c (the headroom the gate accepted; clamped at
+// zero when admission is disabled and a hopeless task slips through), and
+// the journal gains the lifecycle's admit span.
+func (o *Observer) Admitted(id task.ID, slack time.Duration, at simtime.Instant) {
 	if o == nil {
 		return
 	}
 	o.admitted.Inc()
+	if slack > 0 {
+		o.slackAdmission.Observe(slack)
+	} else {
+		o.slackAdmission.Observe(0)
+	}
+	o.note(at, Entry{Type: "admit", Task: int(id), Worker: -1, Slack: slack, Deadline: at.Add(slack)})
+}
+
+// updateGuarantee recomputes the live guarantee-ratio gauge from the
+// resolved terminal counters: deadline hits over all tasks that reached a
+// local post-admission terminal state (hit, scheduled miss, purge, lost to
+// failure). Parts-per-million keeps six digits of resolution on an integer
+// gauge.
+func (o *Observer) updateGuarantee() {
+	hits := o.hits.Value()
+	done := hits + o.missed.Value() + o.purged.Value() + o.lost.Value()
+	if done == 0 {
+		return
+	}
+	o.guaranteeRatio.Set(hits * 1_000_000 / done)
+}
+
+// Route records the federation router placing a task on a shard. The
+// destination shard rides in the entry's Worker field (Entry.Shard stays
+// the source-journal tag in merged exports); detail names the policy and
+// any rejected siblings so the placement decision is reconstructible from
+// the journal alone.
+func (o *Observer) Route(id task.ID, shard int, detail string, at simtime.Instant) {
+	if o == nil {
+		return
+	}
+	o.note(at, Entry{Type: "route", Task: int(id), Worker: shard, Detail: detail})
+}
+
+// Migrate records a cross-shard migration after a shard-side rejection:
+// the router re-ran the §4.3 feasibility verdict against the sibling
+// shards and found shard feasible. detail carries the verdict terms.
+func (o *Observer) Migrate(id task.ID, shard int, detail string, at simtime.Instant) {
+	if o == nil {
+		return
+	}
+	o.note(at, Entry{Type: "migrate", Task: int(id), Worker: shard, Detail: detail})
+}
+
+// RouteReject records the router finding no feasible shard for a rejected
+// task — the flow falls back to a local shed on the rejecting shard.
+func (o *Observer) RouteReject(id task.ID, reason string, at simtime.Instant) {
+	if o == nil {
+		return
+	}
+	o.note(at, Entry{Type: "route-reject", Task: int(id), Worker: -1, Detail: reason})
 }
 
 // Shed records a task rejected or evicted by admission control. The total

@@ -13,11 +13,15 @@ import (
 func TestNilObserverSafe(t *testing.T) {
 	var o *Observer
 	o.SetWorkers(3)
-	o.Arrival(1, 0)
+	o.Arrival(1, 0, 5)
+	o.Admitted(1, 5, 0)
 	o.PhaseStart(0, 1, 0)
 	o.PhaseEnd(0, 1, PhaseStats{})
-	o.Deliver(0, 1, 0, 1)
-	o.Exec(1, 0, 1, 2, true, time.Millisecond)
+	o.Deliver(0, 1, 0, 0, 1)
+	o.Exec(1, 0, 1, 2, true, time.Millisecond, 0)
+	o.Route(1, 0, "", 0)
+	o.Migrate(1, 1, "", 0)
+	o.RouteReject(1, "", 0)
 	o.Purge(2, 1)
 	o.Lost(3, 0, 1)
 	o.Reroute(4, 0, 1)
@@ -32,6 +36,9 @@ func TestNilObserverSafe(t *testing.T) {
 	if o.Registry() != nil || o.Journal() != nil || o.TraceSink() != nil {
 		t.Error("nil observer exposes components")
 	}
+	if s := o.SLOSummary(); s != (SLOSummary{}) {
+		t.Errorf("nil observer SLO summary = %+v, want zero", s)
+	}
 	o.StartProgress(&strings.Builder{}, time.Second)() // no-op stop
 }
 
@@ -39,12 +46,14 @@ func TestObserverCountsAndJournal(t *testing.T) {
 	o := New(0)
 	sink := o.EnableTrace(0)
 	o.SetWorkers(2)
-	o.Arrival(1, 10)
+	o.Arrival(1, 10, 30)
 	o.PhaseStart(0, 1, 10)
-	o.PhaseEnd(0, 15, PhaseStats{Quantum: 5, Used: 4, Generated: 7, Backtracks: 2, DeadEnd: true, Expired: true})
-	o.Deliver(0, 1, 1, 15)
-	o.Exec(1, 1, 15, 20, true, 10)
-	o.Exec(2, 0, 15, 30, false, 25)
+	o.PhaseEnd(0, 15, PhaseStats{Quantum: 5, Used: 4, Generated: 7, Backtracks: 2, DeadEnd: true, Expired: true,
+		Degraded: true, Expanded: 6, Duplicates: 3, Steals: 2, FramesSpawned: 4, FramesSettled: 4,
+		FrontierPeak: 3, IncumbentUpdates: 1})
+	o.Deliver(0, 1, 1, 2, 15)
+	o.Exec(1, 1, 15, 20, true, 10, 10)
+	o.Exec(2, 0, 15, 30, false, 25, -5)
 	o.Purge(3, 20)
 	o.HeartbeatRecv(1, 21)
 	o.WorkerDown(1, false, "reconnected", 22)
@@ -57,26 +66,36 @@ func TestObserverCountsAndJournal(t *testing.T) {
 
 	snap := o.Registry().Snapshot()
 	want := map[string]int64{
-		MetricPhases:         1,
-		MetricVertices:       7,
-		MetricBacktracks:     2,
-		MetricDeadEnds:       1,
-		MetricQuantaExpired:  1,
-		MetricArrivals:       1,
-		MetricDeliveries:     1,
-		MetricHits:           1,
-		MetricMissed:         1,
-		MetricPurged:         1,
-		MetricLost:           1,
-		MetricRerouted:       1,
-		MetricWorkerFailures: 1,
-		MetricDisruptions:    1,
-		MetricStragglers:     1,
-		MetricHeartbeatsRecv: 1,
-		MetricRedials:        1,
-		MetricRedialFailures: 1,
-		MetricWorkersAlive:   1,
-		MetricWorkersTotal:   2,
+		MetricPhases:                 1,
+		MetricVertices:               7,
+		MetricBacktracks:             2,
+		MetricDeadEnds:               1,
+		MetricQuantaExpired:          1,
+		MetricArrivals:               1,
+		MetricDeliveries:             1,
+		MetricHits:                   1,
+		MetricMissed:                 1,
+		MetricPurged:                 1,
+		MetricLost:                   1,
+		MetricRerouted:               1,
+		MetricWorkerFailures:         1,
+		MetricDisruptions:            1,
+		MetricStragglers:             1,
+		MetricHeartbeatsRecv:         1,
+		MetricRedials:                1,
+		MetricRedialFailures:         1,
+		MetricWorkersAlive:           1,
+		MetricWorkersTotal:           2,
+		MetricSearchExpanded:         6,
+		MetricSearchDuplicates:       3,
+		MetricSearchSteals:           2,
+		MetricSearchFramesSpawned:    4,
+		MetricSearchFramesSettled:    4,
+		MetricSearchFrontierPeak:     3,
+		MetricSearchIncumbentUpdates: 1,
+		MetricDegradedPhases:         1,
+		// 1 hit over 4 terminals (hit, miss, purge, lost) = 250000 ppm.
+		MetricGuaranteeRatio: 250_000,
 	}
 	for name, v := range want {
 		if snap[name] != v {
@@ -112,13 +131,16 @@ func TestBridgeJournalToChromeTrace(t *testing.T) {
 	o.SetWorkers(2)
 	o.PhaseStart(0, 1, 0)
 	o.PhaseEnd(0, 5, PhaseStats{Used: 5})
-	o.Exec(1, 0, 5, 10, true, 10)
+	o.Exec(1, 0, 5, 10, true, 10, 3)
 	o.HeartbeatRecv(1, 6)
 	o.WorkerDown(1, true, "killed", 7)
 	o.Reroute(2, 1, 8)
-	o.Lost(3, 1, 9) // obs-only type: must be skipped by the bridge
+	o.Lost(3, 1, 9)               // federation kind: carried since the bridge learned it
+	o.Route(4, 1, "policy=x", 2)  // federation kind
+	o.Migrate(4, 0, "verdict", 3) // federation kind
+	o.Overloaded(0, 2, 5, 9)      // still no trace track: must be counted, not silently dropped
 
-	events := TraceEvents(o.Journal().Snapshot())
+	events, droppedN := TraceEvents(o.Journal().Snapshot())
 	kinds := map[trace.Kind]int{}
 	for _, e := range events {
 		kinds[e.Kind]++
@@ -126,10 +148,15 @@ func TestBridgeJournalToChromeTrace(t *testing.T) {
 	for k, n := range map[trace.Kind]int{
 		trace.PhaseStart: 1, trace.PhaseEnd: 1, trace.Exec: 1,
 		trace.Heartbeat: 1, trace.WorkerDown: 1, trace.Reroute: 1,
+		trace.Lost: 1, trace.Route: 1, trace.Migrate: 1,
 	} {
 		if kinds[k] != n {
 			t.Errorf("bridge produced %d %v events, want %d", kinds[k], k, n)
 		}
+	}
+	// run-start (from SetWorkers) and overload have no trace kind.
+	if droppedN != 2 {
+		t.Errorf("bridge dropped %d entries, want 2 (run-start, overload)", droppedN)
 	}
 
 	var b strings.Builder
@@ -140,7 +167,7 @@ func TestBridgeJournalToChromeTrace(t *testing.T) {
 	if err := json.Unmarshal([]byte(b.String()), &chrome); err != nil {
 		t.Fatalf("bridge output is not valid trace JSON: %v", err)
 	}
-	var sawReroute, sawDown, sawHeartbeat bool
+	var sawReroute, sawDown, sawHeartbeat, sawLost, sawRoute, sawDropMeta bool
 	for _, e := range chrome {
 		name, _ := e["name"].(string)
 		switch {
@@ -150,18 +177,27 @@ func TestBridgeJournalToChromeTrace(t *testing.T) {
 			sawDown = true
 		case name == "heartbeat":
 			sawHeartbeat = true
+		case strings.HasPrefix(name, "lost"):
+			sawLost = true
+		case strings.HasPrefix(name, "route"):
+			sawRoute = true
+		case name == "process_labels":
+			sawDropMeta = true
 		}
 	}
-	if !sawReroute || !sawDown || !sawHeartbeat {
-		t.Errorf("chrome trace missing live-run events (reroute=%v down=%v heartbeat=%v):\n%s",
-			sawReroute, sawDown, sawHeartbeat, b.String())
+	if !sawReroute || !sawDown || !sawHeartbeat || !sawLost || !sawRoute {
+		t.Errorf("chrome trace missing live-run events (reroute=%v down=%v heartbeat=%v lost=%v route=%v):\n%s",
+			sawReroute, sawDown, sawHeartbeat, sawLost, sawRoute, b.String())
+	}
+	if !sawDropMeta || !strings.Contains(b.String(), "without a trace track") {
+		t.Errorf("chrome trace does not report the dropped-entry count:\n%s", b.String())
 	}
 }
 
 func TestStartProgress(t *testing.T) {
 	o := New(0)
 	o.SetWorkers(2)
-	o.Exec(1, 0, 0, 5, true, 5)
+	o.Exec(1, 0, 0, 5, true, 5, 2)
 	var b syncBuilder
 	stop := o.StartProgress(&b, time.Millisecond)
 	time.Sleep(20 * time.Millisecond)

@@ -130,6 +130,40 @@ func (h *Histogram) Sum() time.Duration {
 	return time.Duration(h.sum.Load())
 }
 
+// Quantile estimates the q-quantile (0 < q <= 1) of the observed
+// distribution by linear interpolation inside the covering bucket — the
+// standard Prometheus histogram_quantile estimate, computed server-side
+// for the /slo summary. Returns 0 with no observations; an estimate from
+// the +Inf bucket is clamped to the largest finite bucket bound.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i := range histBuckets {
+		n := h.buckets[i].Load()
+		if float64(cum)+float64(n) >= rank && n > 0 {
+			lower := time.Duration(0)
+			if i > 0 {
+				lower = histBuckets[i-1]
+			}
+			upper := histBuckets[i]
+			frac := (rank - float64(cum)) / float64(n)
+			return lower + time.Duration(frac*float64(upper-lower))
+		}
+		cum += n
+	}
+	return histBuckets[len(histBuckets)-1]
+}
+
 // Registry is a named-metric store with Prometheus text exposition. Lookup
 // takes a lock; the returned metric handles are lock-free, so hot paths
 // resolve their metrics once and then only touch atomics. The zero value

@@ -182,6 +182,16 @@ func RunParallel(p *Problem, rep Representation, opt ParallelOptions) (*Result, 
 	} else {
 		res.Stats.Consumed = r.c
 	}
+	// Introspection counters (timing-dependent, outside the determinism
+	// contract): per-worker steal counts are summed only after wg.Wait(),
+	// the rest were tallied under mu or by atomics off the expand path.
+	for _, w := range r.workers {
+		res.Stats.Steals += w.steals
+	}
+	res.Stats.FramesSpawned = r.framesSpawned
+	res.Stats.FramesSettled = r.framesSettled
+	res.Stats.FrontierPeak = r.frontierPeak
+	res.Stats.IncumbentUpdates = int(r.cutUpdates.Load())
 	return res, nil
 }
 
@@ -203,6 +213,9 @@ type wsRun struct {
 	// iteration and abandon frames it excludes.
 	cut      atomic.Uint64
 	finished atomic.Bool
+	// cutUpdates counts successful incumbent-bound improvements (CAS wins
+	// in cutMin) — rare events, so an atomic costs nothing on the hot path.
+	cutUpdates atomic.Int64
 
 	wakeCh chan struct{}
 	doneCh chan struct{}
@@ -219,6 +232,12 @@ type wsRun struct {
 	allDead    bool
 	settleDone bool
 	closed     bool
+	// Introspection tallies, guarded by mu (register and settleFrame
+	// already hold it): frames made stealable, frames merged back, and the
+	// pending heap's high-water mark.
+	framesSpawned int
+	framesSettled int
+	frontierPeak  int
 	// grace records that the reference search's next move is a free walk
 	// onto the upcoming frame's start: the sequential engine's leaf, depth
 	// and best-vertex checks all precede its expiry check, so the
@@ -234,6 +253,10 @@ type wsRun struct {
 func (r *wsRun) register(f *frame) {
 	r.mu.Lock()
 	r.pending.Push(f)
+	r.framesSpawned++
+	if n := r.pending.Len(); n > r.frontierPeak {
+		r.frontierPeak = n
+	}
 	r.mu.Unlock()
 }
 
@@ -245,11 +268,16 @@ func (r *wsRun) wake() {
 	}
 }
 
-// cutMin lowers the incumbent terminal bound to s if it improves it.
+// cutMin lowers the incumbent terminal bound to s if it improves it,
+// counting each successful lowering.
 func (r *wsRun) cutMin(s frameSig) {
 	for {
 		cur := r.cut.Load()
-		if uint64(s) >= cur || r.cut.CompareAndSwap(cur, uint64(s)) {
+		if uint64(s) >= cur {
+			return
+		}
+		if r.cut.CompareAndSwap(cur, uint64(s)) {
+			r.cutUpdates.Add(1)
 			return
 		}
 	}
@@ -312,6 +340,7 @@ func (r *wsRun) excludeChildren(f *frame) {
 // settleFrame merges one completed frame into the result under the
 // reference budget. Called with mu held, in strict signature order.
 func (r *wsRun) settleFrame(f *frame) {
+	r.framesSettled++
 	grace := r.grace
 	r.grace = false
 	avail := durationMax // Clock mode: the wall clock already bounded everyone
@@ -424,6 +453,9 @@ type wsWorker struct {
 	deque wsDeque
 	st    *PathState
 	timer *time.Timer
+	// steals counts successful thefts; worker-private (no atomics), summed
+	// by RunParallel after every worker has exited.
+	steals int
 }
 
 func (w *wsWorker) loop() {
@@ -449,6 +481,7 @@ func (w *wsWorker) steal() (*frame, bool) {
 	n := len(w.run.workers)
 	for i := 1; i < n; i++ {
 		if f, ok := w.run.workers[(w.id+i)%n].deque.stealTop(); ok {
+			w.steals++
 			return f, true
 		}
 	}

@@ -437,6 +437,18 @@ type Stats struct {
 	// Consumed is the scheduling time actually used, <= Quantum (virtual
 	// mode) — the paper's "scheduling cost" metric.
 	Consumed time.Duration
+
+	// Work-stealing introspection (always 0 for the sequential engine).
+	// These describe how the parallel driver behaved, not what it computed:
+	// they depend on goroutine timing and vary run to run, so they are
+	// deliberately OUTSIDE the determinism contract — differential tests
+	// must not compare them. Counting happens off the expand hot path
+	// (steal loop, frame registration and settling under the run mutex).
+	Steals           int // frames stolen between workers
+	FramesSpawned    int // subtree frames pushed for parallel execution
+	FramesSettled    int // frames merged back in signature order
+	FrontierPeak     int // high-water mark of pending (unsettled) frames
+	IncumbentUpdates int // shared terminal-bound improvements (CAS wins)
 }
 
 // Result is the outcome of a search: the best feasible (partial) schedule

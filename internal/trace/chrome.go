@@ -34,10 +34,26 @@ const (
 // their worker's track, and arrivals/purges/heartbeats/failures/reroutes as
 // instant events on the track they concern.
 func (l *Log) WriteChromeTrace(w io.Writer) error {
-	events := make([]chromeEvent, 0, l.Len()+2)
+	return l.WriteChromeTraceMeta(w, 0)
+}
+
+// WriteChromeTraceMeta is WriteChromeTrace with bridge accounting: when
+// untraceable > 0 (journal entries whose type has no trace kind), the count
+// is emitted as process metadata so the viewer shows the truncation instead
+// of presenting a silently incomplete timeline.
+func (l *Log) WriteChromeTraceMeta(w io.Writer, untraceable int) error {
+	events := make([]chromeEvent, 0, l.Len()+3)
 	events = append(events,
 		metaThread(hostTID, "host (scheduler)"),
 	)
+	if untraceable > 0 {
+		events = append(events, chromeEvent{
+			Name:  "process_labels",
+			Phase: "M",
+			PID:   tracePID,
+			Args:  map[string]string{"labels": fmt.Sprintf("%d journal entries without a trace track omitted", untraceable)},
+		})
+	}
 	seenWorkers := map[int]bool{}
 	worker := func(proc int) int {
 		if !seenWorkers[proc] {
@@ -117,6 +133,62 @@ func (l *Log) WriteChromeTrace(w io.Writer) error {
 				Args: map[string]string{
 					"task": fmt.Sprintf("%d", e.Task),
 					"from": fmt.Sprintf("worker %d", e.Proc),
+				},
+			})
+		case Admit:
+			events = append(events, instant(fmt.Sprintf("admit task %d", e.Task), e, hostTID))
+		case Shed:
+			events = append(events, chromeEvent{
+				Name:     fmt.Sprintf("shed task %d", e.Task),
+				Phase:    "i",
+				Category: "overload",
+				TimeUS:   us(e.At),
+				PID:      tracePID,
+				TID:      hostTID,
+				Args: map[string]string{
+					"task":   fmt.Sprintf("%d", e.Task),
+					"reason": e.Detail,
+				},
+			})
+		case Bounce:
+			events = append(events, chromeEvent{
+				Name:     fmt.Sprintf("bounce task %d", e.Task),
+				Phase:    "i",
+				Category: "federation",
+				TimeUS:   us(e.At),
+				PID:      tracePID,
+				TID:      hostTID,
+				Args: map[string]string{
+					"task":   fmt.Sprintf("%d", e.Task),
+					"reason": e.Detail,
+				},
+			})
+		case Lost:
+			events = append(events, chromeEvent{
+				Name:     fmt.Sprintf("lost task %d", e.Task),
+				Phase:    "i",
+				Category: "failure",
+				TimeUS:   us(e.At),
+				PID:      tracePID,
+				TID:      worker(e.Proc),
+				Args:     map[string]string{"task": fmt.Sprintf("%d", e.Task)},
+			})
+		case Route, Migrate:
+			name := "route"
+			if e.Kind == Migrate {
+				name = "migrate"
+			}
+			events = append(events, chromeEvent{
+				Name:     fmt.Sprintf("%s task %d -> shard %d", name, e.Task, e.Proc),
+				Phase:    "i",
+				Category: "federation",
+				TimeUS:   us(e.At),
+				PID:      tracePID,
+				TID:      hostTID,
+				Args: map[string]string{
+					"task":   fmt.Sprintf("%d", e.Task),
+					"shard":  fmt.Sprintf("%d", e.Proc),
+					"detail": e.Detail,
 				},
 			})
 		case Deliver:

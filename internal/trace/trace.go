@@ -18,8 +18,10 @@ import (
 // Kind classifies an event.
 type Kind int
 
-// Event kinds, in rough lifecycle order. The last three only occur on live
-// runs: the deterministic machine has no transport to lose.
+// Event kinds, in rough lifecycle order. Heartbeat through Reroute only
+// occur on live runs (the deterministic machine has no transport to lose);
+// Admit through Lost are the overload-layer outcomes, and Route/Migrate are
+// router-side placement decisions that only occur on federated runs.
 const (
 	Arrival    Kind = iota + 1 // a task reached the host
 	PhaseStart                 // a scheduling phase began
@@ -30,6 +32,12 @@ const (
 	Heartbeat                  // a liveness heartbeat arrived from a worker
 	WorkerDown                 // a worker was detected failed or disrupted
 	Reroute                    // a reclaimed task was fed back for re-scheduling
+	Admit                      // the admission gate accepted a task into the batch
+	Shed                       // admission control dropped a task (terminal)
+	Bounce                     // a shard handed a rejected task back to the router
+	Lost                       // a task died with a failed worker past its deadline
+	Route                      // the router placed a task on a shard (first arrival)
+	Migrate                    // the router re-placed a bounced task on a sibling shard
 )
 
 // String returns the kind's name.
@@ -53,6 +61,18 @@ func (k Kind) String() string {
 		return "worker-down"
 	case Reroute:
 		return "reroute"
+	case Admit:
+		return "admit"
+	case Shed:
+		return "shed"
+	case Bounce:
+		return "bounce"
+	case Lost:
+		return "lost"
+	case Route:
+		return "route"
+	case Migrate:
+		return "migrate"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -62,7 +82,7 @@ func (k Kind) String() string {
 // String), returning 0 for names that are not trace kinds. The obs journal
 // uses it to bridge structured entries into this package's exporters.
 func KindFromString(s string) Kind {
-	for k := Arrival; k <= Reroute; k++ {
+	for k := Arrival; k <= Migrate; k++ {
 		if k.String() == s {
 			return k
 		}
@@ -77,7 +97,7 @@ type Event struct {
 	Kind   Kind
 	Phase  int           // scheduling phase number (PhaseStart/PhaseEnd/Deliver)
 	Task   task.ID       // task involved (Deliver/Exec/Purge/Arrival/Reroute)
-	Proc   int           // worker involved (Deliver/Exec/Heartbeat/WorkerDown/Reroute), else -1
+	Proc   int           // worker involved (Deliver/Exec/Heartbeat/WorkerDown/Reroute); Route/Migrate: destination shard; else -1
 	Dur    time.Duration // Exec: processing+communication time; PhaseEnd: consumed
 	Hit    bool          // Exec: whether the deadline was met
 	Detail string        // WorkerDown: failure description; free-form otherwise
@@ -178,6 +198,14 @@ func (l *Log) Render(w io.Writer, limit int) error {
 			fmt.Fprintf(&b, " worker=%d %s", e.Proc, e.Detail)
 		case Reroute:
 			fmt.Fprintf(&b, " task=%d from worker %d", e.Task, e.Proc)
+		case Admit:
+			fmt.Fprintf(&b, " task=%d", e.Task)
+		case Shed, Bounce:
+			fmt.Fprintf(&b, " task=%d reason=%s", e.Task, e.Detail)
+		case Lost:
+			fmt.Fprintf(&b, " task=%d on worker %d", e.Task, e.Proc)
+		case Route, Migrate:
+			fmt.Fprintf(&b, " task=%d -> shard %d %s", e.Task, e.Proc, e.Detail)
 		}
 		b.WriteString("\n")
 	}

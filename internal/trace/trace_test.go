@@ -227,12 +227,12 @@ func TestLiveKindStrings(t *testing.T) {
 }
 
 func TestKindFromString(t *testing.T) {
-	for k := Arrival; k <= Reroute; k++ {
+	for k := Arrival; k <= Migrate; k++ {
 		if got := KindFromString(k.String()); got != k {
 			t.Errorf("KindFromString(%q) = %v, want %v", k.String(), got, k)
 		}
 	}
-	for _, s := range []string{"", "lost", "run-start", "Kind(99)"} {
+	for _, s := range []string{"", "run-start", "overload", "Kind(99)"} {
 		if got := KindFromString(s); got != 0 {
 			t.Errorf("KindFromString(%q) = %v, want 0", s, got)
 		}

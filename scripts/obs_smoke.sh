@@ -19,7 +19,9 @@ trap 'kill "$RUN_PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
 fail() { echo "obs_smoke: FAIL: $*" >&2; exit 1; }
 
 metric() { # metric <name> — print the metric's current value, default 0
-    curl -sf "http://$ADDR/metrics" 2>/dev/null |
+    # The endpoint may not be bound yet on the first poll; under pipefail a
+    # refused connection must read as "0", not kill the script.
+    { curl -sf "http://$ADDR/metrics" 2>/dev/null || true; } |
         awk -v m="$1" '$1 == m { print $2; found=1 } END { if (!found) print 0 }'
 }
 

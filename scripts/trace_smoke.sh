@@ -1,0 +1,152 @@
+#!/usr/bin/env bash
+# Task-lifecycle trace smoke test: run a faulted 2-shard federation with
+# the debug endpoint on and exercise the tracing/SLO plane end to end:
+#
+#   - /slo mid-run: per-shard summaries plus the federation rollup, with
+#     the guarantee-ratio gauge and slack digests populated
+#   - /trace/task?id=N mid-run: one task's assembled span chain over the
+#     merged router + shard journals (and 400/404 on bad queries)
+#   - after the run reconciles, the merged journal it wrote (-journal)
+#     must satisfy span completeness: every admitted task reached exactly
+#     one terminal span (exec/purge/shed/lost) even though a worker was
+#     killed mid-run — the same invariant the chaos harness gates on
+#   - the task-per-track Chrome trace (-task-trace) must be valid JSON
+#     with one track per task flow
+#
+# Run from the repository root: ./scripts/trace_smoke.sh
+set -euo pipefail
+
+ADDR="127.0.0.1:8079"
+WORKDIR="$(mktemp -d)"
+OUT="$WORKDIR/stdout.log"
+JOURNAL="$WORKDIR/merged.jsonl"
+TASKTRACE="$WORKDIR/taskflow.trace.json"
+trap 'kill "$RUN_PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+
+fail() { echo "trace_smoke: FAIL: $*" >&2; exit 1; }
+
+echo "trace_smoke: building rtcluster"
+go build -o "$WORKDIR/rtcluster" ./cmd/rtcluster
+
+# Same shape as the federation smoke: two shards of two workers on a slow
+# clock, kill global worker 2 (shard 1's first worker) early, and cap the
+# ready queues so bounces exercise the route/migrate/route-reject spans.
+echo "trace_smoke: starting 2-shard faulted live run on $ADDR"
+"$WORKDIR/rtcluster" -workers 4 -shards 2 -txns 200 -scale 300 -sf 4 \
+    -placement affinity -faults "kill=2@1ms" \
+    -admission reject -queue-cap 24 \
+    -debug-addr "$ADDR" -journal "$JOURNAL" -task-trace "$TASKTRACE" \
+    >"$OUT" 2>&1 &
+RUN_PID=$!
+
+# Wait for the endpoint and for enough admitted work that the SLO plane
+# has something to summarise.
+deadline=$((SECONDS + 60))
+SLO="" admitted=0
+while [ "$SECONDS" -lt "$deadline" ]; do
+    if ! kill -0 "$RUN_PID" 2>/dev/null; then
+        cat "$OUT" >&2
+        fail "run exited before the SLO plane was observed mid-run"
+    fi
+    SLO=$(curl -sf "http://$ADDR/slo" 2>/dev/null || true)
+    admitted=$(echo "$SLO" | python3 -c '
+import json, sys
+try:
+    print(json.load(sys.stdin)["federation"]["admitted"])
+except Exception:
+    print(0)
+')
+    if [ "$admitted" -ge 10 ]; then
+        break
+    fi
+    sleep 0.2
+done
+[ "$admitted" -ge 10 ] || fail "/slo federation.admitted = $admitted mid-run, want >= 10"
+
+echo "$SLO" | python3 -c '
+import json, sys
+slo = json.load(sys.stdin)
+assert len(slo["shards"]) == 2, "want 2 per-shard SLO summaries, got %d" % len(slo["shards"])
+fed = slo["federation"]
+assert "guarantee_ratio_ppm" in fed, "federation rollup missing guarantee_ratio_ppm"
+assert fed["admitted"] == sum(s["admitted"] for s in slo["shards"]), "rollup admitted != sum of shards"
+assert fed["slack_admission"]["count"] >= fed["admitted"] > 0, "admission slack digest not populated"
+print("trace_smoke: /slo mid-run: admitted=%d ratio=%dppm" % (fed["admitted"], fed["guarantee_ratio_ppm"]))
+' || fail "/slo response malformed: $SLO"
+
+# Pick an admitted task off the live merged journal and ask for its span
+# chain; mid-run it may not have reached a terminal yet, which is fine.
+# (Buffer the journal to a file: quitting the pipe early would SIGPIPE
+# curl and trip pipefail.)
+curl -sf "http://$ADDR/journal" -o "$WORKDIR/live.jsonl" || fail "live /journal not served"
+TID=$(python3 -c '
+import json, sys
+for line in open(sys.argv[1]):
+    e = json.loads(line)
+    if e.get("type") == "admit":
+        print(e.get("task", 0))  # task 0 serialises with the field omitted
+        break
+' "$WORKDIR/live.jsonl")
+[ -n "$TID" ] || fail "no admit span in the live merged /journal"
+TRACE=$(curl -sf "http://$ADDR/trace/task?id=$TID") || fail "/trace/task?id=$TID not served"
+echo "$TRACE" | python3 -c '
+import json, sys
+tt = json.load(sys.stdin)
+assert tt["task"] == '"$TID"', "trace is for task %s, asked for '"$TID"'" % tt["task"]
+assert len(tt["spans"]) >= 1, "trace has no spans"
+types = [s["type"] for s in tt["spans"]]
+assert "admit" in types, "span chain missing the admit span: %s" % types
+print("trace_smoke: /trace/task?id='"$TID"': %d spans (%s), terminal=%r" % (len(types), ",".join(types), tt.get("terminal", "")))
+' || fail "/trace/task response malformed: $TRACE"
+
+curl -sf "http://$ADDR/trace/task" >/dev/null 2>&1 && fail "/trace/task without id should be an error"
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/trace/task?id=99999999")
+[ "$code" = "404" ] || fail "/trace/task with unknown id returned $code, want 404"
+
+echo "trace_smoke: waiting for the run to finish"
+wait "$RUN_PID" || { cat "$OUT" >&2; fail "run exited non-zero (federation accounting did not reconcile?)"; }
+cat "$OUT"
+
+grep -q 'routing: 200 routed' "$OUT" || fail "routing summary missing or wrong task count"
+grep -q "wrote $JOURNAL" "$OUT" || fail "merged journal was not written"
+grep -q "wrote $TASKTRACE" "$OUT" || fail "task-flow trace was not written"
+
+# Span completeness over the final merged journal: every task with an
+# admit span must have exactly one terminal, and no task more than one.
+# The gate is only sound when nothing was evicted, so a truncation meta
+# line is itself a failure.
+python3 - "$JOURNAL" "$TASKTRACE" <<'PY'
+import json, sys
+
+TERMINALS = {"exec", "purge", "shed", "lost"}
+LIFECYCLE = TERMINALS | {"arrival", "admit", "deliver", "reroute",
+                         "bounce", "route", "migrate", "route-reject"}
+admits, terminals, tasks = {}, {}, set()
+for line in open(sys.argv[1]):
+    e = json.loads(line)
+    t = e.get("type", "")
+    if t == "journal-truncated":
+        sys.exit("merged journal was truncated; span gate is not sound")
+    if t not in LIFECYCLE:
+        continue
+    tid = e.get("task", 0)  # task 0 serialises with the field omitted
+    tasks.add(tid)
+    if t == "admit":
+        admits[tid] = admits.get(tid, 0) + 1
+    if t in TERMINALS:
+        terminals[tid] = terminals.get(tid, 0) + 1
+
+bad = [tid for tid in sorted(tasks)
+       if (admits.get(tid, 0) > 0 and terminals.get(tid, 0) != 1)
+       or (admits.get(tid, 0) == 0 and terminals.get(tid, 0) > 1)]
+assert not bad, "span completeness violated for tasks %s" % bad[:10]
+assert admits, "journal has no admit spans at all"
+
+events = json.load(open(sys.argv[2]))
+tracks = [e for e in events if e.get("ph") == "M" and e.get("pid") == 2]
+assert tracks, "task-flow trace has no per-task tracks"
+print("trace_smoke: span completeness holds for %d tasks (%d admitted); task-flow trace has %d tracks"
+      % (len(tasks), len(admits), len(tracks)))
+PY
+
+echo "trace_smoke: PASS"
