@@ -50,6 +50,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -76,7 +77,9 @@ func run(args []string, out io.Writer) (retErr error) {
 	role := fs.String("role", "inproc", "inproc (all-in-one), host, or worker")
 	algo := fs.String("algo", "RT-SADS", "scheduler: RT-SADS, D-COLS, EDF-greedy, myopic")
 	workers := fs.Int("workers", 4, "working processors (inproc role)")
-	shards := fs.Int("shards", 1, "shard the workers into this many federated scheduler domains (inproc role; must divide -workers evenly)")
+	shardsFlag := fs.String("shards", "1", "shard the workers into this many federated scheduler domains (inproc role; must divide -workers evenly), or a comma-separated list of shard-server addresses (tcp://host:port) to drive shards running out of process via -shard-listen")
+	shardListen := fs.String("shard-listen", "", "serve one federation shard on this address over the wire protocol (the router connects with -shards tcp://...)")
+	batchCap := fs.Int("batch-cap", 0, "federation router: max due arrivals placed per batched routing decision (0 = unbounded)")
 	placement := fs.String("placement", "affinity", "federation routing policy: affinity, least-ce or hashed")
 	migrate := fs.Bool("migrate", true, "federation: re-offer admission-rejected tasks to feasible sibling shards")
 	txns := fs.Int("txns", 200, "transactions in the workload")
@@ -110,6 +113,55 @@ func run(args []string, out io.Writer) (retErr error) {
 	plan, err := faultinject.Parse(*faults)
 	if err != nil {
 		return err
+	}
+
+	// Shard-server mode: run one scheduler shard per session, configured
+	// entirely by the router's hello frame.
+	if *shardListen != "" {
+		lis, err := net.Listen("tcp", federation.StripScheme(*shardListen))
+		if err != nil {
+			return fmt.Errorf("listen: %w", err)
+		}
+		defer lis.Close()
+		fmt.Fprintf(out, "shard listening on %s\n", lis.Addr())
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return err
+			}
+			err = federation.ServeShard(conn, federation.ServeShardOptions{})
+			if err != nil {
+				fmt.Fprintf(out, "shard session failed: %v\n", err)
+			} else {
+				fmt.Fprintln(out, "shard session complete")
+			}
+			if !*serve {
+				return err
+			}
+		}
+	}
+
+	// -shards is either a count (in-process shards) or an address list
+	// (out-of-process shard servers).
+	shardCount, shardAddrs := 1, []string(nil)
+	if v := strings.TrimSpace(*shardsFlag); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			if n < 1 {
+				return fmt.Errorf("-shards %d must be positive", n)
+			}
+			shardCount = n
+		} else {
+			shardAddrs = splitAddrs(v)
+			if len(shardAddrs) == 0 {
+				return fmt.Errorf("-shards %q is neither a count nor an address list", v)
+			}
+			for _, a := range shardAddrs {
+				if !strings.HasPrefix(a, "tcp://") {
+					return fmt.Errorf("-shards entry %q is not a tcp://host:port address", a)
+				}
+			}
+			shardCount = len(shardAddrs)
+		}
 	}
 
 	switch *role {
@@ -178,16 +230,16 @@ func run(args []string, out io.Writer) (retErr error) {
 			return err
 		}
 
-		if *shards != 1 {
+		if shardCount != 1 || len(shardAddrs) > 0 {
 			if *role != "inproc" {
-				return fmt.Errorf("-shards %d requires -role inproc: the federation embeds its shards in-process", *shards)
+				return fmt.Errorf("-shards %s requires -role inproc: the federation drives its shards itself", *shardsFlag)
 			}
-			tp, err := federation.SplitWorkers(n, *shards)
+			tp, err := federation.SplitWorkers(n, shardCount)
 			if err != nil {
 				return err
 			}
 			if *traceOut != "" || *progress > 0 {
-				return fmt.Errorf("-trace and -progress attach to a single cluster; with -shards %d use -journal/-task-trace (federation-merged) or -debug-addr for the live per-shard view", *shards)
+				return fmt.Errorf("-trace and -progress attach to a single cluster; with -shards %s use -journal/-task-trace (federation-merged) or -debug-addr for the live per-shard view", *shardsFlag)
 			}
 			return runFederation(out, federation.Config{
 				Workload:    w,
@@ -204,6 +256,8 @@ func run(args []string, out io.Writer) (retErr error) {
 				StealDepth:  *stealDepth,
 				FrontierCap: *frontierCap,
 				DupCap:      *dupCap,
+				BatchCap:    *batchCap,
+				ShardAddrs:  shardAddrs,
 			}, *debugAddr, *journalOut, *taskTraceOut)
 		}
 

@@ -53,6 +53,44 @@ func (s Set) Has(p int) bool {
 // Count returns the number of processors in the set.
 func (s Set) Count() int { return bits.OnesCount64(uint64(s)) }
 
+// CountRange returns the number of processors in the set within
+// [base, base+n) — a single mask-and-popcount, the routing tier's per-shard
+// overlap signal evaluated once per task per shard.
+func (s Set) CountRange(base, n int) int {
+	return bits.OnesCount64(uint64(s.slice(base, n)))
+}
+
+// Range returns the set containing every processor in [base, base+n) — the
+// mask form of CountRange, for callers that evaluate many sets against the
+// same range and want the mask hoisted out of their loop.
+func Range(base, n int) Set {
+	return Set(^uint64(0)).slice(base, n)
+}
+
+// Rebase returns the processors of [base, base+n) renumbered to [0, n): the
+// bit-level form of a shard localization, so remapping an affinity set is a
+// shift and a mask rather than a per-processor loop.
+func (s Set) Rebase(base, n int) Set {
+	return s.slice(base, n) >> uint(base)
+}
+
+// slice masks the set down to the processors in [base, base+n).
+func (s Set) slice(base, n int) Set {
+	if base < 0 || n <= 0 || base >= MaxProcs {
+		return 0
+	}
+	if base+n > MaxProcs {
+		n = MaxProcs - base
+	}
+	var mask uint64
+	if n >= 64 {
+		mask = ^uint64(0)
+	} else {
+		mask = (1<<uint(n) - 1) << uint(base)
+	}
+	return s & Set(mask)
+}
+
 // Procs returns the processors in the set in ascending order.
 func (s Set) Procs() []int {
 	out := make([]int, 0, s.Count())

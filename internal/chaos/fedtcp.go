@@ -1,0 +1,240 @@
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"rtsads/internal/admission"
+	"rtsads/internal/db"
+	"rtsads/internal/federation"
+	"rtsads/internal/obs"
+	"rtsads/internal/rng"
+	"rtsads/internal/workload"
+)
+
+// FedTCPScenario is the wire-tier chaos case: a federation whose shards run
+// behind real TCP sessions, one of which is severed mid-run — the failure
+// signature of a shard process dying. The router must survive on its own
+// books: the dead shard's result is synthesized from what the router fed it
+// minus what it migrated away, and every accounting identity still holds.
+// Unlike FedScenario's virtual-time worker kills, the cut lands on the wall
+// clock, so which tasks die varies run to run — the invariants must not.
+type FedTCPScenario struct {
+	Seed     uint64
+	Topology federation.Topology
+	Tasks    int
+	SF       float64
+	Scale    float64
+
+	Placement  federation.Placement
+	Migrate    bool
+	Admission  admission.Config
+	SlackGuard time.Duration
+
+	// KillShard names the shard whose session is severed; -1 disables.
+	KillShard int
+	// KillAfter is the wall-clock delay from run start to the cut.
+	KillAfter time.Duration
+}
+
+// NewFedTCPScenario derives a sever-a-session scenario from its seed.
+func NewFedTCPScenario(seed uint64) FedTCPScenario {
+	src := rng.New(seed)
+	s := FedTCPScenario{
+		Seed: seed,
+		Topology: federation.Topology{
+			Shards:          2,
+			WorkersPerShard: src.IntRange(2, 3),
+		},
+		Tasks:      src.IntRange(96, 192),
+		SF:         3 + 3*src.Float64(),
+		Scale:      200, // same wall-jitter argument as NewScenario
+		Placement:  federation.Placement(src.Intn(3)),
+		Migrate:    src.Bool(0.75),
+		SlackGuard: 25 * time.Microsecond,
+		Admission: admission.Config{
+			Policy:         admission.Reject,
+			QueueCap:       src.IntRange(4, 12),
+			RejectHopeless: src.Bool(0.5),
+		},
+	}
+	s.KillShard = src.Intn(s.Topology.Shards)
+	s.KillAfter = time.Duration(src.IntRange(60, 300)) * time.Millisecond
+	return s
+}
+
+// FedTCPReport is the outcome of one wire-tier scenario.
+type FedTCPReport struct {
+	Scenario   FedTCPScenario
+	Result     *federation.Result
+	Violations []string
+	Journal    []obs.Entry
+	Evicted    int64
+}
+
+// Run executes the scenario over loopback TCP shard sessions and checks the
+// federation invariants. A non-nil error means the scenario could not run
+// at all; invariant failures land in Report.Violations.
+func (s FedTCPScenario) Run() (*FedTCPReport, error) {
+	p := workload.DefaultParams(s.Topology.TotalWorkers())
+	p.Seed = s.Seed | 1
+	p.NumTransactions = s.Tasks
+	p.SF = s.SF
+	p.DB = db.Config{SubDBs: 4, TuplesPerSub: 200, DomainSize: 10, KeyAttr: 0}
+	w, err := workload.Generate(p)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: fedtcp seed %d: %w", s.Seed, err)
+	}
+
+	// One loopback shard server per shard — the failure-model equivalent of
+	// rtcluster -shard-listen processes.
+	addrs := make([]string, s.Topology.Shards)
+	conns := make([]net.Conn, s.Topology.Shards)
+	var mu sync.Mutex
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("chaos: fedtcp seed %d: %w", s.Seed, err)
+		}
+		defer ln.Close()
+		addrs[i] = ln.Addr().String()
+		go func(i int, ln net.Listener) {
+			for {
+				c, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				mu.Lock()
+				conns[i] = c
+				mu.Unlock()
+				_ = federation.ServeShard(c, federation.ServeShardOptions{})
+			}
+		}(i, ln)
+	}
+
+	f, err := federation.New(federation.Config{
+		Workload:   w,
+		Topology:   s.Topology,
+		Placement:  s.Placement,
+		Migrate:    s.Migrate,
+		Scale:      s.Scale,
+		Admission:  s.Admission,
+		SlackGuard: s.SlackGuard,
+		ShardAddrs: addrs,
+		JournalCap: 4096,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: fedtcp seed %d: %w", s.Seed, err)
+	}
+	type outcome struct {
+		res *federation.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := f.Run()
+		done <- outcome{res, err}
+	}()
+	if s.KillShard >= 0 {
+		time.Sleep(s.KillAfter)
+		mu.Lock()
+		c := conns[s.KillShard]
+		mu.Unlock()
+		if c != nil {
+			c.Close()
+		}
+	}
+	out := <-done
+	if out.err != nil {
+		return nil, fmt.Errorf("chaos: fedtcp seed %d: %w", s.Seed, out.err)
+	}
+	rep := &FedTCPReport{Scenario: s, Result: out.res}
+	rep.Journal, rep.Evicted = f.MergedEntries()
+	rep.Violations = s.check(out.res, f, rep.Journal, rep.Evicted)
+	return rep, nil
+}
+
+// check evaluates the wire-tier invariants against one finished run.
+func (s FedTCPScenario) check(res *federation.Result, f *federation.Federation, journal []obs.Entry, evicted int64) []string {
+	var v []string
+	add := func(format string, args ...any) { v = append(v, fmt.Sprintf(format, args...)) }
+
+	if err := res.Reconcile(); err != nil {
+		add("%v", err)
+	}
+	// Over a real wire the reject verdict is a network round trip that
+	// stalls the shard's host loop — genuine wall-clock jitter the
+	// in-process tier never sees. The live tier's jitter tolerance applies
+	// (livecluster's own tests allow 10%); here 2% of the workload.
+	comb := res.Combined()
+	if limit := s.Tasks / 50; comb.ScheduledMissed > limit {
+		add("%d scheduled tasks missed their deadlines across the federation; wire-jitter budget is %d", comb.ScheduledMissed, limit)
+	}
+	if res.Routed != s.Tasks {
+		add("routed %d of %d tasks", res.Routed, s.Tasks)
+	}
+
+	// Surviving shards' wire counters mirror their results exactly (the
+	// final summary frame lands before the result frame). The killed
+	// shard's books are synthesized router-side, so its last summary may
+	// honestly trail — it is exempt.
+	for i, sr := range res.Shards {
+		if i == s.KillShard {
+			continue
+		}
+		snap := f.ShardCounters(i)
+		for name, want := range map[string]int{
+			obs.MetricHits:     sr.Hits,
+			obs.MetricPurged:   sr.Purged,
+			obs.MetricMissed:   sr.ScheduledMissed,
+			obs.MetricLost:     sr.LostToFailure,
+			obs.MetricShed:     sr.Shed,
+			obs.MetricAdmitted: sr.Admitted,
+			obs.MetricBounced:  sr.Bounced,
+		} {
+			if got := snap[name]; got != int64(want) {
+				add("shard %d wire counters %s = %d, run result says %d", i, name, got, want)
+			}
+		}
+	}
+
+	// The router's registry mirrors the federation counters.
+	snap := f.Registry().Snapshot()
+	for name, want := range map[string]int{
+		federation.MetricRouted:   res.Routed,
+		federation.MetricMigrated: res.Migrated,
+		federation.MetricBounced:  res.Bounced,
+		federation.MetricRejected: res.Rejected,
+	} {
+		if got := snap[name]; got != int64(want) {
+			add("federation registry %s = %d, run result says %d", name, got, want)
+		}
+	}
+
+	// Routing spans live in the router's own journal, so they reconcile
+	// even when the killed shard's journal went down with its session; and
+	// every admit span that did ship still pairs with exactly one terminal.
+	if evicted == 0 {
+		routes, migrates := 0, 0
+		for i := range journal {
+			switch journal[i].Type {
+			case "route":
+				routes++
+			case "migrate":
+				migrates++
+			}
+		}
+		if routes != res.Routed {
+			add("merged journal records %d route spans, router says %d", routes, res.Routed)
+		}
+		if migrates != res.Migrated {
+			add("merged journal records %d migrate spans, router says %d", migrates, res.Migrated)
+		}
+		for _, msg := range obs.SpanViolations(journal) {
+			add("span completeness: %s", msg)
+		}
+	}
+	return v
+}

@@ -1,0 +1,78 @@
+package chaos
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// runFedTCPScenario runs one seeded wire-tier scenario with a hang guard.
+func runFedTCPScenario(t *testing.T, seed uint64) *FedTCPReport {
+	t.Helper()
+	type outcome struct {
+		rep *FedTCPReport
+		err error
+	}
+	ch := make(chan outcome, 1)
+	s := NewFedTCPScenario(seed)
+	go func() {
+		rep, err := s.Run()
+		ch <- outcome{rep, err}
+	}()
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			t.Fatal(o.err)
+		}
+		return o.rep
+	case <-time.After(120 * time.Second):
+		t.Fatalf("fedtcp seed %d: scenario hung", seed)
+		return nil
+	}
+}
+
+func TestFedTCPScenarioDeterministic(t *testing.T) {
+	for seed := uint64(1); seed <= 50; seed++ {
+		a, b := NewFedTCPScenario(seed), NewFedTCPScenario(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: fedtcp scenario generation not deterministic:\n%+v\n%+v", seed, a, b)
+		}
+		if a.KillShard < 0 || a.KillShard >= a.Topology.Shards {
+			t.Errorf("seed %d: kill targets shard %d of %d", seed, a.KillShard, a.Topology.Shards)
+		}
+	}
+}
+
+// TestFedTCPChaosSmoke drives seeded sever-a-session scenarios through
+// out-of-process shards on loopback TCP and checks the wire-tier invariants
+// on each. Across the batch the session-death machinery must demonstrably
+// fire: at least one run must charge tasks to a dead shard.
+func TestFedTCPChaosSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wire-tier chaos runs on the wall clock")
+	}
+	var sessionDeaths, bounced, migrated, lost int
+	for seed := uint64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rep := runFedTCPScenario(t, seed)
+			for _, v := range rep.Violations {
+				t.Errorf("fedtcp seed %d: %s", seed, v)
+			}
+			res := rep.Result
+			dead := res.Shards[rep.Scenario.KillShard]
+			if dead.LostToFailure > 0 {
+				sessionDeaths++
+			}
+			bounced += res.Bounced
+			migrated += res.Migrated
+			lost += res.Combined().LostToFailure
+		})
+	}
+	if sessionDeaths == 0 {
+		t.Error("no scenario lost tasks to a severed session; the wire-death path went unexercised")
+	}
+	t.Logf("aggregate over 6 seeds: session deaths=%d bounced=%d migrated=%d lost=%d",
+		sessionDeaths, bounced, migrated, lost)
+}

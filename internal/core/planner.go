@@ -170,6 +170,11 @@ type searchPlanner struct {
 	cfg  SearchConfig
 	rep  search.Representation
 	name string
+	// drained and prob are per-instance scratch reused across phases; a
+	// planner serves exactly one host loop, so PlanPhase is deliberately
+	// not reentrant. search.Run does not retain the Problem past return.
+	drained []time.Duration
+	prob    search.Problem
 }
 
 // NewRTSADS returns the paper's algorithm: assignment-oriented search with
@@ -228,17 +233,21 @@ func (s *searchPlanner) PlanPhase(in PhaseInput) (PhaseResult, error) {
 	// Workers also drain during the phase-cost prefix; pre-discount it so
 	// the search's max(0, load - budget) equals max(0, Load_k(j-1) - Qs(j))
 	// exactly (clamps compose: max(0, max(0, l-c) - b) == max(0, l-c-b)).
-	drained := make([]time.Duration, len(in.Loads))
+	if s.drained == nil {
+		s.drained = make([]time.Duration, len(in.Loads))
+	}
+	drained := s.drained
 	for k, l := range in.Loads {
 		drained[k] = simtime.NonNeg(l - s.cfg.PhaseCost)
 	}
-	p := &search.Problem{
+	p := &s.prob
+	*p = search.Problem{
 		Now:           in.Now,
 		Quantum:       budget,
 		Tasks:         in.Batch,
 		Workers:       s.cfg.Workers,
 		BaseLoad:      drained,
-		Comm:          func(t *task.Task, proc int) time.Duration { return s.cfg.Comm(t, proc) },
+		Comm:          s.cfg.Comm,
 		VertexCost:    s.cfg.VertexCost,
 		Clock:         s.cfg.Clock,
 		Strategy:      s.cfg.Strategy,
@@ -266,12 +275,20 @@ func (s *searchPlanner) PlanPhase(in PhaseInput) (PhaseResult, error) {
 	}
 	stats := res.Stats
 	stats.Consumed = minDur(s.cfg.PhaseCost+res.Stats.Consumed, quantum)
-	return PhaseResult{
+	out := PhaseResult{
 		Quantum:  quantum,
 		Used:     stats.Consumed,
 		Schedule: res.Schedule(),
 		Stats:    stats,
-	}, nil
+	}
+	if s.cfg.Parallel == 0 {
+		// Sequential results are exclusively ours: recycle the result and its
+		// best path now that the schedule has been copied out. Parallel
+		// results stay with the GC — the work-stealing driver's frame
+		// timelines may hold extra references into the best path.
+		res.Release()
+	}
+	return out, nil
 }
 
 func minDur(a, b time.Duration) time.Duration {

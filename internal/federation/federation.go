@@ -161,14 +161,7 @@ func (tp Topology) String() string {
 // the reason a shard's communication cost is zero rather than the remote
 // constant C.
 func (tp Topology) Overlap(t *task.Task, shard int) int {
-	n := 0
-	base := shard * tp.WorkersPerShard
-	for k := 0; k < tp.WorkersPerShard; k++ {
-		if t.Affinity.Has(base + k) {
-			n++
-		}
-	}
-	return n
+	return t.Affinity.CountRange(shard*tp.WorkersPerShard, tp.WorkersPerShard)
 }
 
 // ShardView is one shard's state as the router sees it at a routing
@@ -275,16 +268,17 @@ func (p Placement) prefers(a, b ShardView) bool {
 // remote cost C). ID, deadline and costs are untouched, so accounting and
 // migration still speak about the same task.
 func Localize(t *task.Task, tp Topology, shard int) *task.Task {
-	lt := *t
-	var local affinity.Set
-	base := shard * tp.WorkersPerShard
-	for k := 0; k < tp.WorkersPerShard; k++ {
-		if t.Affinity.Has(base + k) {
-			local = local.Add(k)
-		}
-	}
-	lt.Affinity = local
-	return &lt
+	lt := new(task.Task)
+	LocalizeInto(lt, t, tp, shard)
+	return lt
+}
+
+// LocalizeInto is Localize writing into caller-provided storage — the
+// allocation-free form the batched submit path uses with arena-backed task
+// slots.
+func LocalizeInto(dst *task.Task, t *task.Task, tp Topology, shard int) {
+	*dst = *t
+	dst.Affinity = t.Affinity.Rebase(shard*tp.WorkersPerShard, tp.WorkersPerShard)
 }
 
 // ShardWorkload projects the global workload onto one shard: the worker
@@ -299,13 +293,7 @@ func ShardWorkload(w *workload.Workload, tp Topology, shard int) *workload.Workl
 	placement := make([]affinity.Set, len(w.Placement))
 	base := shard * tp.WorkersPerShard
 	for sub, set := range w.Placement {
-		var local affinity.Set
-		for k := 0; k < tp.WorkersPerShard; k++ {
-			if set.Has(base + k) {
-				local = local.Add(k)
-			}
-		}
-		placement[sub] = local
+		placement[sub] = set.Rebase(base, tp.WorkersPerShard)
 	}
 	return &workload.Workload{
 		Params:    p,

@@ -1,0 +1,197 @@
+package federation
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"rtsads/internal/admission"
+	"rtsads/internal/obs"
+	"rtsads/internal/workload"
+)
+
+// shardFarm runs loopback shard servers — the test-local stand-in for N
+// `rtcluster -shard-listen` processes. Kill severs a shard's live session
+// at the TCP layer, which is indistinguishable from the process dying as
+// far as the router is concerned.
+type shardFarm struct {
+	addrs []string
+
+	mu    sync.Mutex
+	conns []net.Conn // latest accepted connection per shard
+	wg    sync.WaitGroup
+}
+
+func newShardFarm(t *testing.T, n int) *shardFarm {
+	t.Helper()
+	farm := &shardFarm{addrs: make([]string, n), conns: make([]net.Conn, n)}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen shard %d: %v", i, err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		farm.addrs[i] = ln.Addr().String()
+		farm.wg.Add(1)
+		go func(i int) {
+			defer farm.wg.Done()
+			for {
+				c, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				farm.mu.Lock()
+				farm.conns[i] = c
+				farm.mu.Unlock()
+				// Sessions are sequential per listener: the router holds one
+				// connection per shard for a whole run.
+				_ = ServeShard(c, ServeShardOptions{})
+			}
+		}(i)
+	}
+	return farm
+}
+
+// kill severs shard i's current session mid-run.
+func (farm *shardFarm) kill(i int) {
+	farm.mu.Lock()
+	c := farm.conns[i]
+	farm.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
+// TestFederationLiveTCPTwoShards is the out-of-process differential of
+// TestFederationLiveTwoShards: the same workload routed to two shard
+// servers over the wire protocol must settle every task, reconcile the
+// federation books, and keep the merged lifecycle journal span-complete.
+func TestFederationLiveTCPTwoShards(t *testing.T) {
+	p := workload.DefaultParams(4)
+	p.NumTransactions = 48
+	w, err := workload.Generate(p)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	farm := newShardFarm(t, 2)
+	f, err := New(Config{
+		Workload:   w,
+		Topology:   Topology{Shards: 2, WorkersPerShard: 2},
+		Placement:  AffinityFirst,
+		Migrate:    true,
+		Scale:      200,
+		Admission:  admission.Config{Policy: admission.Reject, QueueCap: 8},
+		SlackGuard: 25 * time.Microsecond,
+		ShardAddrs: farm.addrs,
+		JournalCap: 4096,
+	})
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	res, err := f.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := res.Reconcile(); err != nil {
+		t.Fatalf("reconcile: %v", err)
+	}
+	if res.Routed != len(w.Tasks) {
+		t.Errorf("routed %d of %d tasks", res.Routed, len(w.Tasks))
+	}
+	if got := res.Combined().ScheduledMissed; got != 0 {
+		t.Errorf("%d scheduled tasks missed their deadlines over TCP; want 0", got)
+	}
+	// Remote shard counters arrive via Summary frames; the final frame
+	// lands before the result, so the mirror must be exact.
+	for i, s := range res.Shards {
+		snap := f.ShardCounters(i)
+		for name, want := range map[string]int{
+			obs.MetricHits:     s.Hits,
+			obs.MetricPurged:   s.Purged,
+			obs.MetricMissed:   s.ScheduledMissed,
+			obs.MetricLost:     s.LostToFailure,
+			obs.MetricShed:     s.Shed,
+			obs.MetricAdmitted: s.Admitted,
+			obs.MetricBounced:  s.Bounced,
+		} {
+			if got := snap[name]; got != int64(want) {
+				t.Errorf("shard %d wire counters %s = %d, result says %d", i, name, got, want)
+			}
+		}
+	}
+	// The shipped journals merge with the router's into a span-complete
+	// lifecycle stream, exactly as in process.
+	entries, evicted := f.MergedEntries()
+	if evicted != 0 {
+		t.Fatalf("journal evicted %d entries under cap 4096", evicted)
+	}
+	routes := 0
+	for i := range entries {
+		if entries[i].Type == "route" {
+			routes++
+		}
+	}
+	if routes != res.Routed {
+		t.Errorf("merged journal records %d route spans, router says %d", routes, res.Routed)
+	}
+	for _, msg := range obs.SpanViolations(entries) {
+		t.Errorf("span completeness: %s", msg)
+	}
+	t.Logf("live TCP 2-shard: %s", res.Combined())
+}
+
+// TestFederationLiveTCPShardKill severs one shard's connection mid-run and
+// demands the run still complete with balanced books: the dead shard's
+// synthesized result charges everything it was fed to LostToFailure minus
+// what the router migrated away, and Reconcile's identities hold exactly.
+func TestFederationLiveTCPShardKill(t *testing.T) {
+	p := workload.DefaultParams(4)
+	p.NumTransactions = 160
+	w, err := workload.Generate(p)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	farm := newShardFarm(t, 2)
+	f, err := New(Config{
+		Workload:   w,
+		Topology:   Topology{Shards: 2, WorkersPerShard: 2},
+		Placement:  AffinityFirst,
+		Migrate:    true,
+		Scale:      50,
+		Admission:  admission.Config{Policy: admission.Reject, QueueCap: 8},
+		SlackGuard: 25 * time.Microsecond,
+		ShardAddrs: farm.addrs,
+	})
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	type outcome struct {
+		res *Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := f.Run()
+		done <- outcome{res, err}
+	}()
+	time.Sleep(100 * time.Millisecond)
+	farm.kill(1)
+	out := <-done
+	if out.err != nil {
+		t.Fatalf("run with killed shard: %v", out.err)
+	}
+	res := out.res
+	if err := res.Reconcile(); err != nil {
+		t.Fatalf("reconcile after kill: %v", err)
+	}
+	if res.Routed != len(w.Tasks) {
+		t.Errorf("routed %d of %d tasks", res.Routed, len(w.Tasks))
+	}
+	dead := res.Shards[1]
+	if dead.LostToFailure == 0 {
+		t.Logf("note: shard 1 settled everything before the kill landed (lost=0); books still balance")
+	}
+	t.Logf("killed shard books: total=%d lost=%d hits=%d bounced=%d; federation %s",
+		dead.Total, dead.LostToFailure, dead.Hits, dead.Bounced, res.Combined())
+}

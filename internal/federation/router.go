@@ -53,6 +53,81 @@ type Config struct {
 	// terminal bucket after the last submission (default 2 minutes); on
 	// expiry the run is sealed anyway and Reconcile reports the imbalance.
 	SettleTimeout time.Duration
+
+	// BatchCap bounds how many due arrivals the router places per batched
+	// routing decision (one view snapshot per batch). Zero means
+	// unbounded: everything due at an instant routes against one snapshot.
+	BatchCap int
+	// ShardAddrs, when non-empty, runs every shard out of process: the
+	// router dials one shard server (rtcluster -shard-listen) per address
+	// and drives it over the federation wire protocol instead of building
+	// in-process clusters. Length must equal Topology.Shards. Fault plans
+	// inject into in-process shards only; with ShardAddrs, kill the shard
+	// process itself (the chaos suite does exactly that).
+	ShardAddrs []string
+}
+
+// shardHandle is one scheduler shard as the router sees it: in-process
+// (localShard) or a remote process behind the wire protocol (remoteShard).
+type shardHandle interface {
+	// SubmitBatch hands the shard a localized batch in order.
+	SubmitBatch(ts []*task.Task) error
+	// LoadSummary is the shard's latest load snapshot.
+	LoadSummary() livecluster.Summary
+	// Counters is the shard's latest registry snapshot (rtsads_* families).
+	Counters() map[string]int64
+	// SettledTasks counts the shard's tasks whose fate is decided. For a
+	// dead remote shard every routed task counts: they are lost, which is
+	// a settled fate.
+	SettledTasks() int64
+	// Seal closes the shard's feed.
+	Seal()
+	// Wait blocks until the shard's run completes and returns its result.
+	Wait() (*metrics.RunResult, error)
+	// Journal exports the shard's journal entries and eviction count.
+	Journal() ([]obs.Entry, int64)
+}
+
+// localShard wraps an in-process cluster and its observer.
+type localShard struct {
+	cl   *livecluster.Cluster
+	o    *obs.Observer
+	res  *metrics.RunResult
+	err  error
+	done chan struct{}
+}
+
+// start launches the cluster's run; failed receives the shard index on a
+// run error so the router can abort its pump.
+func (s *localShard) start(i int, failed chan<- int) {
+	go func() {
+		s.res, s.err = s.cl.Run()
+		if s.err != nil {
+			failed <- i
+		}
+		close(s.done)
+	}()
+}
+
+func (s *localShard) SubmitBatch(ts []*task.Task) error { return s.cl.SubmitBatch(ts) }
+func (s *localShard) LoadSummary() livecluster.Summary  { return s.cl.LoadSummary() }
+func (s *localShard) Counters() map[string]int64        { return s.o.Registry().Snapshot() }
+func (s *localShard) Seal()                             { s.cl.Seal() }
+func (s *localShard) Journal() ([]obs.Entry, int64)     { return s.o.Journal().Export() }
+func (s *localShard) Wait() (*metrics.RunResult, error) {
+	<-s.done
+	return s.res, s.err
+}
+
+func (s *localShard) SettledTasks() int64 {
+	return settledFromCounters(s.Counters())
+}
+
+// settledFromCounters sums the non-bounce terminal counters of one shard
+// registry snapshot.
+func settledFromCounters(snap map[string]int64) int64 {
+	return snap[obs.MetricHits] + snap[obs.MetricPurged] + snap[obs.MetricMissed] +
+		snap[obs.MetricLost] + snap[obs.MetricShed]
 }
 
 // Federation runs N live scheduler shards behind one router. Build with
@@ -76,8 +151,9 @@ type Federation struct {
 	rejected *obs.Counter
 	routedBy []*obs.Counter
 
-	clock  *livecluster.Clock
-	shards []*livecluster.Cluster
+	clock   *livecluster.Clock
+	shards  []*livecluster.Cluster
+	handles []shardHandle
 
 	// mu serialises routing decisions (first placements and migrations)
 	// so the Submitted tie-break and the tried sets stay consistent. Lock
@@ -86,12 +162,22 @@ type Federation struct {
 	mu        sync.Mutex
 	submitted []int
 	perShard  []int
+	// bounces counts each shard's accepted bounces (rejects the router
+	// re-placed) — the router-side ground truth a dead remote shard's
+	// synthesized books use in place of its stale last counter snapshot.
+	bounces   []int
 	tried     map[task.ID]map[int]bool
 	orig      map[task.ID]*task.Task
 	routedN   int
 	migratedN int
 	bouncedN  int
 	rejectedN int
+
+	// stage and viewBuf are the batched pump's reusable scratch: one
+	// staging slice per destination shard and one view snapshot, refilled
+	// per routing batch under mu.
+	stage   [][]*task.Task
+	viewBuf []ShardView
 }
 
 // New validates the configuration and builds the federation: per-shard
@@ -121,6 +207,17 @@ func New(cfg Config) (*Federation, error) {
 	if cfg.SettleTimeout <= 0 {
 		cfg.SettleTimeout = 2 * time.Minute
 	}
+	if cfg.BatchCap < 0 {
+		return nil, fmt.Errorf("federation: BatchCap %d must be non-negative", cfg.BatchCap)
+	}
+	if n := len(cfg.ShardAddrs); n > 0 {
+		if n != cfg.Topology.Shards {
+			return nil, fmt.Errorf("federation: %d shard addresses for %d shards", n, cfg.Topology.Shards)
+		}
+		if cfg.Faults != nil && !cfg.Faults.Empty() {
+			return nil, fmt.Errorf("federation: fault plans inject into in-process shards; with ShardAddrs kill the shard process instead")
+		}
+	}
 	faults, err := SplitFaults(cfg.Faults, cfg.Topology)
 	if err != nil {
 		return nil, err
@@ -132,6 +229,7 @@ func New(cfg Config) (*Federation, error) {
 		reg:       obs.NewRegistry(),
 		submitted: make([]int, cfg.Topology.Shards),
 		perShard:  make([]int, cfg.Topology.Shards),
+		bounces:   make([]int, cfg.Topology.Shards),
 		tried:     make(map[task.ID]map[int]bool),
 		orig:      make(map[task.ID]*task.Task, len(cfg.Workload.Tasks)),
 		journal:   obs.NewJournal(cfg.JournalCap),
@@ -163,10 +261,12 @@ func (f *Federation) Registry() *obs.Registry { return f.reg }
 // standard rtsads_* families, exposed with a shard label by the handler).
 func (f *Federation) ShardObserver(i int) *obs.Observer { return f.obsShards[i] }
 
-// Run executes the workload across the shards: it builds one cluster per
-// shard on a shared virtual clock, replays the global arrival sequence
-// through the router, waits until every task has reached a terminal
-// bucket, then seals the shards and collects their results.
+// Run executes the workload across the shards: it builds one handle per
+// shard on a shared virtual clock (in-process clusters, or wire sessions
+// to remote shard processes when ShardAddrs is set), replays the global
+// arrival sequence through the router in batched routing decisions, waits
+// until every task has reached a terminal bucket, then seals the shards
+// and collects their results.
 func (f *Federation) Run() (*Result, error) {
 	clock, err := livecluster.NewClock(f.cfg.Scale)
 	if err != nil {
@@ -174,71 +274,72 @@ func (f *Federation) Run() (*Result, error) {
 	}
 	f.clock = clock
 
-	f.shards = make([]*livecluster.Cluster, f.tp.Shards)
-	for i := range f.shards {
-		i := i
-		cl, err := livecluster.New(livecluster.Config{
-			Workload:  ShardWorkload(f.cfg.Workload, f.tp, i),
-			Algorithm: f.cfg.Algorithm,
-			Scale:     f.cfg.Scale,
-			Clock:     clock,
-			External:  true,
-			OnReject: func(t *task.Task, reason admission.Reason, now simtime.Instant) bool {
-				return f.onReject(i, t, reason, now)
-			},
-			Obs:          f.obsShards[i],
-			Faults:       f.faults[i],
-			Liveness:     f.cfg.Liveness,
-			Admission:    f.cfg.Admission,
-			Backpressure: f.cfg.Backpressure,
-			SlackGuard:   f.cfg.SlackGuard,
-			Degrade:      f.cfg.Degrade,
-			Parallel:     f.cfg.Parallel,
-			StealDepth:   f.cfg.StealDepth,
-			FrontierCap:  f.cfg.FrontierCap,
-			DupCap:       f.cfg.DupCap,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("federation: shard %d: %w", i, err)
-		}
-		f.shards[i] = cl
-	}
-
-	results := make([]*metrics.RunResult, f.tp.Shards)
-	errs := make([]error, f.tp.Shards)
+	handles := make([]shardHandle, f.tp.Shards)
+	f.stage = make([][]*task.Task, f.tp.Shards)
 	failed := make(chan int, f.tp.Shards)
-	var wg sync.WaitGroup
-	for i, cl := range f.shards {
-		wg.Add(1)
-		go func(i int, cl *livecluster.Cluster) {
-			defer wg.Done()
-			res, err := cl.Run()
-			results[i], errs[i] = res, err
+	if len(f.cfg.ShardAddrs) > 0 {
+		for i, addr := range f.cfg.ShardAddrs {
+			rs, err := f.dialShard(i, addr)
 			if err != nil {
-				failed <- i
+				for _, h := range handles {
+					if h != nil {
+						h.Seal()
+					}
+				}
+				return nil, fmt.Errorf("federation: shard %d at %s: %w", i, addr, err)
 			}
-		}(i, cl)
+			handles[i] = rs
+		}
+	} else {
+		f.shards = make([]*livecluster.Cluster, f.tp.Shards)
+		for i := range handles {
+			i := i
+			cl, err := livecluster.New(livecluster.Config{
+				Workload:  ShardWorkload(f.cfg.Workload, f.tp, i),
+				Algorithm: f.cfg.Algorithm,
+				Scale:     f.cfg.Scale,
+				Clock:     clock,
+				External:  true,
+				OnReject: func(t *task.Task, reason admission.Reason, now simtime.Instant) bool {
+					return f.onReject(i, t.ID, reason, now)
+				},
+				Obs:          f.obsShards[i],
+				Faults:       f.faults[i],
+				Liveness:     f.cfg.Liveness,
+				Admission:    f.cfg.Admission,
+				Backpressure: f.cfg.Backpressure,
+				SlackGuard:   f.cfg.SlackGuard,
+				Degrade:      f.cfg.Degrade,
+				Parallel:     f.cfg.Parallel,
+				StealDepth:   f.cfg.StealDepth,
+				FrontierCap:  f.cfg.FrontierCap,
+				DupCap:       f.cfg.DupCap,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("federation: shard %d: %w", i, err)
+			}
+			f.shards[i] = cl
+		}
+		for i, cl := range f.shards {
+			ls := &localShard{cl: cl, o: f.obsShards[i], done: make(chan struct{})}
+			ls.start(i, failed)
+			handles[i] = ls
+		}
 	}
+	f.mu.Lock()
+	f.handles = handles
+	f.mu.Unlock()
 
 	// Pump the global arrival sequence through the router in real
-	// (scaled) time.
-	pumpErr := func() error {
-		for _, t := range f.cfg.Workload.Tasks {
-			select {
-			case i := <-failed:
-				return fmt.Errorf("federation: shard %d failed mid-run: %w", i, errs[i])
-			default:
-			}
-			clock.SleepUntil(t.Arrival)
-			f.routeArrival(t)
-		}
-		return nil
-	}()
+	// (scaled) time, routing every batch of due arrivals against one view
+	// snapshot.
+	pumpErr := f.pump(failed)
 
 	// Wait until every distinct task has reached a non-bounce terminal
 	// bucket somewhere — hit, purged, scheduled-missed, lost or shed. A
 	// task mid-migration is in no terminal bucket, so sealing here cannot
-	// race a bounce.
+	// race a bounce. (A dead remote shard counts everything routed to it
+	// as settled: lost with the shard.)
 	if pumpErr == nil {
 		deadline := time.Now().Add(f.cfg.SettleTimeout)
 		total := int64(len(f.cfg.Workload.Tasks))
@@ -246,7 +347,7 @@ func (f *Federation) Run() (*Result, error) {
 		for f.settled() < total {
 			select {
 			case i := <-failed:
-				pumpErr = fmt.Errorf("federation: shard %d failed mid-run: %w", i, errs[i])
+				pumpErr = fmt.Errorf("federation: shard %d failed mid-run", i)
 				break settle
 			default:
 			}
@@ -257,17 +358,23 @@ func (f *Federation) Run() (*Result, error) {
 		}
 	}
 
-	for _, cl := range f.shards {
-		cl.Seal()
+	for _, h := range f.handles {
+		h.Seal()
 	}
-	wg.Wait()
+	results := make([]*metrics.RunResult, f.tp.Shards)
+	var errs []error
+	for i, h := range f.handles {
+		res, err := h.Wait()
+		results[i] = res
+		if err != nil {
+			errs = append(errs, fmt.Errorf("federation: shard %d: %w", i, err))
+		}
+	}
 	if pumpErr != nil {
 		return nil, pumpErr
 	}
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("federation: shard %d: %w", i, err)
-		}
+	if len(errs) > 0 {
+		return nil, errs[0]
 	}
 
 	f.mu.Lock()
@@ -285,48 +392,106 @@ func (f *Federation) Run() (*Result, error) {
 	return res, nil
 }
 
-// settled sums the non-bounce terminal counters across all shard
-// registries — the number of distinct tasks whose fate is decided.
+// pump replays the workload's arrival sequence: it sleeps until the next
+// arrival, gathers every task due at the router's clock (bounded by
+// BatchCap per routing decision), and routes the batch against a single
+// view snapshot — one locked placement pass and one SubmitBatch per
+// destination shard, instead of a lock/snapshot/submit cycle per task.
+func (f *Federation) pump(failed <-chan int) error {
+	tasks := f.cfg.Workload.Tasks
+	for i := 0; i < len(tasks); {
+		select {
+		case s := <-failed:
+			return fmt.Errorf("federation: shard %d failed mid-run", s)
+		default:
+		}
+		f.clock.SleepUntil(tasks[i].Arrival)
+		now := f.clock.Now()
+		j := i + 1
+		for j < len(tasks) && !tasks[j].Arrival.After(now) {
+			j++
+		}
+		for i < j {
+			n := j - i
+			if f.cfg.BatchCap > 0 && n > f.cfg.BatchCap {
+				n = f.cfg.BatchCap
+			}
+			f.routeBatch(tasks[i:i+n], now)
+			i += n
+		}
+	}
+	return nil
+}
+
+// settled sums each shard's settled-task count — the number of distinct
+// tasks whose fate is decided.
 func (f *Federation) settled() int64 {
 	var sum int64
-	for _, o := range f.obsShards {
-		snap := o.Registry().Snapshot()
-		sum += snap[obs.MetricHits] + snap[obs.MetricPurged] + snap[obs.MetricMissed] +
-			snap[obs.MetricLost] + snap[obs.MetricShed]
+	for _, h := range f.handles {
+		sum += h.SettledTasks()
 	}
 	return sum
 }
 
-// routeArrival places one task on its first shard. When every shard is
-// dead the task still goes to shard 0, whose host loop will bounce it
-// (declined — nowhere to go) and count it lost, keeping the books honest.
-func (f *Federation) routeArrival(t *task.Task) {
-	now := f.clock.Now()
+// routeBatch places a batch of due arrivals: one view snapshot, one
+// placement pass (Submitted updated incrementally so the tie-break sees
+// earlier placements in the same batch), one grouped SubmitBatch per
+// destination shard. When every shard is dead a task still goes to shard
+// 0, whose host loop will bounce it (declined — nowhere to go) and count
+// it lost, keeping the books honest.
+func (f *Federation) routeBatch(ts []*task.Task, now simtime.Instant) {
+	f.mu.Lock()
+	views := f.snapshotViewsLocked(now)
+	for _, t := range ts {
+		f.fillTaskViews(views, t)
+		s := f.cfg.Placement.Pick(t, views, nil)
+		if s < 0 {
+			s = 0
+		}
+		f.routedN++
+		f.perShard[s]++
+		f.submitted[s]++
+		views[s].Submitted++
+		f.routed.Inc()
+		f.routedBy[s].Inc()
+		f.note(obs.Entry{Type: "route", Task: int(t.ID), Worker: s,
+			Detail: fmt.Sprintf("policy=%s", f.cfg.Placement)}, now)
+		f.stage[s] = append(f.stage[s], Localize(t, f.tp, s))
+	}
+	f.mu.Unlock()
+	// Submit outside mu: a remote shard's write can block on the network,
+	// and reject callbacks re-enter the router lock. Submit cannot fail on
+	// a live shard here (shards seal only after the pump and settle
+	// complete); a dead remote shard is explicitly charged with the tasks
+	// it could not take, so they reconcile as lost with that shard.
+	for s := range f.stage {
+		if len(f.stage[s]) > 0 {
+			if err := f.handles[s].SubmitBatch(f.stage[s]); err != nil {
+				if rs, ok := f.handles[s].(*remoteShard); ok {
+					rs.chargeLost(len(f.stage[s]))
+				}
+			}
+			f.stage[s] = f.stage[s][:0]
+		}
+	}
+}
+
+// acceptedBounces returns how many of shard i's rejects the router
+// re-placed on a sibling — exact where a dead shard's last counter
+// snapshot may trail the truth.
+func (f *Federation) acceptedBounces(i int) int64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	views := f.viewsLocked(t, now)
-	s := f.cfg.Placement.Pick(t, views, nil)
-	if s < 0 {
-		s = 0
-	}
-	f.routedN++
-	f.perShard[s]++
-	f.submitted[s]++
-	f.routed.Inc()
-	f.routedBy[s].Inc()
-	f.note(obs.Entry{Type: "route", Task: int(t.ID), Worker: s,
-		Detail: fmt.Sprintf("policy=%s", f.cfg.Placement)}, now)
-	// Submit cannot fail here: shards are only sealed after the pump and
-	// settle complete. If it ever does, the error is surfaced by
-	// Reconcile as a routed-but-never-settled imbalance.
-	_ = f.shards[s].Submit(Localize(t, f.tp, s))
+	return int64(f.bounces[i])
 }
 
 // onReject is each shard's bounce callback: re-offer a rejected task to
 // the best feasible sibling. Returning true transfers ownership (the task
 // was submitted to the sibling); false hands it back to the rejecting
 // shard to shed or lose locally. Tasks shed for shutdown never get here.
-func (f *Federation) onReject(from int, t *task.Task, reason admission.Reason, now simtime.Instant) bool {
+// It is keyed by task ID — the router re-places its own global copy — so
+// remote shards can bounce with a 4-byte identifier.
+func (f *Federation) onReject(from int, id task.ID, reason admission.Reason, now simtime.Instant) bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.bouncedN++
@@ -334,22 +499,22 @@ func (f *Federation) onReject(from int, t *task.Task, reason admission.Reason, n
 	decline := func() bool {
 		f.rejectedN++
 		f.rejected.Inc()
-		f.note(obs.Entry{Type: "route-reject", Task: int(t.ID), Worker: -1,
+		f.note(obs.Entry{Type: "route-reject", Task: int(id), Worker: -1,
 			Detail: string(reason)}, now)
 		return false
 	}
 	if !f.cfg.Migrate {
 		return decline()
 	}
-	g := f.orig[t.ID]
+	g := f.orig[id]
 	if g == nil {
 		// A task the router never placed (not ours to migrate).
 		return decline()
 	}
-	tried := f.tried[t.ID]
+	tried := f.tried[id]
 	if tried == nil {
 		tried = make(map[int]bool, f.tp.Shards)
-		f.tried[t.ID] = tried
+		f.tried[id] = tried
 	}
 	tried[from] = true
 	views := f.viewsLocked(g, now)
@@ -359,16 +524,17 @@ func (f *Federation) onReject(from int, t *task.Task, reason admission.Reason, n
 	if s < 0 {
 		return decline()
 	}
-	if err := f.shards[s].Submit(Localize(g, f.tp, s)); err != nil {
+	if err := f.handles[s].SubmitBatch([]*task.Task{Localize(g, f.tp, s)}); err != nil {
 		return decline()
 	}
 	tried[s] = true
 	f.submitted[s]++
+	f.bounces[from]++
 	f.migratedN++
 	f.migrated.Inc()
 	// The migrate span re-states the §4.3 verdict the sibling passed:
 	// RQs + se_lk against the slack left at this instant.
-	f.note(obs.Entry{Type: "migrate", Task: int(t.ID), Worker: s,
+	f.note(obs.Entry{Type: "migrate", Task: int(id), Worker: s,
 		Detail: fmt.Sprintf("from shard %d, reason %s: RQs=%s comm=%s slack=%s",
 			from, reason, views[s].RQs, views[s].Comm, g.Deadline.Sub(now))}, now)
 	return true
@@ -387,28 +553,50 @@ func (f *Federation) note(e obs.Entry, at simtime.Instant) {
 // eviction count, so callers can tell a complete lifecycle view from a
 // truncated one.
 func (f *Federation) MergedEntries() ([]obs.Entry, int64) {
-	sources := make(map[int][]obs.Entry, len(f.obsShards)+1)
+	f.mu.Lock()
+	handles := f.handles
+	f.mu.Unlock()
+	sources := make(map[int][]obs.Entry, f.tp.Shards+1)
 	entries, evicted := f.journal.Export()
 	sources[obs.RouterShard] = entries
-	for i, o := range f.obsShards {
-		se, sev := o.Journal().Export()
+	for i := 0; i < f.tp.Shards; i++ {
+		var se []obs.Entry
+		var sev int64
+		if handles != nil && handles[i] != nil {
+			se, sev = handles[i].Journal()
+		} else {
+			se, sev = f.obsShards[i].Journal().Export()
+		}
 		sources[i] = se
 		evicted += sev
 	}
 	return obs.MergeEntries(sources), evicted
 }
 
-// viewsLocked projects every shard's load summary onto one task. Caller
-// holds f.mu.
-func (f *Federation) viewsLocked(t *task.Task, now simtime.Instant) []ShardView {
-	views := make([]ShardView, f.tp.Shards)
-	for i, cl := range f.shards {
-		sum := cl.LoadSummary()
-		ov := f.tp.Overlap(t, i)
-		var comm time.Duration
-		if ov == 0 {
-			comm = f.cfg.Workload.Cost.Remote
-		}
+// ShardCounters returns shard i's latest registry snapshot — the local
+// observer's registry in process, or the last wire Summary from a remote
+// shard. Nil before Run has built the shard handles.
+func (f *Federation) ShardCounters(i int) map[string]int64 {
+	f.mu.Lock()
+	handles := f.handles
+	f.mu.Unlock()
+	if handles == nil || handles[i] == nil {
+		return f.obsShards[i].Registry().Snapshot()
+	}
+	return handles[i].Counters()
+}
+
+// snapshotViewsLocked fills the reusable view buffer with every shard's
+// task-independent fields: load summary projection plus the running
+// Submitted tie-break count. Caller holds f.mu; the returned slice is
+// valid until the next call.
+func (f *Federation) snapshotViewsLocked(now simtime.Instant) []ShardView {
+	if cap(f.viewBuf) < f.tp.Shards {
+		f.viewBuf = make([]ShardView, f.tp.Shards)
+	}
+	views := f.viewBuf[:f.tp.Shards]
+	for i := range views {
+		sum := f.handles[i].LoadSummary()
 		rqs := time.Duration(1) << 56 // no alive worker: beyond any deadline
 		if sum.MinFree != simtime.Never {
 			rqs = simtime.NonNeg(sum.MinFree.Sub(now))
@@ -418,10 +606,29 @@ func (f *Federation) viewsLocked(t *task.Task, now simtime.Instant) []ShardView 
 			Sealed:     sum.Sealed,
 			RQs:        rqs,
 			QueuedWork: sum.QueuedWork,
-			Overlap:    ov,
-			Comm:       comm,
 			Submitted:  f.submitted[i],
 		}
 	}
+	return views
+}
+
+// fillTaskViews projects one task onto an existing snapshot.
+func (f *Federation) fillTaskViews(views []ShardView, t *task.Task) {
+	for i := range views {
+		ov := f.tp.Overlap(t, i)
+		views[i].Overlap = ov
+		if ov == 0 {
+			views[i].Comm = f.cfg.Workload.Cost.Remote
+		} else {
+			views[i].Comm = 0
+		}
+	}
+}
+
+// viewsLocked projects every shard's load summary onto one task. Caller
+// holds f.mu.
+func (f *Federation) viewsLocked(t *task.Task, now simtime.Instant) []ShardView {
+	views := f.snapshotViewsLocked(now)
+	f.fillTaskViews(views, t)
 	return views
 }

@@ -1,0 +1,346 @@
+package federation
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"rtsads/internal/admission"
+	"rtsads/internal/core"
+	"rtsads/internal/experiment"
+	"rtsads/internal/federation/wire"
+	"rtsads/internal/livecluster"
+	"rtsads/internal/metrics"
+	"rtsads/internal/obs"
+	"rtsads/internal/simtime"
+	"rtsads/internal/task"
+	"rtsads/internal/workload"
+)
+
+// ServeShardOptions tunes one shard-serving session.
+type ServeShardOptions struct {
+	// HelloTimeout bounds how long the session may take to complete the
+	// handshake and deliver the hello (default 30s).
+	HelloTimeout time.Duration
+	// Obs, when non-nil, is used instead of a session-local observer —
+	// the serving process can expose its own /metrics.
+	Obs *obs.Observer
+}
+
+// shardServer is one shard session: the cluster, its observer, and the
+// framed connection back to the router. Writers (summary ticker, reject
+// callbacks, final results) serialize on wmu; one goroutine reads.
+type shardServer struct {
+	conn    *wire.Conn
+	cl      *livecluster.Cluster
+	o       *obs.Observer
+	timeout time.Duration
+
+	wmu sync.Mutex
+
+	vmu      sync.Mutex
+	verdicts map[int32]chan bool
+}
+
+// runOutcome carries the cluster run's return values across a channel.
+type runOutcome struct {
+	res *metrics.RunResult
+	err error
+}
+
+// ServeShard runs one scheduler shard behind the given connection: it
+// completes the wire handshake, regenerates the workload from the hello's
+// parameters (the task database never crosses the wire), projects this
+// shard's slice, and runs a live cluster fed exclusively by the router's
+// Submit frames until the router seals the feed. The final result and
+// journal ship back before the session closes. The caller owns the
+// listener; ServeShard owns (and closes) conn.
+func ServeShard(nc net.Conn, opt ServeShardOptions) error {
+	defer nc.Close()
+	helloTimeout := opt.HelloTimeout
+	if helloTimeout <= 0 {
+		helloTimeout = 30 * time.Second
+	}
+	conn := wire.NewConn(nc)
+	deadline := time.Now().Add(helloTimeout)
+	conn.SetReadDeadline(deadline)
+	conn.SetWriteDeadline(deadline)
+	if err := conn.ReadHandshake(); err != nil {
+		return err
+	}
+	if err := conn.WriteHandshake(); err != nil {
+		return err
+	}
+	typ, body, err := conn.ReadFrame()
+	if err != nil {
+		return fmt.Errorf("federation: read hello: %w", err)
+	}
+	if typ != wire.TypeHello {
+		return fmt.Errorf("federation: expected hello, got frame type %d", typ)
+	}
+	var hello wire.Hello
+	if err := json.Unmarshal(body, &hello); err != nil {
+		return refuse(conn, fmt.Errorf("federation: decode hello: %w", err))
+	}
+
+	srv, runErrc, err := startShard(conn, hello, opt)
+	if err != nil {
+		return refuse(conn, err)
+	}
+	conn.SetReadDeadline(time.Time{})
+	conn.SetWriteDeadline(time.Time{})
+
+	// The router blocks on the first summary before going async.
+	if err := srv.sendSummary(); err != nil {
+		return err
+	}
+
+	stopTick := make(chan struct{})
+	var tickWG sync.WaitGroup
+	tickWG.Add(1)
+	go func() {
+		defer tickWG.Done()
+		srv.summaryLoop(stopTick)
+	}()
+	readErrc := make(chan error, 1)
+	go srv.readLoop(readErrc)
+
+	var sessionErr error
+	var out runOutcome
+	select {
+	case err := <-readErrc:
+		// The router vanished mid-run: seal so the cluster drains what it
+		// already owns, then report the broken session.
+		sessionErr = err
+		srv.cl.Seal()
+		out = <-runErrc
+	case out = <-runErrc:
+	}
+	close(stopTick)
+	tickWG.Wait()
+	if sessionErr != nil {
+		return sessionErr
+	}
+	if out.err != nil {
+		srv.send(wire.TypeError, []byte(out.err.Error()))
+		return out.err
+	}
+
+	// Ship the closing state: final counters, the result, the journal,
+	// then a clean goodbye.
+	if err := srv.sendSummary(); err != nil {
+		return err
+	}
+	if err := srv.sendJSON(wire.TypeResult, out.res); err != nil {
+		return err
+	}
+	entries, evicted := srv.o.Journal().Export()
+	if err := srv.sendJSON(wire.TypeJournal, wire.JournalExport{Entries: entries, Evicted: evicted}); err != nil {
+		return err
+	}
+	return srv.send(wire.TypeBye, nil)
+}
+
+// refuse reports a setup error to the router before failing the session.
+func refuse(conn *wire.Conn, err error) error {
+	conn.WriteFrame(wire.TypeError, []byte(err.Error()))
+	return err
+}
+
+// startShard builds the cluster a hello describes and starts its run.
+func startShard(conn *wire.Conn, hello wire.Hello, opt ServeShardOptions) (*shardServer, <-chan runOutcome, error) {
+	tp := Topology{Shards: hello.Shards, WorkersPerShard: hello.WorkersPerShard}
+	if err := tp.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if hello.Shard < 0 || hello.Shard >= tp.Shards {
+		return nil, nil, fmt.Errorf("federation: shard %d out of range [0,%d)", hello.Shard, tp.Shards)
+	}
+	w, err := workload.Generate(hello.Params)
+	if err != nil {
+		return nil, nil, err
+	}
+	if got, want := w.Params.Workers, tp.TotalWorkers(); got != want {
+		return nil, nil, fmt.Errorf("federation: workload has %d workers but topology needs %d", got, want)
+	}
+	clock, err := livecluster.NewClockAt(time.Unix(0, hello.StartUnixNano), hello.Scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	hb := time.Duration(hello.HeartbeatNano)
+	if hb <= 0 {
+		hb = 100 * time.Millisecond
+	}
+	timeout := time.Duration(hello.TimeoutNano)
+	if timeout <= 0 {
+		timeout = 5 * hb
+	}
+	o := opt.Obs
+	if o == nil {
+		o = obs.New(hello.JournalCap)
+	}
+	srv := &shardServer{
+		conn:     conn,
+		o:        o,
+		timeout:  timeout,
+		verdicts: make(map[int32]chan bool),
+	}
+	var degrade *core.DegradeConfig
+	if hello.DegradeAfter > 0 {
+		degrade = &core.DegradeConfig{After: hello.DegradeAfter}
+	}
+	cl, err := livecluster.New(livecluster.Config{
+		Workload:     ShardWorkload(w, tp, hello.Shard),
+		Algorithm:    experiment.Algorithm(hello.Algorithm),
+		Scale:        hello.Scale,
+		Clock:        clock,
+		External:     true,
+		OnReject:     srv.onReject,
+		Obs:          o,
+		Liveness:     livecluster.Liveness{HeartbeatEvery: hb, Timeout: timeout},
+		Admission:    hello.Admission,
+		Backpressure: hello.Backpressure,
+		SlackGuard:   time.Duration(hello.SlackGuardNano),
+		Degrade:      degrade,
+		Parallel:     hello.Parallel,
+		StealDepth:   hello.StealDepth,
+		FrontierCap:  hello.FrontierCap,
+		DupCap:       hello.DupCap,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	srv.cl = cl
+	runErrc := make(chan runOutcome, 1)
+	go func() {
+		res, err := cl.Run()
+		runErrc <- runOutcome{res: res, err: err}
+	}()
+	return srv, runErrc, nil
+}
+
+// send writes one frame under the session's write lock and deadline.
+func (s *shardServer) send(typ byte, payload []byte) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	d := s.timeout
+	if d < 5*time.Second {
+		d = 5 * time.Second
+	}
+	s.conn.SetWriteDeadline(time.Now().Add(d))
+	return s.conn.WriteFrame(typ, payload)
+}
+
+func (s *shardServer) sendJSON(typ byte, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return s.send(typ, payload)
+}
+
+func (s *shardServer) sendSummary() error {
+	return s.sendJSON(wire.TypeSummary, wire.Summary{
+		Load:     s.cl.LoadSummary(),
+		Counters: s.o.Registry().Snapshot(),
+	})
+}
+
+// summaryLoop republishes the load summary and counters at the heartbeat
+// cadence; each summary doubles as the shard→router heartbeat.
+func (s *shardServer) summaryLoop(stop <-chan struct{}) {
+	hb := s.timeout / 5
+	if hb <= 0 {
+		hb = 100 * time.Millisecond
+	}
+	ticker := time.NewTicker(hb)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		if s.sendSummary() != nil {
+			return
+		}
+	}
+}
+
+// onReject is the cluster's bounce callback: it round-trips one Reject
+// frame to the router and blocks the host loop on the verdict, exactly
+// like an in-process OnReject call. Silence past the liveness timeout is
+// a declined migration — the shard sheds locally rather than stranding
+// the task.
+func (s *shardServer) onReject(t *task.Task, reason admission.Reason, now simtime.Instant) bool {
+	id := int32(t.ID)
+	ch := make(chan bool, 1)
+	s.vmu.Lock()
+	s.verdicts[id] = ch
+	s.vmu.Unlock()
+	defer func() {
+		s.vmu.Lock()
+		delete(s.verdicts, id)
+		s.vmu.Unlock()
+	}()
+	payload := wire.EncodeReject(nil, wire.Reject{ID: id, Reason: string(reason), NowNano: int64(now)})
+	if err := s.send(wire.TypeReject, payload); err != nil {
+		return false
+	}
+	select {
+	case ok := <-ch:
+		return ok
+	case <-time.After(s.timeout):
+		return false
+	}
+}
+
+// readLoop consumes the router's frames until the connection breaks. The
+// idle deadline is the liveness timeout; the router's heartbeats keep it
+// from firing between submissions.
+func (s *shardServer) readLoop(errc chan<- error) {
+	for {
+		s.conn.SetReadDeadline(time.Now().Add(s.timeout))
+		typ, body, err := s.conn.ReadFrame()
+		if err != nil {
+			errc <- fmt.Errorf("federation: router connection lost: %w", err)
+			return
+		}
+		switch typ {
+		case wire.TypeSubmit:
+			ts, err := wire.DecodeSubmit(body, func() *task.Task { return new(task.Task) })
+			if err != nil {
+				errc <- err
+				return
+			}
+			// Submit-after-seal only happens when the router's seal
+			// crossed a submit in flight; the router's books already
+			// treat sealing as the end, so dropping is correct.
+			_ = s.cl.SubmitBatch(ts)
+		case wire.TypeVerdict:
+			v, err := wire.DecodeVerdict(body)
+			if err != nil {
+				errc <- err
+				return
+			}
+			s.vmu.Lock()
+			ch := s.verdicts[v.ID]
+			s.vmu.Unlock()
+			if ch != nil {
+				ch <- v.Accepted
+			}
+		case wire.TypeSeal:
+			s.cl.Seal()
+		case wire.TypeHeartbeat:
+			// Liveness only.
+		case wire.TypeBye, wire.TypeError:
+			errc <- fmt.Errorf("federation: router closed the session (frame type %d)", typ)
+			return
+		default:
+			errc <- fmt.Errorf("federation: router sent unknown frame type %d", typ)
+			return
+		}
+	}
+}

@@ -2,9 +2,11 @@ package federation
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"rtsads/internal/admission"
+	"rtsads/internal/affinity"
 	"rtsads/internal/core"
 	"rtsads/internal/experiment"
 	"rtsads/internal/metrics"
@@ -50,6 +52,21 @@ type SimConfig struct {
 	// MaxPhases aborts pathological runs (default 10 million, summed
 	// across shards).
 	MaxPhases int
+	// BatchCap bounds how many same-instant arrivals are placed per routing
+	// chunk: each chunk sees one consistent snapshot of the shard views
+	// (with the Submitted tie-break updated task by task inside it) and is
+	// handed to each destination shard as one batch. Zero means one chunk
+	// per same-instant arrival group. Any value produces bit-identical
+	// results: between two tasks arriving at the same instant no shard
+	// steps, so only Submitted — which the chunk tracks incrementally —
+	// distinguishes their view snapshots.
+	BatchCap int
+	// Transport, when non-nil, intercepts every localized router→shard
+	// batch on its way to the shard's inbox. It must return the same tasks
+	// (by value) in the same order; the wire differential tests use it to
+	// round-trip each batch through the binary shard protocol over a real
+	// TCP connection and prove the encoding changes nothing.
+	Transport func(shard int, batch []*task.Task) []*task.Task
 }
 
 // simShard is one scheduler domain of the simulation.
@@ -65,7 +82,42 @@ type simShard struct {
 	// wakeAt is the next instant this shard must run a scheduling step;
 	// Never while its batch is empty (arrivals and migrations wake it).
 	wakeAt simtime.Instant
+	// spare double-buffers the inbox, and loads/scheduled are per-step
+	// scratch, so the steady-state step loop stays allocation-free.
+	spare     []*task.Task
+	loads     []time.Duration
+	scheduled []*task.Task
 }
+
+// taskArena hands out task slots from chunked backing arrays: the pooled
+// storage behind the batched submit path's Localize copies. Slots live for
+// the whole run (shards hold them until they settle); reset rewinds the
+// arena so a pooled simulation reuses the same chunks run after run. Task
+// is pointer-free, so the chunks never cost the garbage collector a scan.
+type taskArena struct {
+	chunks [][]task.Task
+	ci     int // chunk being carved
+	used   int // slots used in chunks[ci]
+}
+
+const arenaChunk = 256
+
+func (a *taskArena) alloc() *task.Task {
+	if a.ci == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]task.Task, arenaChunk))
+	}
+	c := a.chunks[a.ci]
+	t := &c[a.used]
+	if a.used++; a.used == len(c) {
+		a.ci++
+		a.used = 0
+	}
+	return t
+}
+
+// reset rewinds the arena to its first slot, keeping every chunk. Slots are
+// handed out dirty; LocalizeInto overwrites every field.
+func (a *taskArena) reset() { a.ci, a.used = 0, 0 }
 
 // simFed is the simulation-side router state, mirroring Federation.
 type simFed struct {
@@ -76,11 +128,172 @@ type simFed struct {
 	submitted []int
 	perShard  []int
 	tried     map[task.ID]map[int]bool
-	orig      map[task.ID]*task.Task
+	// orig indexes the router's original tasks by ID for migration
+	// reconciliation. Generated workloads use dense IDs 0..n-1, so a slice
+	// replaces the map whose per-run refill showed up in setup profiles;
+	// out-of-range IDs (hand-built workloads) land in the overflow map.
+	orig      []*task.Task
+	origOver  map[task.ID]*task.Task
 	routedN   int
 	migratedN int
 	bouncedN  int
 	rejectedN int
+
+	// Batched-admission hot-path state: one reusable view snapshot, one
+	// staging buffer per destination shard, an arena for localized task
+	// copies, the constant route-span detail (computed once instead of one
+	// fmt.Sprintf per task), and a single-task buffer for migrations.
+	viewBuf     []ShardView
+	stage       [][]*task.Task
+	arena       taskArena
+	routeDetail string
+	single      []*task.Task
+	// ceBuf and masks hoist the per-task pick loop's invariants: CE is
+	// constant across one view snapshot (Submitted updates don't feed it),
+	// and each shard's affinity mask is constant for the whole run.
+	ceBuf []time.Duration
+	masks []affinity.Set
+}
+
+// simPool recycles the simulation's scratch graph — shard structs, batches,
+// inboxes, the localized-task arena, the view snapshot — across Simulate
+// calls, so parameter sweeps and the throughput benchmark run nearly
+// allocation-free once warm. Per-shard results and planners are always
+// built fresh: results escape to the caller, and planners carry per-run
+// quantum-policy state that must not leak between runs.
+var simPool = sync.Pool{New: func() any { return new(simFed) }}
+
+// reset configures the pooled state for one run. Every field is either
+// rebuilt from cfg or rewound in place with its storage kept.
+func (f *simFed) reset(cfg SimConfig) error {
+	f.cfg = cfg
+	f.tp = cfg.Topology
+	n := cfg.Topology.Shards
+	// Unlike the counter slices, shards must keep their contents: the
+	// *simShard structs (and everything hanging off them) are the pool's
+	// payload.
+	if cap(f.shards) < n {
+		s := make([]*simShard, n)
+		copy(s, f.shards)
+		f.shards = s
+	} else {
+		f.shards = f.shards[:n]
+	}
+	f.submitted = growSlice(f.submitted, n)
+	f.perShard = growSlice(f.perShard, n)
+	f.viewBuf = growSlice(f.viewBuf, n)
+	f.ceBuf = growSlice(f.ceBuf, n)
+	f.masks = growSlice(f.masks, n)
+	for i := range f.masks {
+		f.masks[i] = affinity.Range(i*f.tp.WorkersPerShard, f.tp.WorkersPerShard)
+	}
+	if cap(f.stage) < n {
+		f.stage = make([][]*task.Task, n)
+	}
+	f.stage = f.stage[:n]
+	for i := range f.stage {
+		f.stage[i] = f.stage[i][:0]
+	}
+	if f.tried == nil {
+		f.tried = make(map[task.ID]map[int]bool)
+	} else {
+		clear(f.tried)
+	}
+	f.orig = growSlice(f.orig, len(cfg.Workload.Tasks))
+	if f.origOver != nil {
+		clear(f.origOver)
+	}
+	for _, t := range cfg.Workload.Tasks {
+		if i := int(t.ID); i >= 0 && i < len(f.orig) {
+			f.orig[i] = t
+		} else {
+			if f.origOver == nil {
+				f.origOver = make(map[task.ID]*task.Task)
+			}
+			f.origOver[t.ID] = t
+		}
+	}
+	f.arena.reset()
+	f.single = f.single[:0]
+	f.routeDetail = "policy=" + cfg.Placement.String()
+	f.routedN, f.migratedN, f.bouncedN, f.rejectedN = 0, 0, 0, 0
+
+	// Every shard shares one communication-cost closure: task affinities are
+	// already shard-local by the time a planner sees them, and the cost
+	// constant is topology-independent (ShardWorkload keeps Cost verbatim).
+	comm := func(t *task.Task, slot int) time.Duration {
+		return cfg.Workload.Cost.Cost(t.Affinity, slot)
+	}
+	for i := range f.shards {
+		sh := f.shards[i]
+		if sh == nil {
+			sh = &simShard{batch: task.NewBatch()}
+			f.shards[i] = sh
+		}
+		scfg := core.SearchConfig{
+			Workers:    cfg.Topology.WorkersPerShard,
+			Comm:       comm,
+			VertexCost: cfg.VertexCost,
+			PhaseCost:  cfg.PhaseCost,
+			Policy:     core.NewAdaptive(),
+		}
+		planner, err := buildSimPlanner(cfg.Algorithm, scfg)
+		if err != nil {
+			return err
+		}
+		var adm *admission.Controller
+		if cfg.Admission.Enabled() {
+			if adm, err = admission.New(cfg.Admission); err != nil {
+				return fmt.Errorf("federation: %w", err)
+			}
+		}
+		var o *obs.Observer
+		if cfg.Obs != nil {
+			o = cfg.Obs[i]
+		}
+		sh.id = i
+		sh.batch.Reset()
+		sh.inbox = sh.inbox[:0]
+		sh.spare = sh.spare[:0]
+		sh.scheduled = sh.scheduled[:0]
+		sh.freeAt = growSlice(sh.freeAt, cfg.Topology.WorkersPerShard)
+		sh.loads = growSlice(sh.loads, cfg.Topology.WorkersPerShard)
+		sh.planner = planner
+		sh.adm = adm
+		sh.res = &metrics.RunResult{
+			Algorithm:  planner.Name() + "/sim",
+			Workers:    cfg.Topology.WorkersPerShard,
+			WorkerBusy: make([]time.Duration, cfg.Topology.WorkersPerShard),
+		}
+		sh.o = o
+		sh.wakeAt = simtime.Never
+		o.SetWorkers(cfg.Topology.WorkersPerShard)
+	}
+	return nil
+}
+
+// release detaches the caller-visible outputs and returns the scratch graph
+// to the pool. Error paths skip release and let the GC take the state.
+func (f *simFed) release() {
+	for _, sh := range f.shards {
+		sh.planner = nil
+		sh.adm = nil
+		sh.res = nil
+		sh.o = nil
+	}
+	f.cfg = SimConfig{}
+	simPool.Put(f)
+}
+
+// growSlice returns s resized to n zeroed elements, reallocating only when
+// the capacity does not suffice.
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
 }
 
 // Simulate runs the federated workload to completion on virtual time and
@@ -115,58 +328,9 @@ func Simulate(cfg SimConfig) (*Result, error) {
 		return nil, fmt.Errorf("federation: %w", err)
 	}
 
-	f := &simFed{
-		cfg:       cfg,
-		tp:        cfg.Topology,
-		shards:    make([]*simShard, cfg.Topology.Shards),
-		submitted: make([]int, cfg.Topology.Shards),
-		perShard:  make([]int, cfg.Topology.Shards),
-		tried:     make(map[task.ID]map[int]bool),
-		orig:      make(map[task.ID]*task.Task, len(cfg.Workload.Tasks)),
-	}
-	for _, t := range cfg.Workload.Tasks {
-		f.orig[t.ID] = t
-	}
-	for i := range f.shards {
-		sw := ShardWorkload(cfg.Workload, cfg.Topology, i)
-		scfg := core.SearchConfig{
-			Workers: cfg.Topology.WorkersPerShard,
-			Comm: func(t *task.Task, slot int) time.Duration {
-				return sw.Cost.Cost(t.Affinity, slot)
-			},
-			VertexCost: cfg.VertexCost,
-			PhaseCost:  cfg.PhaseCost,
-			Policy:     core.NewAdaptive(),
-		}
-		planner, err := buildSimPlanner(cfg.Algorithm, scfg)
-		if err != nil {
-			return nil, err
-		}
-		var adm *admission.Controller
-		if cfg.Admission.Enabled() {
-			if adm, err = admission.New(cfg.Admission); err != nil {
-				return nil, fmt.Errorf("federation: %w", err)
-			}
-		}
-		var o *obs.Observer
-		if cfg.Obs != nil {
-			o = cfg.Obs[i]
-		}
-		f.shards[i] = &simShard{
-			id:      i,
-			batch:   task.NewBatch(),
-			freeAt:  make([]simtime.Instant, cfg.Topology.WorkersPerShard),
-			planner: planner,
-			adm:     adm,
-			res: &metrics.RunResult{
-				Algorithm:  planner.Name() + "/sim",
-				Workers:    cfg.Topology.WorkersPerShard,
-				WorkerBusy: make([]time.Duration, cfg.Topology.WorkersPerShard),
-			},
-			o:      o,
-			wakeAt: simtime.Never,
-		}
-		o.SetWorkers(cfg.Topology.WorkersPerShard)
+	f := simPool.Get().(*simFed)
+	if err := f.reset(cfg); err != nil {
+		return nil, err
 	}
 
 	tasks := cfg.Workload.Tasks // sorted by arrival
@@ -174,9 +338,14 @@ func Simulate(cfg SimConfig) (*Result, error) {
 	next := 0
 	totalPhases := 0
 	for {
-		for next < len(tasks) && !tasks[next].Arrival.After(now) {
-			f.route(tasks[next], now)
-			next++
+		// All arrivals due at this instant form one batch: no shard steps
+		// between them, so a single view snapshot (per BatchCap chunk)
+		// places them exactly as per-task routing would.
+		if start := next; start < len(tasks) && !tasks[start].Arrival.After(now) {
+			for next < len(tasks) && !tasks[next].Arrival.After(now) {
+				next++
+			}
+			f.routeBatch(tasks[start:next], now)
 		}
 		// Step every due shard; migrations refill sibling inboxes at the
 		// same instant, so iterate until the round is quiet. Each planning
@@ -230,31 +399,126 @@ func Simulate(cfg SimConfig) (*Result, error) {
 	}
 	for i, sh := range f.shards {
 		res.Shards[i] = sh.res
-		sh.o.RunEnd(now, sh.res.String())
+		if sh.o != nil {
+			// The method is nil-receiver-safe, but rendering its argument
+			// is not free: skip the summary formatting entirely when nobody
+			// observes it (the benchmark path).
+			sh.o.RunEnd(now, sh.res.String())
+		}
 	}
+	f.release()
 	return res, nil
 }
 
-// route places one task on its first shard, mirroring the live router.
-func (f *simFed) route(t *task.Task, now simtime.Instant) {
-	views := f.views(t, now)
-	s := f.cfg.Placement.Pick(t, views, nil)
-	if s < 0 {
-		s = 0
+// routeBatch places a group of same-instant arrivals, BatchCap tasks at a
+// time, mirroring the live router's SubmitBatch path.
+func (f *simFed) routeBatch(ts []*task.Task, now simtime.Instant) {
+	for len(ts) > 0 {
+		n := len(ts)
+		if f.cfg.BatchCap > 0 && n > f.cfg.BatchCap {
+			n = f.cfg.BatchCap
+		}
+		f.routeChunk(ts[:n], now)
+		ts = ts[n:]
 	}
-	f.routedN++
-	f.perShard[s]++
-	f.submitted[s]++
-	// The sim has no router journal; the placement span lands in the
-	// destination shard's journal so merged lifecycles stay complete.
-	f.shards[s].o.Route(t.ID, s, fmt.Sprintf("policy=%s", f.cfg.Placement), now)
-	f.deliver(s, t, now)
 }
 
-// deliver hands a (global) task to a shard's inbox in localized form.
-func (f *simFed) deliver(s int, g *task.Task, now simtime.Instant) {
+// routeChunk places one bounded chunk against a single consistent snapshot
+// of the shard views, staging the localized tasks per destination shard and
+// handing each shard its sub-batch in one append. Batch order is submit
+// order; the Submitted tie-break advances task by task inside the snapshot,
+// so the decisions are bit-identical to per-task routing.
+func (f *simFed) routeChunk(ts []*task.Task, now simtime.Instant) {
+	views := f.refreshViews(now)
+	// The pick loop below is Placement.Pick with its per-task invariants
+	// hoisted: CE is evaluated once per snapshot instead of inside every
+	// prefers comparison, and the overlap popcount uses the precomputed
+	// shard masks. It must order candidates exactly like Pick+prefers —
+	// the batched-submission differential tests pin that equivalence.
+	ce := f.ceBuf
+	for i := range views {
+		ce[i] = views[i].CE()
+	}
+	affFirst := f.cfg.Placement == AffinityFirst
+	fused := f.cfg.Placement == AffinityFirst || f.cfg.Placement == LeastCE
+	for _, t := range ts {
+		s := -1
+		if fused {
+			bestOv := 0
+			for i := range views {
+				if !views[i].Eligible() {
+					continue
+				}
+				ov := 0
+				if affFirst {
+					ov = (t.Affinity & f.masks[i]).Count()
+				}
+				switch {
+				case s < 0:
+				case affFirst && ov != bestOv:
+					if ov <= bestOv {
+						continue
+					}
+				case ce[i] != ce[s]:
+					if ce[i] >= ce[s] {
+						continue
+					}
+				case views[i].Submitted >= views[s].Submitted:
+					continue
+				}
+				s, bestOv = i, ov
+			}
+		} else {
+			for i := range views {
+				views[i].Overlap = f.tp.Overlap(t, i)
+			}
+			s = f.cfg.Placement.Pick(t, views, nil)
+		}
+		if s < 0 {
+			s = 0
+		}
+		f.routedN++
+		f.perShard[s]++
+		f.submitted[s]++
+		views[s].Submitted++
+		// The sim has no router journal; the placement span lands in the
+		// destination shard's journal so merged lifecycles stay complete.
+		f.shards[s].o.Route(t.ID, s, f.routeDetail, now)
+		f.stage[s] = append(f.stage[s], f.localize(t, s))
+	}
+	for s := range f.stage {
+		if len(f.stage[s]) > 0 {
+			f.submit(s, f.stage[s])
+			f.stage[s] = f.stage[s][:0]
+		}
+	}
+}
+
+// localize copies a (global) task into the shard's local frame using
+// arena-backed storage.
+func (f *simFed) localize(g *task.Task, s int) *task.Task {
+	lt := f.arena.alloc()
+	LocalizeInto(lt, g, f.tp, s)
+	return lt
+}
+
+// submit hands one localized batch to a shard's inbox, through the wire
+// transport when one is configured.
+func (f *simFed) submit(s int, batch []*task.Task) {
+	if f.cfg.Transport != nil {
+		batch = f.cfg.Transport(s, batch)
+	}
 	sh := f.shards[s]
-	sh.inbox = append(sh.inbox, Localize(g, f.tp, s))
+	sh.inbox = append(sh.inbox, batch...)
+}
+
+// original returns the router's original (pre-localization) task with the
+// given ID, or nil when unknown.
+func (f *simFed) original(id task.ID) *task.Task {
+	if i := int(id); i >= 0 && i < len(f.orig) {
+		return f.orig[i]
+	}
+	return f.origOver[id]
 }
 
 // reject handles one shard-side admission rejection: migrate when a
@@ -266,7 +530,7 @@ func (f *simFed) reject(from *simShard, t *task.Task, reason admission.Reason, n
 		if !f.cfg.Migrate {
 			return false
 		}
-		g := f.orig[t.ID]
+		g := f.original(t.ID)
 		if g == nil {
 			return false
 		}
@@ -276,7 +540,7 @@ func (f *simFed) reject(from *simShard, t *task.Task, reason admission.Reason, n
 			f.tried[t.ID] = tried
 		}
 		tried[from.id] = true
-		views := f.views(g, now)
+		views := f.viewsFor(g, now)
 		s := f.cfg.Placement.Pick(g, views, func(i int) bool {
 			return i != from.id && !tried[i] && views[i].Feasible(g, now)
 		})
@@ -286,9 +550,11 @@ func (f *simFed) reject(from *simShard, t *task.Task, reason admission.Reason, n
 		tried[s] = true
 		f.submitted[s]++
 		f.migratedN++
-		f.shards[s].o.Migrate(g.ID, s,
-			fmt.Sprintf("from shard %d, reason %s, §4.3 re-verdict feasible", from.id, reason), now)
-		f.deliver(s, g, now)
+		if o := f.shards[s].o; o != nil {
+			o.Migrate(g.ID, s,
+				fmt.Sprintf("from shard %d, reason %s, §4.3 re-verdict feasible", from.id, reason), now)
+		}
+		f.submit(s, append(f.single[:0], f.localize(g, s)))
 		return true
 	}
 	if migrate() {
@@ -308,9 +574,11 @@ func (f *simFed) reject(from *simShard, t *task.Task, reason admission.Reason, n
 	from.o.Shed(t.ID, string(reason), now)
 }
 
-// views projects every shard's current state onto one task.
-func (f *simFed) views(t *task.Task, now simtime.Instant) []ShardView {
-	views := make([]ShardView, len(f.shards))
+// refreshViews rebuilds the task-independent part of every shard's view
+// (worker state and the Submitted counters) into the reusable snapshot
+// buffer. The per-task fields (Overlap, Comm) are filled by the caller.
+func (f *simFed) refreshViews(now simtime.Instant) []ShardView {
+	views := f.viewBuf
 	for i, sh := range f.shards {
 		minFree := simtime.Never
 		var queued time.Duration
@@ -319,18 +587,25 @@ func (f *simFed) views(t *task.Task, now simtime.Instant) []ShardView {
 			queued += fr.Sub(now)
 			minFree = minFree.Min(fr)
 		}
-		ov := f.tp.Overlap(t, i)
-		var comm time.Duration
-		if ov == 0 {
-			comm = f.cfg.Workload.Cost.Remote
-		}
 		views[i] = ShardView{
 			Alive:      len(sh.freeAt),
 			RQs:        simtime.NonNeg(minFree.Sub(now)),
 			QueuedWork: queued,
-			Overlap:    ov,
-			Comm:       comm,
 			Submitted:  f.submitted[i],
+		}
+	}
+	return views
+}
+
+// viewsFor projects every shard's current state onto one task — the
+// single-task (migration) form of the snapshot.
+func (f *simFed) viewsFor(t *task.Task, now simtime.Instant) []ShardView {
+	views := f.refreshViews(now)
+	for i := range views {
+		ov := f.tp.Overlap(t, i)
+		views[i].Overlap = ov
+		if ov == 0 {
+			views[i].Comm = f.cfg.Workload.Cost.Remote
 		}
 	}
 	return views
@@ -341,13 +616,17 @@ func (f *simFed) views(t *task.Task, now simtime.Instant) []ShardView {
 // phase, and deliver the schedule analytically — the machine package's
 // loop body, per shard.
 func (sh *simShard) step(f *simFed, now simtime.Instant) error {
+	// Double-buffer the inbox: rejections inside the admit loop can refill
+	// sibling inboxes (never this shard's own — migration excludes the
+	// rejecting shard), and the swap keeps the absorb loop allocation-free.
 	in := sh.inbox
-	sh.inbox = nil
+	sh.inbox = sh.spare[:0]
 	for _, t := range in {
 		sh.res.Total++
 		sh.o.Arrival(t.ID, now, t.Deadline)
 		sh.admit(f, t, now)
 	}
+	sh.spare = in[:0]
 	for _, t := range sh.batch.PurgeMissed(now) {
 		sh.res.Purged++
 		sh.o.Purge(t.ID, now)
@@ -357,7 +636,10 @@ func (sh *simShard) step(f *simFed, now simtime.Instant) error {
 		return nil
 	}
 
-	loads := make([]time.Duration, len(sh.freeAt))
+	if sh.loads == nil {
+		sh.loads = make([]time.Duration, len(sh.freeAt))
+	}
+	loads := sh.loads
 	for k, fr := range sh.freeAt {
 		loads[k] = simtime.NonNeg(fr.Sub(now))
 	}
@@ -393,7 +675,7 @@ func (sh *simShard) step(f *simFed, now simtime.Instant) error {
 	}
 
 	deliver := now.Add(simtime.MaxDur(out.Used, f.cfg.MinAdvance))
-	scheduled := make([]*task.Task, 0, len(out.Schedule))
+	scheduled := sh.scheduled[:0]
 	for _, a := range out.Schedule {
 		start := deliver.Max(sh.freeAt[a.Proc])
 		actual := a.Task.ActualProc() + a.Comm
@@ -416,6 +698,7 @@ func (sh *simShard) step(f *simFed, now simtime.Instant) error {
 			finish.Sub(a.Task.Arrival), a.Task.Deadline.Sub(finish))
 	}
 	sh.batch.RemoveScheduled(scheduled)
+	sh.scheduled = scheduled[:0]
 
 	if len(out.Schedule) > 0 {
 		sh.wakeAt = deliver

@@ -1,0 +1,56 @@
+package wire
+
+import (
+	"rtsads/internal/admission"
+	"rtsads/internal/livecluster"
+	"rtsads/internal/obs"
+	"rtsads/internal/workload"
+)
+
+// Hello configures a remote shard session. The shard regenerates the
+// workload deterministically from Params and projects its own slice with
+// the topology fields — the database never crosses the wire, exactly like
+// the worker-level protocol's hello. Topology is carried as plain ints so
+// the wire package stays independent of the federation package.
+type Hello struct {
+	Params workload.Params `json:"params"`
+
+	Shards          int `json:"shards"`
+	WorkersPerShard int `json:"workers_per_shard"`
+	Shard           int `json:"shard"` // this session's shard index
+
+	Algorithm     string  `json:"algorithm"`
+	Scale         float64 `json:"scale"`
+	StartUnixNano int64   `json:"start_unix_nano"` // shared clock epoch
+
+	// HeartbeatNano and TimeoutNano carry the router's liveness settings
+	// so both sides agree; zero selects defaults.
+	HeartbeatNano int64 `json:"heartbeat_nano,omitempty"`
+	TimeoutNano   int64 `json:"timeout_nano,omitempty"`
+
+	Admission      admission.Config `json:"admission,omitempty"`
+	Backpressure   int              `json:"backpressure,omitempty"`
+	SlackGuardNano int64            `json:"slack_guard_nano,omitempty"`
+	DegradeAfter   int              `json:"degrade_after,omitempty"`
+	Parallel       int              `json:"parallel,omitempty"`
+	StealDepth     int              `json:"steal_depth,omitempty"`
+	FrontierCap    int              `json:"frontier_cap,omitempty"`
+	DupCap         int              `json:"dup_cap,omitempty"`
+	JournalCap     int              `json:"journal_cap,omitempty"`
+}
+
+// Summary is the shard's periodic state report: the load snapshot the
+// router's placement reads, plus the registry counters the router's
+// settle loop and a mid-run reconciliation read. It doubles as the
+// shard→router heartbeat.
+type Summary struct {
+	Load livecluster.Summary `json:"load"`
+	// Counters is the shard registry snapshot (the rtsads_* families).
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// JournalExport ships the shard's lifecycle journal at seal time.
+type JournalExport struct {
+	Entries []obs.Entry `json:"entries"`
+	Evicted int64       `json:"evicted"`
+}

@@ -1,0 +1,173 @@
+package wire
+
+import (
+	"math"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"rtsads/internal/affinity"
+	"rtsads/internal/rng"
+	"rtsads/internal/simtime"
+	"rtsads/internal/task"
+)
+
+// pipe returns a connected framed pair.
+func pipe(t *testing.T) (*Conn, *Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return NewConn(a), NewConn(b)
+}
+
+func TestHandshake(t *testing.T) {
+	a, b := pipe(t)
+	errCh := make(chan error, 1)
+	go func() { errCh <- a.WriteHandshake() }()
+	if err := b.ReadHandshake(); err != nil {
+		t.Fatalf("ReadHandshake: %v", err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatalf("WriteHandshake: %v", err)
+	}
+}
+
+func TestHandshakeRejectsWrongVersion(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go func() { a.Write([]byte(Magic + "\x7f")) }()
+	if err := NewConn(b).ReadHandshake(); err == nil {
+		t.Fatal("handshake accepted an unknown version")
+	}
+}
+
+func TestHandshakeRejectsBadMagic(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go func() { a.Write([]byte("HTTP\x01")) }()
+	if err := NewConn(b).ReadHandshake(); err == nil {
+		t.Fatal("handshake accepted foreign magic")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	a, b := pipe(t)
+	payload := []byte("hello, shard")
+	// Writes on one Conn must be serialized by the caller; join each write
+	// goroutine before issuing the next.
+	errCh := make(chan error, 1)
+	go func() { errCh <- a.WriteFrame(TypeSeal, payload) }()
+	typ, got, err := b.ReadFrame()
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	if typ != TypeSeal || string(got) != string(payload) {
+		t.Fatalf("got frame (%d, %q), want (%d, %q)", typ, got, TypeSeal, payload)
+	}
+	// Empty payloads (heartbeats, seals) must round-trip too.
+	go func() { errCh <- a.WriteFrame(TypeHeartbeat, nil) }()
+	typ, got, err = b.ReadFrame()
+	if err != nil {
+		t.Fatalf("ReadFrame empty: %v", err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatalf("WriteFrame empty: %v", err)
+	}
+	if typ != TypeHeartbeat || len(got) != 0 {
+		t.Fatalf("got frame (%d, %d bytes), want (%d, 0 bytes)", typ, len(got), TypeHeartbeat)
+	}
+}
+
+func TestReadFrameRejectsOversize(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		a.Write([]byte{0xff, 0xff, 0xff, 0xff, TypeSubmit})
+	}()
+	if _, _, err := NewConn(b).ReadFrame(); err == nil {
+		t.Fatal("ReadFrame accepted an oversize frame header")
+	}
+}
+
+func TestTaskCodecRoundTrip(t *testing.T) {
+	src := rng.New(7)
+	tasks := make([]*task.Task, 64)
+	for i := range tasks {
+		tasks[i] = &task.Task{
+			ID:       task.ID(src.Intn(1 << 20)),
+			Arrival:  simtime.Instant(src.Intn(1 << 40)),
+			Proc:     time.Duration(src.Intn(1 << 30)),
+			Deadline: simtime.Instant(src.Intn(1 << 41)),
+			Affinity: affinity.Set(src.Uint64()),
+			Actual:   time.Duration(src.Intn(1 << 29)),
+			Payload:  int32(src.Intn(1 << 16)),
+		}
+	}
+	// Extremes: zero task, Never deadline, negative payload.
+	tasks = append(tasks,
+		&task.Task{},
+		&task.Task{ID: math.MaxInt32, Deadline: simtime.Never, Affinity: ^affinity.Set(0)},
+		&task.Task{ID: 1, Payload: -3},
+	)
+
+	payload := AppendSubmit(nil, tasks)
+	wantLen := 4 + len(tasks)*TaskRecordSize
+	if len(payload) != wantLen {
+		t.Fatalf("submit payload is %d bytes, want %d", len(payload), wantLen)
+	}
+	got, err := DecodeSubmit(payload, func() *task.Task { return new(task.Task) })
+	if err != nil {
+		t.Fatalf("DecodeSubmit: %v", err)
+	}
+	if len(got) != len(tasks) {
+		t.Fatalf("decoded %d tasks, want %d", len(got), len(tasks))
+	}
+	for i := range tasks {
+		if !reflect.DeepEqual(*got[i], *tasks[i]) {
+			t.Fatalf("task %d: got %+v, want %+v", i, *got[i], *tasks[i])
+		}
+	}
+}
+
+func TestDecodeSubmitRejectsTruncated(t *testing.T) {
+	payload := AppendSubmit(nil, []*task.Task{{ID: 1}, {ID: 2}})
+	for _, cut := range []int{1, 4, 5, len(payload) - 1} {
+		if _, err := DecodeSubmit(payload[:cut], func() *task.Task { return new(task.Task) }); err == nil {
+			t.Fatalf("DecodeSubmit accepted a %d-byte truncation", cut)
+		}
+	}
+}
+
+func TestRejectVerdictRoundTrip(t *testing.T) {
+	r := Reject{ID: 99, Reason: "queue-full", NowNano: 123456789}
+	got, err := DecodeReject(EncodeReject(nil, r))
+	if err != nil {
+		t.Fatalf("DecodeReject: %v", err)
+	}
+	if got != r {
+		t.Fatalf("reject round-trip: got %+v, want %+v", got, r)
+	}
+	if _, err := DecodeReject([]byte{1, 2, 3}); err == nil {
+		t.Fatal("DecodeReject accepted a truncated payload")
+	}
+
+	for _, v := range []Verdict{{ID: 7, Accepted: true}, {ID: -1, Accepted: false}} {
+		got, err := DecodeVerdict(EncodeVerdict(nil, v))
+		if err != nil {
+			t.Fatalf("DecodeVerdict: %v", err)
+		}
+		if got != v {
+			t.Fatalf("verdict round-trip: got %+v, want %+v", got, v)
+		}
+	}
+	if _, err := DecodeVerdict([]byte{0}); err == nil {
+		t.Fatal("DecodeVerdict accepted a truncated payload")
+	}
+}

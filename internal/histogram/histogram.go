@@ -4,6 +4,7 @@
 package histogram
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/bits"
@@ -113,6 +114,48 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 		}
 	}
 	return h.max
+}
+
+// histogramJSON is the wire form of a Histogram: sparse non-zero buckets
+// plus the scalar moments, so results cross process boundaries (the
+// federation's shard wire protocol) without exposing the representation.
+type histogramJSON struct {
+	Buckets map[int]uint64 `json:"buckets,omitempty"`
+	Total   uint64         `json:"total"`
+	Sum     time.Duration  `json:"sum"`
+	Min     time.Duration  `json:"min"`
+	Max     time.Duration  `json:"max"`
+}
+
+// MarshalJSON encodes the histogram for transport; UnmarshalJSON restores
+// an identical distribution (same counts, moments and quantiles).
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	out := histogramJSON{Total: h.total, Sum: h.sum, Min: h.min, Max: h.max}
+	for i, c := range h.counts {
+		if c != 0 {
+			if out.Buckets == nil {
+				out.Buckets = make(map[int]uint64)
+			}
+			out.Buckets[i] = c
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON restores a histogram encoded by MarshalJSON.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var in histogramJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	*h = Histogram{total: in.Total, sum: in.Sum, min: in.Min, max: in.Max}
+	for i, c := range in.Buckets {
+		if i < 0 || i >= numBuckets {
+			return fmt.Errorf("histogram: bucket %d out of range", i)
+		}
+		h.counts[i] = c
+	}
+	return nil
 }
 
 // Merge folds other into h.

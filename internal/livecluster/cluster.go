@@ -245,6 +245,15 @@ type Cluster struct {
 // (including the implicit seal when Run returns), so a caller can tell a
 // rejected handoff from a silently dropped one.
 func (c *Cluster) Submit(ts ...*task.Task) error {
+	return c.SubmitBatch(ts)
+}
+
+// SubmitBatch feeds a batch of tasks to an externally-fed cluster in one
+// locked append — the amortized form of Submit the federation's batched
+// admission pipeline uses. Order within the batch is preserved, and the
+// host loop is woken once per batch rather than once per task. The caller
+// keeps ownership of the slice; only the task pointers are retained.
+func (c *Cluster) SubmitBatch(ts []*task.Task) error {
 	if !c.cfg.External {
 		return fmt.Errorf("livecluster: Submit requires Config.External")
 	}

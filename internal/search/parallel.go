@@ -122,6 +122,7 @@ func RunParallel(p *Problem, rep Representation, opt ParallelOptions) (*Result, 
 		degree = runtime.GOMAXPROCS(0)
 	}
 
+	p.prepare()
 	root := rep.Root(p)
 	r := &wsRun{
 		p:           p,

@@ -166,6 +166,19 @@ type Problem struct {
 	// is reached — the "limit on the depth of search" pruning heuristic of
 	// §3. Zero means unlimited.
 	MaxDepth int
+
+	// phaseEnd caches Now.Add(Quantum), the term every feasibility test
+	// adds; Run and RunParallel compute it once before any engine starts,
+	// so the concurrent readers see an immutable field.
+	phaseEnd    simtime.Instant
+	phaseEndSet bool
+}
+
+// prepare caches the problem's derived terms. Run and RunParallel call it
+// once before searching; it must not be called concurrently with PhaseEnd.
+func (p *Problem) prepare() {
+	p.phaseEnd = p.Now.Add(p.Quantum)
+	p.phaseEndSet = true
 }
 
 // Strategy is the exploration order of the task space.
@@ -216,7 +229,12 @@ func (p *Problem) Validate() error {
 
 // PhaseEnd returns t_e = t_s + Qs(j), the instant execution of the phase's
 // schedule is guaranteed to have started by.
-func (p *Problem) PhaseEnd() simtime.Instant { return p.Now.Add(p.Quantum) }
+func (p *Problem) PhaseEnd() simtime.Instant {
+	if p.phaseEndSet {
+		return p.phaseEnd
+	}
+	return p.Now.Add(p.Quantum)
+}
 
 // Feasible applies the paper's feasibility test (§4.3, Figure 4) to
 // extending a partial schedule whose worker-k completion offset is loadK
@@ -263,10 +281,18 @@ func RootLoads(p *Problem, dst []time.Duration) []time.Duration {
 	return dst
 }
 
+// rootLoadsPool recycles the transient load array NewRoot materializes to
+// seed the root's cost; the array is dead as soon as FromLoads returns.
+var rootLoadsPool = sync.Pool{New: func() any { return new([]time.Duration) }}
+
 // NewRoot builds the root vertex — the empty schedule — costed by model.
 func NewRoot(p *Problem, model CostModel) *Vertex {
+	b := rootLoadsPool.Get().(*[]time.Duration)
+	loads := RootLoads(p, (*b)[:0])
 	v := NewVertex()
-	v.CE = model.FromLoads(RootLoads(p, nil))
+	v.CE = model.FromLoads(loads)
+	*b = loads[:0]
+	rootLoadsPool.Put(b)
 	return v
 }
 
@@ -461,6 +487,29 @@ type Result struct {
 	Stats Stats
 }
 
+// resultPool recycles Result objects between Run and Release so the
+// steady-state phase loop allocates no result header per search.
+var resultPool = sync.Pool{New: func() any { return new(Result) }}
+
+// Release recycles the result and every vertex on its best path. Call it
+// only for results of the sequential Run, after the schedule has been
+// extracted; the result and its vertices must not be touched afterwards.
+// Without Release the best path's vertices — the one chain the engine can
+// never recycle itself, because the caller still reads it — leak from the
+// vertex pool one path per phase.
+//
+// Results of RunParallel must NOT be released: the work-stealing driver's
+// frame timelines can retain additional references into the best path.
+func (r *Result) Release() {
+	for v := r.Best; v != nil; {
+		parent := v.Parent
+		FreeVertex(v)
+		v = parent
+	}
+	*r = Result{}
+	resultPool.Put(r)
+}
+
 // Schedule returns Best's assignments in path (root-to-leaf) order, which
 // is also each worker's queue order.
 func (r *Result) Schedule() []Assignment {
@@ -509,10 +558,59 @@ func Run(p *Problem, rep Representation) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	e := &engine{p: p, rep: rep, st: NewPathState(p), budget: newBudget(p)}
+	p.prepare()
+	rs := runScratchPool.Get().(*runScratch)
+	e := rs.prepare(p, rep)
 	e.run(rep.Root(p))
 	e.res.Stats.Consumed = e.budget.consumed()
-	return e.res, nil
+	res := e.res
+	rs.release()
+	return res, nil
+}
+
+// runScratch bundles every per-run allocation of the sequential engine —
+// path state, used-task bitset, budget, DFS candidate stack, and the engine
+// itself — into one poolable unit, so a steady-state phase loop recycles a
+// single object instead of allocating six per search.
+type runScratch struct {
+	st   PathState
+	used Bitset
+	bud  budget
+	cl   stackCL
+	e    engine
+}
+
+var runScratchPool = sync.Pool{New: func() any { return new(runScratch) }}
+
+// prepare positions the scratch at p's root and returns the embedded engine,
+// wired to the scratch state, a pooled result, and — for depth-first
+// strategies — the scratch candidate stack (best-first still builds its heap
+// per run).
+func (rs *runScratch) prepare(p *Problem, rep Representation) *engine {
+	rs.st.Loads = RootLoads(p, rs.st.Loads)
+	if len(p.Tasks) > 0 {
+		rs.used.resize(len(p.Tasks))
+		rs.st.Used = &rs.used
+	} else {
+		rs.st.Used = nil
+	}
+	rs.bud = budget{p: p}
+	rs.e = engine{p: p, rep: rep, st: &rs.st, budget: &rs.bud}
+	if p.Strategy != BestFirst {
+		rs.cl.items = rs.cl.items[:0]
+		rs.e.cl = &rs.cl
+	}
+	return &rs.e
+}
+
+// release drops the scratch's problem references and returns it to the pool.
+// The result survives: it was drawn from resultPool and is handed to the
+// caller, who recycles it via Result.Release.
+func (rs *runScratch) release() {
+	rs.st.Used = nil
+	rs.bud = budget{}
+	rs.e = engine{}
+	runScratchPool.Put(rs)
 }
 
 // engine is one sequential quantum-bounded search over a subtree. The
@@ -523,7 +621,10 @@ type engine struct {
 	rep    Representation
 	st     *PathState // positioned at the start vertex by the caller
 	budget *budget
-	stop   func() bool // optional cooperative cancellation
+	// cl, when non-nil, is a caller-provided (pooled) candidate list; run
+	// otherwise builds one for the problem's strategy.
+	cl   candidateList
+	stop func() bool // optional cooperative cancellation
 	// ws, when non-nil, hooks the engine into the work-stealing driver:
 	// duplicate rejection, sibling spawning, event recording, and the
 	// dynamic budget cap (see parallel.go). Nil for the sequential Run.
@@ -548,9 +649,13 @@ func (e *engine) expired() bool {
 // run searches the subtree rooted at start. st must already be positioned
 // at start.
 func (e *engine) run(start *Vertex) {
-	e.res = &Result{Best: start}
+	e.res = resultPool.Get().(*Result)
+	*e.res = Result{Best: start}
 	cv := start
-	cl := newCandidateList(e.p.Strategy)
+	cl := e.cl
+	if cl == nil {
+		cl = newCandidateList(e.p.Strategy)
+	}
 	if e.ws != nil {
 		// The frame's start is its initial best: charge-0 improvement.
 		e.ws.record(evImprove, 0, start, e.res.Stats)
@@ -823,6 +928,19 @@ func (b *Bitset) Clone() *Bitset {
 	w := make([]uint64, len(b.words))
 	copy(w, b.words)
 	return &Bitset{words: w, n: b.n}
+}
+
+// resize repositions the bitset at capacity n with every bit clear, growing
+// the backing storage only when needed — the pooled-scratch reuse path.
+func (b *Bitset) resize(n int) {
+	w := (n + 63) / 64
+	if cap(b.words) < w {
+		b.words = make([]uint64, w)
+	} else {
+		b.words = b.words[:w]
+		clear(b.words)
+	}
+	b.n = n
 }
 
 // Reset clears every bit, keeping the backing storage.

@@ -5,7 +5,10 @@
 package task
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
+	"sync"
 	"time"
 
 	"rtsads/internal/affinity"
@@ -70,13 +73,35 @@ func (t *Task) String() string {
 // adding the tasks that arrived during phase j.
 type Batch struct {
 	tasks []*Task
+	// removed and drop are scratch space reused across removeIf and
+	// RemoveScheduled calls, so the steady-state phase loop (purge, plan,
+	// remove scheduled) allocates nothing once warm.
+	removed []*Task
+	drop    map[ID]struct{}
+	// horizon is a conservative lower bound on the earliest instant any
+	// batched task can become missed: min_i(d_i - p_i) over tasks added
+	// since the last purge scan. While now <= horizon, PurgeMissed is a
+	// comparison instead of an O(n) scan. Removals may leave it lower than
+	// the true minimum, which only costs an occasional redundant scan.
+	horizon simtime.Instant
 }
 
 // NewBatch returns a batch seeded with the given tasks.
 func NewBatch(tasks ...*Task) *Batch {
-	b := &Batch{tasks: make([]*Task, 0, len(tasks))}
-	b.tasks = append(b.tasks, tasks...)
+	b := &Batch{tasks: make([]*Task, 0, len(tasks)), horizon: simtime.Never}
+	b.Add(tasks...)
 	return b
+}
+
+// Reset empties the batch in place, keeping its scratch storage so a pooled
+// batch's next fill allocates nothing. Cleared slots are nilled so the old
+// run's tasks are not pinned by the backing arrays.
+func (b *Batch) Reset() {
+	clear(b.tasks[:cap(b.tasks)])
+	b.tasks = b.tasks[:0]
+	clear(b.removed[:cap(b.removed)])
+	b.removed = b.removed[:0]
+	b.horizon = simtime.Never
 }
 
 // Len returns the number of tasks in the batch.
@@ -87,12 +112,38 @@ func (b *Batch) Len() int { return len(b.tasks) }
 func (b *Batch) Tasks() []*Task { return b.tasks }
 
 // Add appends arriving tasks to the batch.
-func (b *Batch) Add(tasks ...*Task) { b.tasks = append(b.tasks, tasks...) }
+func (b *Batch) Add(tasks ...*Task) {
+	for _, t := range tasks {
+		if ls := t.Deadline.Add(-t.Proc); ls.Before(b.horizon) {
+			b.horizon = ls
+		}
+	}
+	b.tasks = append(b.tasks, tasks...)
+}
 
 // PurgeMissed removes and returns every task that has already missed its
-// deadline at now (p_i + t_c > d_i).
+// deadline at now (p_i + t_c > d_i). The returned slice is scratch space
+// owned by the batch: it is only valid until the next PurgeMissed or
+// RemoveScheduled call.
 func (b *Batch) PurgeMissed(now simtime.Instant) []*Task {
-	return b.removeIf(func(t *Task) bool { return t.Missed(now) })
+	// A task is missed only once now passes its latest start d_i - p_i, so
+	// no scan can remove anything before the batch-wide minimum. A
+	// zero-valued Batch has horizon 0 and simply always scans.
+	if !now.After(b.horizon) {
+		return b.removed[:0]
+	}
+	horizon := simtime.Never
+	removed := b.removeIf(func(t *Task) bool {
+		if t.Missed(now) {
+			return true
+		}
+		if ls := t.Deadline.Add(-t.Proc); ls.Before(horizon) {
+			horizon = ls
+		}
+		return false
+	})
+	b.horizon = horizon
+	return removed
 }
 
 // RemoveScheduled removes the given tasks from the batch. Tasks scheduled in
@@ -101,21 +152,61 @@ func (b *Batch) RemoveScheduled(scheduled []*Task) int {
 	if len(scheduled) == 0 {
 		return 0
 	}
-	drop := make(map[ID]struct{}, len(scheduled))
+	// Planner schedules are subsequences of the batch's order — the search
+	// assigns tasks in scheduling-priority order over the very pointers the
+	// batch holds — so a two-pointer merge removes them in one pass of
+	// pointer compares. Anything left unmatched (an out-of-order or foreign
+	// caller) falls back to matching by ID.
+	j := 0
+	n := len(b.removeIf(func(t *Task) bool {
+		if j < len(scheduled) && scheduled[j] == t {
+			j++
+			return true
+		}
+		return false
+	}))
+	if j < len(scheduled) {
+		n += b.removeByID(scheduled[j:])
+	}
+	return n
+}
+
+// removeByID removes the given tasks from the batch by ID match, in any
+// order — the slow path behind RemoveScheduled.
+func (b *Batch) removeByID(scheduled []*Task) int {
+	// Small sets are cheaper to match by linear scan than through a map;
+	// large ones reuse the batch's drop set (cleared, not reallocated).
+	if len(scheduled) <= 8 {
+		removed := b.removeIf(func(t *Task) bool {
+			for _, s := range scheduled {
+				if s.ID == t.ID {
+					return true
+				}
+			}
+			return false
+		})
+		return len(removed)
+	}
+	if b.drop == nil {
+		b.drop = make(map[ID]struct{}, len(scheduled))
+	} else {
+		clear(b.drop)
+	}
 	for _, t := range scheduled {
-		drop[t.ID] = struct{}{}
+		b.drop[t.ID] = struct{}{}
 	}
 	removed := b.removeIf(func(t *Task) bool {
-		_, ok := drop[t.ID]
+		_, ok := b.drop[t.ID]
 		return ok
 	})
 	return len(removed)
 }
 
 // removeIf removes every task matching pred, preserving the order of the
-// remainder, and returns the removed tasks.
+// remainder, and returns the removed tasks in the batch's reusable scratch
+// slice (valid until the next removal).
 func (b *Batch) removeIf(pred func(*Task) bool) []*Task {
-	var removed []*Task
+	removed := b.removed[:0]
 	keep := b.tasks[:0]
 	for _, t := range b.tasks {
 		if pred(t) {
@@ -129,6 +220,7 @@ func (b *Batch) removeIf(pred func(*Task) bool) []*Task {
 		b.tasks[i] = nil
 	}
 	b.tasks = keep
+	b.removed = removed
 	return removed
 }
 
@@ -166,61 +258,76 @@ func (b *Batch) SortLLF() {
 // SortLLF orders tasks by ascending laxity (Deadline - Proc), breaking ties
 // by ID.
 func SortLLF(tasks []*Task) {
-	sortSlice(tasks, func(a, b *Task) bool {
-		la := a.Deadline.Add(-a.Proc)
-		lb := b.Deadline.Add(-b.Proc)
-		if la != lb {
-			return la < lb
-		}
-		return a.ID < b.ID
-	})
+	sortByKey(tasks, func(t *Task) int64 { return int64(t.Deadline.Add(-t.Proc)) })
 }
 
 // SortEDF orders tasks by ascending deadline, breaking ties by ID. It is the
 // scheduling-priority heuristic both search representations use to decide
 // which task to consider next.
 func SortEDF(tasks []*Task) {
-	// Insertion-friendly three-way comparison via sort.Slice would allocate
-	// a closure per call site; batches are sorted once per phase so the
-	// simple approach is fine.
-	sortSlice(tasks, func(a, b *Task) bool {
-		if a.Deadline != b.Deadline {
-			return a.Deadline < b.Deadline
-		}
-		return a.ID < b.ID
-	})
+	sortByKey(tasks, func(t *Task) int64 { return int64(t.Deadline) })
 }
 
-// sortSlice is a small pattern-defeating-free quicksort over task pointers.
-// It exists so this hot path does not depend on reflection-based sort.Slice.
-func sortSlice(ts []*Task, less func(a, b *Task) bool) {
-	if len(ts) < 2 {
+// sortKey carries one task's sort key so the comparator touches only the
+// key array — the per-phase re-sorts were dominated by the two *Task
+// dereferences inside the comparator, not by the comparisons themselves.
+type sortKey struct {
+	key int64
+	id  ID
+	t   *Task
+}
+
+// keyPool recycles the key arrays; sorts can run concurrently (one live
+// host loop per shard), so the scratch cannot be a package global.
+var keyPool = sync.Pool{New: func() any { return new([]sortKey) }}
+
+// sortByKey sorts tasks by (key(t), ID) ascending through a flat key array.
+// pdqsort is allocation-free and O(n) on the already-sorted batches the
+// steady-state phase loop re-sorts (a scheduling phase removes tasks in
+// place, preserving order), and — because (key, ID) is a total order with
+// unique IDs — produces exactly one permutation, so instability cannot
+// perturb the deterministic results.
+func sortByKey(tasks []*Task, key func(*Task) int64) {
+	if len(tasks) < 2 {
 		return
 	}
-	// Heapsort: O(n log n) worst case, in place, no recursion.
-	n := len(ts)
-	for i := n/2 - 1; i >= 0; i-- {
-		siftDown(ts, i, n, less)
-	}
-	for end := n - 1; end > 0; end-- {
-		ts[0], ts[end] = ts[end], ts[0]
-		siftDown(ts, 0, end, less)
-	}
-}
-
-func siftDown(ts []*Task, root, end int, less func(a, b *Task) bool) {
-	for {
-		child := 2*root + 1
-		if child >= end {
-			return
+	// The steady-state phase loop re-sorts batches that removals left in
+	// order (removeIf preserves the remainder's order), so most calls see
+	// already-sorted input: detect that with one scan and skip the key
+	// extraction and write-back entirely. Unsorted inputs bail at the first
+	// inversion, which for fresh batches is almost immediate.
+	pk, pid := key(tasks[0]), tasks[0].ID
+	sorted := true
+	for _, t := range tasks[1:] {
+		k, id := key(t), t.ID
+		if k < pk || (k == pk && id < pid) {
+			sorted = false
+			break
 		}
-		if child+1 < end && less(ts[child], ts[child+1]) {
-			child++
-		}
-		if !less(ts[root], ts[child]) {
-			return
-		}
-		ts[root], ts[child] = ts[child], ts[root]
-		root = child
+		pk, pid = k, id
 	}
+	if sorted {
+		return
+	}
+	bp := keyPool.Get().(*[]sortKey)
+	ks := *bp
+	if cap(ks) < len(tasks) {
+		ks = make([]sortKey, len(tasks))
+	}
+	ks = ks[:len(tasks)]
+	for i, t := range tasks {
+		ks[i] = sortKey{key: key(t), id: t.ID, t: t}
+	}
+	slices.SortFunc(ks, func(a, b sortKey) int {
+		if a.key != b.key {
+			return cmp.Compare(a.key, b.key)
+		}
+		return cmp.Compare(a.id, b.id)
+	})
+	for i := range ks {
+		tasks[i] = ks[i].t
+		ks[i].t = nil // don't pin tasks past the sort
+	}
+	*bp = ks[:0]
+	keyPool.Put(bp)
 }

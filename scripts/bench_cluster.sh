@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Runs the tracked federation benchmark suite
 # (BenchmarkFederationThroughput: tasks admitted+completed per second at
-# shard counts 1/2/4, fixed total workers) and writes BENCH_cluster.json.
-# The committed BENCH_cluster.json at the repo root is the baseline the CI
-# bench-regression job compares against (scripts/benchcmp, gated on the
-# shards=4 throughput).
+# shard counts 1/2/4 and batch sizes all/1, fixed total workers, plus a
+# wire=loopback dimension that prices the TCP shard protocol) and writes
+# BENCH_cluster.json. The committed BENCH_cluster.json at the repo root is
+# the baseline the CI bench-regression job compares against
+# (scripts/benchcmp, gated on the shards=4/batch=all throughput plus an
+# absolute allocs/op cap).
 #
 # Usage: scripts/bench_cluster.sh [output.json]
 #   BENCHTIME=2s COUNT=3 scripts/bench_cluster.sh   # longer / repeated runs

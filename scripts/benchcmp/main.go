@@ -15,10 +15,18 @@
 // run, so gomaxprocs < 4 fails the gate outright rather than passing
 // vacuously on a starved runner.
 //
+// -cap gates absolute ceilings on the NEW results' gate benchmark,
+// independent of the baseline: "allocs_per_op<=269" fails when the gate
+// benchmark's allocs/op exceeds 269 on this run, however the baseline
+// drifted. Ceilings pin structural properties (the batched admission path's
+// allocation diet) that a relative threshold would let erode a few percent
+// per PR. Comma-separate multiple caps.
+//
 // Usage:
 //
 //	go run ./scripts/benchcmp base.json new.json
 //	go run ./scripts/benchcmp -gate 'shards=4' -metrics tasks_per_s -threshold 0.30 base.json new.json
+//	go run ./scripts/benchcmp -gate 'shards=4/batch=all' -metrics tasks_per_s -cap 'allocs_per_op<=269' base.json new.json
 //	go run ./scripts/benchcmp -order 'full-dive-parallel/workers=4<full-dive' base.json new.json
 package main
 
@@ -66,6 +74,7 @@ func main() {
 	metrics := flag.String("metrics", "ns_per_op,allocs_per_op", "comma-separated metrics to gate on")
 	threshold := flag.Float64("threshold", 0.20, "relative regression that fails (0.20 = 20% worse)")
 	order := flag.String("order", "", `absolute ordering gate on the new results: "A<B" fails unless A's ns_per_op beats B's (and A ran at gomaxprocs >= 4 when it records that metric)`)
+	caps := flag.String("cap", "", `comma-separated absolute ceilings on the gate benchmark's NEW results: "allocs_per_op<=269" fails when the metric exceeds the bound`)
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchcmp [-gate name] [-metrics a,b] [-threshold frac] base.json new.json")
@@ -139,12 +148,51 @@ func main() {
 			check(m)
 		}
 	}
+	if *caps != "" && !checkCaps(*gate, cm, *caps) {
+		failed = true
+	}
 	if *order != "" && !checkOrder(cur, *order) {
 		failed = true
 	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// checkCaps enforces absolute "metric<=bound" ceilings on the gate
+// benchmark's new results. A cap on a metric the run did not record fails:
+// a ceiling that silently stops being measured is not a ceiling.
+func checkCaps(gate string, cm map[string]float64, caps string) bool {
+	ok := true
+	for _, spec := range strings.Split(caps, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		metric, boundStr, found := strings.Cut(spec, "<=")
+		metric, boundStr = strings.TrimSpace(metric), strings.TrimSpace(boundStr)
+		if !found || metric == "" || boundStr == "" {
+			fmt.Fprintf(os.Stderr, "benchcmp: -cap %q must have the form metric<=bound\n", spec)
+			os.Exit(2)
+		}
+		var bound float64
+		if _, err := fmt.Sscanf(boundStr, "%g", &bound); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcmp: -cap %q: bad bound: %v\n", spec, err)
+			os.Exit(2)
+		}
+		got, recorded := cm[metric]
+		switch {
+		case !recorded:
+			fmt.Printf("FAIL %s/%s: cap <=%g but the new run did not record the metric\n", gate, metric, bound)
+			ok = false
+		case got > bound:
+			fmt.Printf("FAIL %s/%s: %.1f exceeds cap %g\n", gate, metric, got, bound)
+			ok = false
+		default:
+			fmt.Printf("ok   %s/%s: %.1f within cap %g\n", gate, metric, got, bound)
+		}
+	}
+	return ok
 }
 
 // checkOrder enforces an "A<B" ordering gate on the new results: A must

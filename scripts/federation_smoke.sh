@@ -12,6 +12,12 @@
 #     injected worker failure surfaces under shard="1" (not shard="0")
 #   - /healthz reports the dead worker in the right shard
 #
+# A second section re-runs the federation with both shards OUT OF PROCESS:
+# two `rtcluster -shard-listen` servers driven over the TCP wire protocol,
+# one of which is SIGKILLed mid-run. The router must finish anyway with
+# balanced books — the killed shard's backlog charged to LostToFailure on
+# the router's own ledger.
+#
 # The final accounting identities (Reconcile) are enforced by rtcluster
 # itself: it exits non-zero when the federation books do not balance.
 #
@@ -21,7 +27,10 @@ set -euo pipefail
 ADDR="127.0.0.1:8078"
 WORKDIR="$(mktemp -d)"
 OUT="$WORKDIR/stdout.log"
-trap 'kill "$RUN_PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+RUN_PID=""
+SHARD0_PID=""
+SHARD1_PID=""
+trap 'kill "$RUN_PID" "$SHARD0_PID" "$SHARD1_PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
 
 fail() { echo "federation_smoke: FAIL: $*" >&2; exit 1; }
 
@@ -99,5 +108,68 @@ cat "$OUT"
 grep -q 'topology: 2 shard(s) × 2 worker(s) (4 total)' "$OUT" || fail "topology banner missing"
 grep -q 'routing: 200 routed' "$OUT" || fail "routing summary missing or wrong task count"
 grep -q 'shard 1:' "$OUT" || fail "per-shard summaries missing"
+
+echo "federation_smoke: --- out-of-process shards over TCP ---"
+SHARD0_ADDR="127.0.0.1:8079"
+SHARD1_ADDR="127.0.0.1:8080"
+TCP_DEBUG="127.0.0.1:8081"
+TCP_OUT="$WORKDIR/tcp_router.log"
+SHARD0_OUT="$WORKDIR/shard0.log"
+SHARD1_OUT="$WORKDIR/shard1.log"
+
+"$WORKDIR/rtcluster" -shard-listen "$SHARD0_ADDR" >"$SHARD0_OUT" 2>&1 &
+SHARD0_PID=$!
+"$WORKDIR/rtcluster" -shard-listen "$SHARD1_ADDR" >"$SHARD1_OUT" 2>&1 &
+SHARD1_PID=$!
+deadline=$((SECONDS + 30))
+until grep -q 'shard listening' "$SHARD0_OUT" && grep -q 'shard listening' "$SHARD1_OUT"; do
+    [ "$SECONDS" -lt "$deadline" ] || fail "shard servers did not come up within 30s"
+    sleep 0.2
+done
+echo "federation_smoke: shard servers up on $SHARD0_ADDR and $SHARD1_ADDR"
+
+# The same workload routed over the wire; a slow clock (scale 400) keeps
+# the backlog draining long enough for the kill to land mid-run. Fault
+# plans only apply to in-process shards — here the fault IS the process
+# death.
+"$WORKDIR/rtcluster" -workers 4 \
+    -shards "tcp://$SHARD0_ADDR,tcp://$SHARD1_ADDR" \
+    -txns 200 -scale 400 -sf 4 -placement affinity \
+    -admission reject -queue-cap 24 \
+    -debug-addr "$TCP_DEBUG" >"$TCP_OUT" 2>&1 &
+RUN_PID=$!
+
+# Kill shard 1's process the moment the router has demonstrably routed
+# traffic to it — guaranteed mid-run with a multi-second drain ahead.
+deadline=$((SECONDS + 60))
+killed=""
+while [ "$SECONDS" -lt "$deadline" ]; do
+    if ! kill -0 "$RUN_PID" 2>/dev/null; then
+        cat "$TCP_OUT" >&2
+        fail "TCP run finished before the shard kill could land"
+    fi
+    TSNAP="$WORKDIR/tcp_metrics.txt"
+    curl -sf "http://$TCP_DEBUG/metrics" >"$TSNAP" 2>/dev/null || { sleep 0.2; continue; }
+    routed1=$(metric "$TSNAP" 'rtsads_fed_routed_total{shard="1"}')
+    if [ "$routed1" -ge 1 ]; then
+        kill -9 "$SHARD1_PID"
+        killed=yes
+        echo "federation_smoke: SIGKILLed shard 1's process after $routed1 routed tasks"
+        break
+    fi
+    sleep 0.2
+done
+[ -n "$killed" ] || fail "router never routed to shard 1 within 60s"
+
+echo "federation_smoke: waiting for the TCP run to finish"
+wait "$RUN_PID" || { cat "$TCP_OUT" >&2; fail "TCP run exited non-zero (dead-shard books did not reconcile?)"; }
+RUN_PID=""
+cat "$TCP_OUT"
+
+grep -q 'topology: 2 shard(s) × 2 worker(s) (4 total)' "$TCP_OUT" || fail "TCP topology banner missing"
+grep -q 'routing: 200 routed' "$TCP_OUT" || fail "TCP routing summary missing or wrong task count"
+grep -Eq 'shard 1:.*lostToFailure=[1-9]' "$TCP_OUT" ||
+    fail "killed shard reports no lost tasks; the death did not land mid-run"
+grep -q 'shard session complete' "$SHARD0_OUT" || fail "surviving shard session did not complete cleanly"
 
 echo "federation_smoke: PASS"

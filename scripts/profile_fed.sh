@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Collects CPU and allocation profiles of the federation throughput suite
+# (BenchmarkFederationThroughput) and prints the top consumers — the
+# workflow behind the batched admission path's allocation diet and the
+# allocs/op cap CI enforces. The test binary is kept next to the profiles
+# so `go tool pprof` can always resolve symbols later.
+#
+# Usage: scripts/profile_fed.sh [sub-benchmark] [outdir]
+#   scripts/profile_fed.sh                             # shards=4/batch=all
+#   scripts/profile_fed.sh 'shards=4/wire=loopback'    # price the TCP codec
+#   BENCHTIME=3s scripts/profile_fed.sh                # longer sample
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH="${1:-shards=4/batch=all}"
+OUTDIR="${2:-/tmp/rtsads-profile}"
+mkdir -p "$OUTDIR"
+
+go test -run '^$' -bench "BenchmarkFederationThroughput/$BENCH" \
+    -benchtime "${BENCHTIME:-1s}" -benchmem \
+    -cpuprofile "$OUTDIR/cpu.out" -memprofile "$OUTDIR/mem.out" \
+    -o "$OUTDIR/federation.test" ./internal/federation/
+
+echo
+echo "== top CPU =="
+go tool pprof -top -nodecount 15 "$OUTDIR/federation.test" "$OUTDIR/cpu.out"
+echo
+echo "== top allocation sites (objects) =="
+go tool pprof -top -nodecount 15 -sample_index=alloc_objects "$OUTDIR/federation.test" "$OUTDIR/mem.out"
+echo
+echo "profiles in $OUTDIR — interactive view: go tool pprof -http=: $OUTDIR/cpu.out"
