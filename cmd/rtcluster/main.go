@@ -97,6 +97,8 @@ func run(args []string, out io.Writer) (retErr error) {
 	faults := fs.String("faults", "", `fault-injection spec, e.g. "kill=1@40ms;drop=0:2@10ms;stall=2@30ms:25ms"`)
 	heartbeat := fs.Duration("heartbeat", 0, "liveness heartbeat interval (0 = default)")
 	timeout := fs.Duration("timeout", 0, "liveness timeout before a peer is presumed dead (0 = default)")
+	rejoin := fs.Bool("rejoin", false, "federation: keep redialling a dead shard's address and re-admit the restarted -shard-listen process (requires -shards tcp://...)")
+	rejoinMax := fs.Int("rejoin-max", 0, "federation: max rejoins per shard before it is closed for good (0 = default)")
 	debugAddr := fs.String("debug-addr", "", "serve /metrics, /healthz, /journal, expvar and pprof on this address while the run is live (e.g. :8077 or :0)")
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON file of the live run (chrome://tracing, Perfetto)")
 	traceLimit := fs.Int("trace-limit", 0, "maximum trace events to keep (0 = unlimited)")
@@ -109,6 +111,21 @@ func run(args []string, out io.Writer) (retErr error) {
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown grace: how long a SIGINT/SIGTERM keeps scheduling the admitted backlog before abandoning it")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// Liveness knobs are validated at parse time: a negative interval or a
+	// timeout no longer than the heartbeat would only surface as spurious
+	// peer deaths deep into a run.
+	if *heartbeat < 0 {
+		return fmt.Errorf("-heartbeat %v must be non-negative", *heartbeat)
+	}
+	if *timeout < 0 {
+		return fmt.Errorf("-timeout %v must be non-negative", *timeout)
+	}
+	if *heartbeat > 0 && *timeout > 0 && *timeout <= *heartbeat {
+		return fmt.Errorf("-timeout %v must exceed -heartbeat %v, or a healthy peer is presumed dead between beats", *timeout, *heartbeat)
+	}
+	if *rejoinMax < 0 {
+		return fmt.Errorf("-rejoin-max %d must be non-negative", *rejoinMax)
 	}
 	plan, err := faultinject.Parse(*faults)
 	if err != nil {
@@ -230,6 +247,9 @@ func run(args []string, out io.Writer) (retErr error) {
 			return err
 		}
 
+		if *rejoin && len(shardAddrs) == 0 {
+			return fmt.Errorf("-rejoin needs out-of-process shards (-shards tcp://...): an in-process shard has no process to restart")
+		}
 		if shardCount != 1 || len(shardAddrs) > 0 {
 			if *role != "inproc" {
 				return fmt.Errorf("-shards %s requires -role inproc: the federation drives its shards itself", *shardsFlag)
@@ -258,6 +278,7 @@ func run(args []string, out io.Writer) (retErr error) {
 				DupCap:      *dupCap,
 				BatchCap:    *batchCap,
 				ShardAddrs:  shardAddrs,
+				Recovery:    federation.Recovery{Rejoin: *rejoin, MaxRejoins: *rejoinMax},
 			}, *debugAddr, *journalOut, *taskTraceOut)
 		}
 
@@ -419,6 +440,10 @@ func runFederation(out io.Writer, cfg federation.Config, debugAddr, journalOut, 
 	fmt.Fprintf(out, "federation: %s\n", comb)
 	fmt.Fprintf(out, "routing: %d routed, %d bounced (%d migrated, %d rejected)\n",
 		res.Routed, res.Bounced, res.Migrated, res.Rejected)
+	if res.Salvaged > 0 || res.SalvageLost > 0 || res.Rejoins > 0 {
+		fmt.Fprintf(out, "recovery: %d task(s) salvaged off dead shards, %d salvage-lost, %d shard rejoin(s)\n",
+			res.Salvaged, res.SalvageLost, res.Rejoins)
+	}
 	fmt.Fprintf(out, "hit ratio: %.1f%%  makespan: %v (virtual)  wall time: %v\n",
 		100*comb.HitRatio(), time.Duration(comb.Makespan), time.Since(start).Round(time.Millisecond))
 	return res.Reconcile()

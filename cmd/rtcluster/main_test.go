@@ -205,3 +205,32 @@ func TestRunBadDebugAddr(t *testing.T) {
 		t.Error("bad debug address accepted")
 	}
 }
+
+// TestRunLivenessFlagValidation pins the flag-parse-time checks on the
+// liveness and recovery knobs: misconfigurations fail fast with an error
+// naming the offending flag instead of surfacing mid-run as spurious
+// death verdicts.
+func TestRunLivenessFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"negative heartbeat", []string{"-heartbeat", "-1s"}, "-heartbeat"},
+		{"negative timeout", []string{"-timeout", "-1s"}, "-timeout"},
+		{"timeout not above heartbeat", []string{"-heartbeat", "100ms", "-timeout", "100ms"}, "must exceed -heartbeat"},
+		{"negative rejoin budget", []string{"-rejoin-max", "-2"}, "-rejoin-max"},
+		{"rejoin without tcp shards", []string{"-workers", "4", "-shards", "2", "-rejoin"}, "no process to restart"},
+	}
+	for _, c := range cases {
+		var out strings.Builder
+		err := run(c.args, &out)
+		if err == nil {
+			t.Errorf("%s: accepted %v", c.name, c.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}

@@ -37,6 +37,11 @@ type FedTCPScenario struct {
 	KillShard int
 	// KillAfter is the wall-clock delay from run start to the cut.
 	KillAfter time.Duration
+	// Rejoin lets the router redial the severed shard: the farm's accept
+	// loop serves a fresh session and the shard re-enters placement, so the
+	// run exercises the full kill→salvage→rejoin cycle instead of finishing
+	// on a synthesized dead-shard result.
+	Rejoin bool
 }
 
 // NewFedTCPScenario derives a sever-a-session scenario from its seed.
@@ -62,6 +67,7 @@ func NewFedTCPScenario(seed uint64) FedTCPScenario {
 	}
 	s.KillShard = src.Intn(s.Topology.Shards)
 	s.KillAfter = time.Duration(src.IntRange(60, 300)) * time.Millisecond
+	s.Rejoin = src.Bool(0.5)
 	return s
 }
 
@@ -109,7 +115,9 @@ func (s FedTCPScenario) Run() (*FedTCPReport, error) {
 				mu.Lock()
 				conns[i] = c
 				mu.Unlock()
-				_ = federation.ServeShard(c, federation.ServeShardOptions{})
+				// Per-session goroutine: a rejoin dial lands on a fresh
+				// session immediately, as it would on a restarted process.
+				go func() { _ = federation.ServeShard(c, federation.ServeShardOptions{}) }()
 			}
 		}(i, ln)
 	}
@@ -124,6 +132,7 @@ func (s FedTCPScenario) Run() (*FedTCPReport, error) {
 		SlackGuard: s.SlackGuard,
 		ShardAddrs: addrs,
 		JournalCap: 4096,
+		Recovery:   federation.Recovery{Rejoin: s.Rejoin},
 	})
 	if err != nil {
 		return nil, fmt.Errorf("chaos: fedtcp seed %d: %w", s.Seed, err)
@@ -203,10 +212,13 @@ func (s FedTCPScenario) check(res *federation.Result, f *federation.Federation, 
 	// The router's registry mirrors the federation counters.
 	snap := f.Registry().Snapshot()
 	for name, want := range map[string]int{
-		federation.MetricRouted:   res.Routed,
-		federation.MetricMigrated: res.Migrated,
-		federation.MetricBounced:  res.Bounced,
-		federation.MetricRejected: res.Rejected,
+		federation.MetricRouted:      res.Routed,
+		federation.MetricMigrated:    res.Migrated,
+		federation.MetricBounced:     res.Bounced,
+		federation.MetricRejected:    res.Rejected,
+		federation.MetricSalvaged:    res.Salvaged,
+		federation.MetricSalvageLost: res.SalvageLost,
+		federation.MetricRejoins:     res.Rejoins,
 	} {
 		if got := snap[name]; got != int64(want) {
 			add("federation registry %s = %d, run result says %d", name, got, want)

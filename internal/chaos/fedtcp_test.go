@@ -47,12 +47,14 @@ func TestFedTCPScenarioDeterministic(t *testing.T) {
 // TestFedTCPChaosSmoke drives seeded sever-a-session scenarios through
 // out-of-process shards on loopback TCP and checks the wire-tier invariants
 // on each. Across the batch the session-death machinery must demonstrably
-// fire: at least one run must charge tasks to a dead shard.
+// fire: at least one run must show death evidence — tasks salvaged off the
+// dead shard, salvage attempts explicitly lost, a completed rejoin, or
+// tasks charged lost to the dead shard's synthesized books.
 func TestFedTCPChaosSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("wire-tier chaos runs on the wall clock")
 	}
-	var sessionDeaths, bounced, migrated, lost int
+	var sessionDeaths, bounced, migrated, lost, salvaged, rejoins int
 	for seed := uint64(1); seed <= 6; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
@@ -62,17 +64,19 @@ func TestFedTCPChaosSmoke(t *testing.T) {
 			}
 			res := rep.Result
 			dead := res.Shards[rep.Scenario.KillShard]
-			if dead.LostToFailure > 0 {
+			if dead.LostToFailure > 0 || res.Salvaged > 0 || res.SalvageLost > 0 || res.Rejoins > 0 {
 				sessionDeaths++
 			}
 			bounced += res.Bounced
 			migrated += res.Migrated
 			lost += res.Combined().LostToFailure
+			salvaged += res.Salvaged
+			rejoins += res.Rejoins
 		})
 	}
 	if sessionDeaths == 0 {
-		t.Error("no scenario lost tasks to a severed session; the wire-death path went unexercised")
+		t.Error("no scenario showed death evidence from a severed session; the wire-death path went unexercised")
 	}
-	t.Logf("aggregate over 6 seeds: session deaths=%d bounced=%d migrated=%d lost=%d",
-		sessionDeaths, bounced, migrated, lost)
+	t.Logf("aggregate over 6 seeds: session deaths=%d bounced=%d migrated=%d lost=%d salvaged=%d rejoins=%d",
+		sessionDeaths, bounced, migrated, lost, salvaged, rejoins)
 }

@@ -58,6 +58,20 @@ const (
 	// MetricRejected counts bounces with no feasible sibling; the
 	// rejecting shard sheds (or loses) those locally.
 	MetricRejected = "rtsads_fed_rejected_total"
+	// MetricSalvaged counts tasks rescued off a dead shard: outstanding
+	// (or mid-submit) work the router re-placed on a feasible sibling.
+	// Every salvage is also a migration, so the bounce identities hold.
+	MetricSalvaged = "rtsads_fed_salvaged_total"
+	// MetricSalvageLost counts salvage attempts no sibling could serve by
+	// the deadline; those tasks are charged lost to the dead shard.
+	MetricSalvageLost = "rtsads_fed_salvage_lost_total"
+	// MetricRejoins counts completed rejoin handshakes — a restarted shard
+	// process re-admitted to placement.
+	MetricRejoins = "rtsads_fed_rejoins_total"
+	// MetricQuarantines counts placeable→quarantined edges: a shard pulled
+	// from placement because its frames went stale (suspect) or it rejoined
+	// on flap probation.
+	MetricQuarantines = "rtsads_fed_quarantines_total"
 	// MetricShards is the configured shard count.
 	MetricShards = "rtsads_fed_shards"
 	// MetricRoutedShardPattern is the per-shard first-route counter.
@@ -172,6 +186,11 @@ type ShardView struct {
 	Alive int
 	// Sealed shards accept no further submissions.
 	Sealed bool
+	// Quarantined shards are alive but pulled from placement — frames gone
+	// stale (suspect) or rejoined on flap probation. They keep settling the
+	// work they hold; they just take no new work until the router clears
+	// them, so a flapping shard cannot thrash migrations.
+	Quarantined bool
 	// RQs is the delay until the shard's earliest worker frees up —
 	// max(0, MinFree − now), the §4.3 RQs term for the best-placed local
 	// queue.
@@ -191,7 +210,7 @@ type ShardView struct {
 }
 
 // Eligible reports whether the shard can accept a submission at all.
-func (v ShardView) Eligible() bool { return v.Alive > 0 && !v.Sealed }
+func (v ShardView) Eligible() bool { return v.Alive > 0 && !v.Sealed && !v.Quarantined }
 
 // CE is the router-level cost estimate: the earliest-free delay plus the
 // queued work amortised over the surviving workers — a per-shard Min_Load
@@ -387,6 +406,13 @@ type Result struct {
 	Bounced  int
 	Migrated int
 	Rejected int
+	// Salvaged counts tasks rescued off dead shards (a subset of
+	// Migrated); SalvageLost counts salvage attempts no sibling could
+	// serve by the deadline (a subset of Rejected). Rejoins counts
+	// completed rejoin handshakes.
+	Salvaged    int
+	SalvageLost int
+	Rejoins     int
 	// PerShardRouted breaks Routed down by first-placement shard.
 	PerShardRouted []int
 }
@@ -482,6 +508,12 @@ func (r *Result) Reconcile() error {
 	}
 	if routed != r.Routed {
 		return fmt.Errorf("federation: Σ per-shard routed %d != routed %d", routed, r.Routed)
+	}
+	if r.Salvaged > r.Migrated {
+		return fmt.Errorf("federation: salvaged %d exceeds migrated %d", r.Salvaged, r.Migrated)
+	}
+	if r.SalvageLost > r.Rejected {
+		return fmt.Errorf("federation: salvage-lost %d exceeds rejected %d", r.SalvageLost, r.Rejected)
 	}
 	return nil
 }

@@ -44,9 +44,14 @@ func newShardFarm(t *testing.T, n int) *shardFarm {
 				farm.mu.Lock()
 				farm.conns[i] = c
 				farm.mu.Unlock()
-				// Sessions are sequential per listener: the router holds one
-				// connection per shard for a whole run.
-				_ = ServeShard(c, ServeShardOptions{})
+				// Serve each session in its own goroutine: a rejoin dial after
+				// a kill models a restarted shard process, whose listener is
+				// not gated on the dead process finishing its shutdown.
+				farm.wg.Add(1)
+				go func() {
+					defer farm.wg.Done()
+					_ = ServeShard(c, ServeShardOptions{})
+				}()
 			}
 		}(i)
 	}
@@ -194,4 +199,150 @@ func TestFederationLiveTCPShardKill(t *testing.T) {
 	}
 	t.Logf("killed shard books: total=%d lost=%d hits=%d bounced=%d; federation %s",
 		dead.Total, dead.LostToFailure, dead.Hits, dead.Bounced, res.Combined())
+}
+
+// TestFederationLiveTCPShardRejoin kills shard 1's session mid-run with
+// rejoin enabled: the router must salvage the dead session's outstanding
+// tasks, redial the shard (the farm's accept loop serves a fresh session),
+// complete the rejoin handshake, and finish the run with exactly balanced
+// books spanning kill → salvage → rejoin.
+func TestFederationLiveTCPShardRejoin(t *testing.T) {
+	p := workload.DefaultParams(4)
+	p.NumTransactions = 240
+	w, err := workload.Generate(p)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	farm := newShardFarm(t, 2)
+	f, err := New(Config{
+		Workload:   w,
+		Topology:   Topology{Shards: 2, WorkersPerShard: 2},
+		Placement:  AffinityFirst,
+		Migrate:    true,
+		Scale:      50,
+		Admission:  admission.Config{Policy: admission.Reject, QueueCap: 8},
+		SlackGuard: 25 * time.Microsecond,
+		ShardAddrs: farm.addrs,
+		JournalCap: 8192,
+		Recovery:   Recovery{Rejoin: true},
+	})
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	type outcome struct {
+		res *Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := f.Run()
+		done <- outcome{res, err}
+	}()
+	time.Sleep(100 * time.Millisecond)
+	farm.kill(1)
+	out := <-done
+	if out.err != nil {
+		t.Fatalf("run with killed+rejoined shard: %v", out.err)
+	}
+	res := out.res
+	if err := res.Reconcile(); err != nil {
+		t.Fatalf("reconcile across kill→salvage→rejoin: %v", err)
+	}
+	if res.Routed != len(w.Tasks) {
+		t.Errorf("routed %d of %d tasks", res.Routed, len(w.Tasks))
+	}
+	if res.Rejoins < 1 {
+		t.Errorf("rejoins = %d, want at least 1 after the kill", res.Rejoins)
+	}
+	rs, ok := f.handles[1].(*remoteShard)
+	if !ok {
+		t.Fatalf("shard 1 handle is %T, want *remoteShard", f.handles[1])
+	}
+	if got := rs.Rejoins(); got < 1 {
+		t.Errorf("shard 1 rejoined %d times, want at least 1", got)
+	}
+	if snap := f.Registry().Snapshot(); snap[MetricRejoins] != int64(res.Rejoins) {
+		t.Errorf("registry %s = %d, result says %d", MetricRejoins, snap[MetricRejoins], res.Rejoins)
+	}
+	t.Logf("rejoin run: rejoins=%d salvaged=%d salvage-lost=%d shard1 books: total=%d hits=%d lost=%d bounced=%d",
+		res.Rejoins, res.Salvaged, res.SalvageLost,
+		res.Shards[1].Total, res.Shards[1].Hits, res.Shards[1].LostToFailure, res.Shards[1].Bounced)
+}
+
+// TestFederationLiveTCPShardFlap kills shard 1 repeatedly with a tight
+// flap threshold: the shard must rejoin each time, cross the threshold,
+// land on probation (quarantined from placement — the quarantine counter
+// must tick), and the run must still finish with balanced books and no
+// migration storm (every migration remains a deliberate §4.3-gated move).
+func TestFederationLiveTCPShardFlap(t *testing.T) {
+	p := workload.DefaultParams(4)
+	p.NumTransactions = 240
+	// Poisson arrivals at a 40µs mean stretch the routing phase over ~2s of
+	// wall clock at Scale 200, so the kills — and the probation windows the
+	// rejoins open — land while placement decisions are still being made.
+	// Bursty arrivals would route everything in the first few milliseconds
+	// and no placement could ever observe the quarantine.
+	p.Arrival = workload.Poisson
+	p.MeanInterArrival = 40 * time.Microsecond
+	w, err := workload.Generate(p)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	farm := newShardFarm(t, 2)
+	f, err := New(Config{
+		Workload:   w,
+		Topology:   Topology{Shards: 2, WorkersPerShard: 2},
+		Placement:  AffinityFirst,
+		Migrate:    true,
+		Scale:      200,
+		Admission:  admission.Config{Policy: admission.Reject, QueueCap: 8},
+		SlackGuard: 25 * time.Microsecond,
+		ShardAddrs: farm.addrs,
+		Recovery: Recovery{
+			Rejoin:        true,
+			MaxRejoins:    8,
+			FlapThreshold: 2,
+			FlapWindow:    10 * time.Second,
+			Probation:     300 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	type outcome struct {
+		res *Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := f.Run()
+		done <- outcome{res, err}
+	}()
+	for k := 0; k < 3; k++ {
+		time.Sleep(120 * time.Millisecond)
+		farm.kill(1)
+	}
+	out := <-done
+	if out.err != nil {
+		t.Fatalf("run with flapping shard: %v", out.err)
+	}
+	res := out.res
+	if err := res.Reconcile(); err != nil {
+		t.Fatalf("reconcile with flapping shard: %v", err)
+	}
+	if res.Rejoins < 2 {
+		t.Errorf("rejoins = %d, want at least 2 from three kills", res.Rejoins)
+	}
+	snap := f.Registry().Snapshot()
+	if snap[MetricQuarantines] < 1 {
+		t.Errorf("quarantines = %d, want at least 1: the flapping shard never hit probation", snap[MetricQuarantines])
+	}
+	// No migration storm: a flapping shard must not bounce the same tasks
+	// around indefinitely. Every task migrates at most Shards-1 times (the
+	// tried sets), so migrations are bounded by the workload size here.
+	if res.Migrated > 2*len(w.Tasks) {
+		t.Errorf("migrated %d times for %d tasks: migration storm", res.Migrated, len(w.Tasks))
+	}
+	t.Logf("flap run: rejoins=%d quarantines=%d salvaged=%d migrated=%d",
+		res.Rejoins, snap[MetricQuarantines], res.Salvaged, res.Migrated)
 }

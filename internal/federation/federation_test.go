@@ -3,6 +3,7 @@ package federation
 import (
 	"fmt"
 	"reflect"
+	"sort"
 	"testing"
 	"time"
 
@@ -388,4 +389,105 @@ func TestFederationLiveTwoShards(t *testing.T) {
 		}
 	}
 	t.Logf("live 2-shard: %s", res.Combined())
+}
+
+// TestSimulateShardEvents kills shard 1 partway through the arrival stream
+// and rejoins it later, all on the virtual clock: the run must stay
+// bit-reproducible, every identity in Reconcile must hold across the
+// kill→salvage→rejoin cycle, the rejoin must be counted, and the death must
+// leave salvage evidence — tasks re-placed on siblings or explicitly lost.
+func TestSimulateShardEvents(t *testing.T) {
+	// Bursty arrivals all land at virtual time zero, which would collapse
+	// every kill instant onto the first routing decision; Poisson arrivals
+	// spread the stream so the kill genuinely interrupts a part-routed run.
+	p := workload.DefaultParams(8)
+	p.Arrival = workload.Poisson
+	p.MeanInterArrival = 20 * time.Microsecond
+	w, err := workload.Generate(p)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	arrivals := make([]simtime.Instant, len(w.Tasks))
+	for i, tk := range w.Tasks {
+		arrivals[i] = tk.Arrival
+	}
+	sort.Slice(arrivals, func(a, b int) bool { return arrivals[a].Before(arrivals[b]) })
+	killAt := arrivals[len(arrivals)/4]
+	rejoinAt := arrivals[len(arrivals)/2]
+	cfg := SimConfig{
+		Workload:  w,
+		Topology:  Topology{Shards: 4, WorkersPerShard: 2},
+		Placement: AffinityFirst,
+		Migrate:   true,
+		Admission: admission.Config{Policy: admission.Reject, QueueCap: 64},
+		ShardEvents: []ShardEvent{
+			{At: killAt, Shard: 1, Kind: ShardKill},
+			{At: rejoinAt, Shard: 1, Kind: ShardRejoin},
+		},
+	}
+	run := func() *Result {
+		res, err := Simulate(cfg)
+		if err != nil {
+			t.Fatalf("simulate: %v", err)
+		}
+		return res
+	}
+	res, again := run(), run()
+	if !reflect.DeepEqual(res, again) {
+		t.Fatalf("shard events broke determinism:\n%+v\n%+v", res.Combined(), again.Combined())
+	}
+	if err := res.Reconcile(); err != nil {
+		t.Fatalf("reconcile across kill→salvage→rejoin: %v", err)
+	}
+	if res.Rejoins != 1 {
+		t.Errorf("rejoins = %d, want exactly 1", res.Rejoins)
+	}
+	if res.Salvaged+res.SalvageLost == 0 {
+		t.Error("the kill left no salvage evidence: nothing migrated off or lost with the dead shard")
+	}
+	if res.Salvaged > 0 && res.Migrated < res.Salvaged {
+		t.Errorf("salvaged %d exceeds migrated %d", res.Salvaged, res.Migrated)
+	}
+
+	// The rejoined shard must be placeable again: a task arriving after the
+	// rejoin can land on shard 1, so its books keep growing past the fold.
+	dead, err := Simulate(SimConfig{
+		Workload:  w,
+		Topology:  cfg.Topology,
+		Placement: cfg.Placement,
+		Migrate:   cfg.Migrate,
+		Admission: cfg.Admission,
+		ShardEvents: []ShardEvent{
+			{At: killAt, Shard: 1, Kind: ShardKill},
+		},
+	})
+	if err != nil {
+		t.Fatalf("simulate without rejoin: %v", err)
+	}
+	if err := dead.Reconcile(); err != nil {
+		t.Fatalf("reconcile without rejoin: %v", err)
+	}
+	if dead.Rejoins != 0 {
+		t.Errorf("rejoins = %d without a rejoin event", dead.Rejoins)
+	}
+	if res.Shards[1].Total <= dead.Shards[1].Total {
+		t.Errorf("rejoin placed no new work on shard 1: total %d with rejoin, %d without",
+			res.Shards[1].Total, dead.Shards[1].Total)
+	}
+
+	// Event validation: out-of-range shards and unknown kinds are rejected.
+	if _, err := Simulate(SimConfig{
+		Workload: w, Topology: cfg.Topology,
+		ShardEvents: []ShardEvent{{At: killAt, Shard: 9, Kind: ShardKill}},
+	}); err == nil {
+		t.Error("Simulate accepted an event for a shard outside the topology")
+	}
+	if _, err := Simulate(SimConfig{
+		Workload: w, Topology: cfg.Topology,
+		ShardEvents: []ShardEvent{{At: killAt, Shard: 1, Kind: "explode"}},
+	}); err == nil {
+		t.Error("Simulate accepted an unknown event kind")
+	}
+	t.Logf("sim shard events: rejoins=%d salvaged=%d salvage-lost=%d shard1 total=%d (dead-run total=%d)",
+		res.Rejoins, res.Salvaged, res.SalvageLost, res.Shards[1].Total, dead.Shards[1].Total)
 }

@@ -2,6 +2,7 @@ package federation
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"strings"
@@ -18,45 +19,94 @@ import (
 	"rtsads/internal/task"
 )
 
+// errShardDown reports a submission refused because the shard has no live
+// session. Distinct from a mid-write session loss: a refused batch never
+// entered the session's outstanding ledger, so the caller salvages it
+// directly instead of leaving it to the session's recovery pass.
+var errShardDown = errors.New("shard is down")
+
+// session is one wire connection to the shard process. A remoteShard may
+// run several sessions over its lifetime (kill → rejoin); each carries its
+// own stop channel so the read and heartbeat loops of a dead session never
+// outlive it, and once ensures exactly one death report per session.
+type session struct {
+	conn  *wire.Conn
+	epoch int
+	stop  chan struct{}
+	once  sync.Once
+}
+
 // remoteShard drives one out-of-process scheduler shard over the wire
-// protocol. The router writes Submit/Verdict/Seal/Heartbeat frames (wmu
-// serialises writers); one read goroutine consumes everything the shard
-// sends and keeps the latest load summary and counter snapshot for the
-// placement and settle loops.
+// protocol, across one or more sessions. The router writes
+// Submit/Verdict/Seal/Heartbeat frames (wmu serialises writers); one read
+// goroutine per session consumes everything the shard sends and keeps the
+// latest load summary, counter snapshot and checkpoint state.
 //
-// A remote shard that dies mid-run — connection lost, error frame, missed
-// heartbeats — is not a run failure: the handle marks itself dead
-// (ineligible for placement), counts everything routed to it as settled,
-// and synthesizes a final result from the last counter snapshot with the
-// unaccounted remainder charged to LostToFailure, so Reconcile still
-// balances. That mirrors how a lost worker inside a shard is charged.
+// Lifecycle: Up (session live) → Suspect (frames stale: quarantined from
+// placement, reversible) → Down (session lost: outstanding tasks are
+// salvaged to siblings through the §4.3 migration gate and the session's
+// books fold into prev/prevTotalSum) → Rejoining (capped jittered redial)
+// → Up again, on Probation when the shard is flapping. A shard that
+// exhausts its rejoin budget — or has Rejoin disabled — closes done and
+// Wait synthesizes its result from the folded books.
+//
+// Accounting: submitted counts every task charged to this shard across
+// all sessions. Per session, submitted = checkpoint-settled + outstanding
+// + migrated-away; at death the outstanding set is split by salvage into
+// migrated-away (books cancel: Total+1 and Bounced+1) and residual
+// (charged lost). The checkpoint counters are settle-derived on the shard
+// side, exactly consistent with the settled-ID stream, so the fold is
+// ledger-exact and Reconcile holds across kill → salvage → rejoin.
 type remoteShard struct {
-	id int
-	f  *Federation
+	id   int
+	f    *Federation
+	addr string
+	live livecluster.Liveness
+	rec  Recovery
 
-	conn    *wire.Conn
-	hbEvery time.Duration
-	timeout time.Duration
-
-	// wmu serialises frame writes; wbuf is the reusable Submit payload.
+	// wmu serialises frame writes across sessions; wbuf is the reusable
+	// Submit payload.
 	wmu  sync.Mutex
 	wbuf []byte
 
 	// submitted counts tasks the router handed this shard (first
-	// placements and migrations) — the dead-shard Total.
+	// placements and migrations, every session) — the dead-shard Total.
 	submitted atomic.Int64
 
-	mu       sync.Mutex
-	summary  livecluster.Summary
-	counters map[string]int64
-	res      *metrics.RunResult
-	journal  []obs.Entry
-	evicted  int64
-	dead     bool
-	err      error
+	mu        sync.Mutex
+	sess      *session
+	epoch     int
+	summary   livecluster.Summary
+	counters  map[string]int64 // session summary counters (display, Admitted)
+	ckpt      map[string]int64 // session checkpoint verdict counters (accounting)
+	ckptSeq   uint64
+	lastHeard time.Time
+	// outstanding is the submitted-minus-verdict ledger for the live
+	// session: IDs enter before their Submit frame can reach the shard and
+	// leave via checkpointed settlement or accepted migration — what
+	// remains at a session death is exactly the salvageable set.
+	outstanding map[task.ID]struct{}
 
-	done     chan struct{}
-	doneOnce sync.Once
+	// Folded books of dead sessions (and post-death stray charges):
+	prev          map[string]int64 // terminal buckets, incl. salvage residuals under MetricLost
+	prevTotalSum  int
+	bouncesFolded int64
+	admittedPrev  int64
+
+	res            *metrics.RunResult
+	journal        []obs.Entry
+	evicted        int64
+	deadErr        error
+	sealed         bool
+	rejoins        int
+	deaths         []time.Time
+	probationUntil time.Time
+	quarantined    bool
+
+	stopRejoin chan struct{}
+	stopOnce   sync.Once
+	done       chan struct{}
+	doneOnce   sync.Once
 }
 
 // livenessDefaults resolves the router's liveness knobs the same way the
@@ -85,53 +135,86 @@ func StripScheme(addr string) string {
 	return strings.TrimPrefix(addr, "tcp://")
 }
 
-// dialShard connects shard i's server, completes the handshake and hello,
-// waits for the shard's first load summary, and starts the read and
-// heartbeat loops. The initial dial retries with backoff (a shard process
-// may still be binding its listener); after the session is up, any
-// connection loss is shard death — there is no state replay.
+// dialShard builds shard i's handle and establishes its first session.
 func (f *Federation) dialShard(i int, addr string) (*remoteShard, error) {
 	live := livenessDefaults(f.cfg.Liveness)
-	target := StripScheme(addr)
+	s := &remoteShard{
+		id:          i,
+		f:           f,
+		addr:        addr,
+		live:        live,
+		rec:         f.cfg.Recovery.withDefaults(live),
+		outstanding: make(map[task.ID]struct{}),
+		prev:        make(map[string]int64),
+		stopRejoin:  make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+	if err := s.connect(false); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
 
+// connect dials the shard's address, completes the handshake and hello,
+// waits for the shard's first load summary, and starts the session's read
+// and heartbeat loops. The initial dial retries on the same capped
+// jittered backoff schedule as the worker redial path (a shard process may
+// still be binding its listener); rejoin dials retry in rejoinLoop, so a
+// rejoin connect tries exactly once.
+func (s *remoteShard) connect(rejoin bool) error {
+	target := StripScheme(s.addr)
 	var nc net.Conn
 	var err error
-	backoff := live.RedialBackoff
-	for attempt := 0; ; attempt++ {
-		nc, err = net.DialTimeout("tcp", target, live.HelloTimeout)
-		if err == nil {
-			break
+	if rejoin {
+		nc, err = net.DialTimeout("tcp", target, s.live.HelloTimeout)
+		if err != nil {
+			return fmt.Errorf("dial: %w", err)
 		}
-		if live.Redials < 0 || attempt >= live.Redials {
-			return nil, fmt.Errorf("dial: %w", err)
+	} else {
+		bo := livecluster.NewBackoff(livecluster.RedialJitterSeed+uint64(s.id),
+			s.live.RedialBackoff, s.rec.RedialCap)
+		for attempt := 0; ; attempt++ {
+			nc, err = net.DialTimeout("tcp", target, s.live.HelloTimeout)
+			if err == nil {
+				break
+			}
+			if s.live.Redials < 0 || attempt >= s.live.Redials {
+				return fmt.Errorf("dial: %w", err)
+			}
+			if !s.pause(bo.Next()) {
+				return fmt.Errorf("dial: sealed while retrying: %w", err)
+			}
 		}
-		time.Sleep(backoff)
-		backoff *= 2
 	}
 
 	conn := wire.NewConn(nc)
-	deadline := time.Now().Add(live.HelloTimeout)
+	deadline := time.Now().Add(s.live.HelloTimeout)
 	conn.SetWriteDeadline(deadline)
 	conn.SetReadDeadline(deadline)
 	if err := conn.WriteHandshake(); err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("handshake: %w", err)
+		return fmt.Errorf("handshake: %w", err)
 	}
 	if err := conn.ReadHandshake(); err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("handshake: %w", err)
+		return fmt.Errorf("handshake: %w", err)
 	}
 
+	f := s.f
+	s.mu.Lock()
+	epoch := s.epoch
+	resumeSeq := s.ckptSeq
+	s.mu.Unlock()
 	hello := wire.Hello{
 		Params:          f.cfg.Workload.Params,
 		Shards:          f.tp.Shards,
 		WorkersPerShard: f.tp.WorkersPerShard,
-		Shard:           i,
+		Shard:           s.id,
 		Algorithm:       string(f.cfg.Algorithm),
 		Scale:           f.cfg.Scale,
 		StartUnixNano:   f.clock.Start().UnixNano(),
-		HeartbeatNano:   live.HeartbeatEvery.Nanoseconds(),
-		TimeoutNano:     live.Timeout.Nanoseconds(),
+		HeartbeatNano:   s.live.HeartbeatEvery.Nanoseconds(),
+		TimeoutNano:     s.live.Timeout.Nanoseconds(),
 		Admission:       f.cfg.Admission,
 		Backpressure:    f.cfg.Backpressure,
 		SlackGuardNano:  f.cfg.SlackGuard.Nanoseconds(),
@@ -140,6 +223,9 @@ func (f *Federation) dialShard(i int, addr string) (*remoteShard, error) {
 		FrontierCap:     f.cfg.FrontierCap,
 		DupCap:          f.cfg.DupCap,
 		JournalCap:      f.cfg.JournalCap,
+		Rejoin:          rejoin,
+		Epoch:           epoch,
+		ResumeSeq:       resumeSeq,
 	}
 	if f.cfg.Degrade != nil {
 		hello.DegradeAfter = f.cfg.Degrade.After
@@ -147,54 +233,114 @@ func (f *Federation) dialShard(i int, addr string) (*remoteShard, error) {
 	payload, err := json.Marshal(hello)
 	if err != nil {
 		conn.Close()
-		return nil, err
+		return err
 	}
 	if err := conn.WriteFrame(wire.TypeHello, payload); err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("hello: %w", err)
+		return fmt.Errorf("hello: %w", err)
 	}
 
-	s := &remoteShard{
-		id:      i,
-		f:       f,
-		conn:    conn,
-		hbEvery: live.HeartbeatEvery,
-		timeout: live.Timeout,
-		done:    make(chan struct{}),
-	}
 	// The shard answers the hello with its first summary (or an error
 	// frame if the hello was unusable) before the session goes async.
 	typ, body, err := conn.ReadFrame()
 	if err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("first summary: %w", err)
+		return fmt.Errorf("first summary: %w", err)
 	}
+	var sum wire.Summary
 	switch typ {
 	case wire.TypeSummary:
-		if err := s.applySummary(body); err != nil {
+		if err := json.Unmarshal(body, &sum); err != nil {
 			conn.Close()
-			return nil, err
+			return fmt.Errorf("summary: %w", err)
 		}
 	case wire.TypeError:
 		conn.Close()
-		return nil, fmt.Errorf("shard refused: %s", body)
+		return fmt.Errorf("shard refused: %s", body)
 	default:
 		conn.Close()
-		return nil, fmt.Errorf("expected first summary, got frame type %d", typ)
+		return fmt.Errorf("expected first summary, got frame type %d", typ)
 	}
 	conn.SetWriteDeadline(time.Time{})
-	go s.readLoop()
-	go s.heartbeatLoop()
-	return s, nil
+
+	s.mu.Lock()
+	s.epoch++
+	sess := &session{conn: conn, epoch: s.epoch, stop: make(chan struct{})}
+	s.sess = sess
+	s.deadErr = nil
+	s.summary = sum.Load
+	s.counters = sum.Counters
+	s.ckpt = nil
+	s.ckptSeq = 0
+	s.lastHeard = time.Now()
+	sealed := s.sealed
+	if rejoin {
+		s.rejoins++
+		// Flap hysteresis: several deaths inside the window put the shard
+		// on probation — alive and settling its own work, but quarantined
+		// from placement until it proves stable.
+		cut := time.Now().Add(-s.rec.FlapWindow)
+		keep := s.deaths[:0]
+		for _, d := range s.deaths {
+			if d.After(cut) {
+				keep = append(keep, d)
+			}
+		}
+		s.deaths = keep
+		if len(s.deaths) >= s.rec.FlapThreshold {
+			s.probationUntil = time.Now().Add(s.rec.Probation)
+		}
+	}
+	s.mu.Unlock()
+
+	go s.readLoop(sess)
+	go s.heartbeatLoop(sess)
+	if rejoin {
+		s.f.noteRejoin(s.id)
+	}
+	if sealed {
+		// The router sealed while this rejoin was in flight: seal the new
+		// session immediately so the shard drains (nothing was placed) and
+		// ends with a clean Bye instead of idling forever.
+		s.wmu.Lock()
+		werr := sess.conn.WriteFrame(wire.TypeSeal, nil)
+		s.wmu.Unlock()
+		if werr != nil {
+			s.sessionLost(sess, fmt.Errorf("federation: shard %d seal: %w", s.id, werr))
+		}
+	}
+	return nil
 }
 
-func (s *remoteShard) applySummary(body []byte) error {
+// pause sleeps for d, or returns false early when Seal cancels the
+// redial/rejoin machinery.
+func (s *remoteShard) pause(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-s.stopRejoin:
+		return false
+	}
+}
+
+// heard refreshes the suspect-detection watermark for a live session.
+func (s *remoteShard) heard(sess *session) {
+	s.mu.Lock()
+	if s.sess == sess {
+		s.lastHeard = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+func (s *remoteShard) applySummary(sess *session, body []byte) error {
 	var sum wire.Summary
 	if err := json.Unmarshal(body, &sum); err != nil {
 		return fmt.Errorf("summary: %w", err)
 	}
 	s.mu.Lock()
-	if !s.dead {
+	if s.sess == sess {
 		s.summary = sum.Load
 		if sum.Counters != nil {
 			s.counters = sum.Counters
@@ -204,48 +350,135 @@ func (s *remoteShard) applySummary(body []byte) error {
 	return nil
 }
 
-// markDead records the shard's failure exactly once: it becomes
-// ineligible for placement (dead summaries read Alive=0, Sealed) and its
-// Wait synthesizes a result from the last counter snapshot.
-func (s *remoteShard) markDead(err error) {
-	s.doneOnce.Do(func() {
-		s.mu.Lock()
-		s.dead = true
-		s.err = err
-		s.summary.Alive = 0
-		s.summary.Sealed = true
-		s.mu.Unlock()
-		s.conn.Close()
-		close(s.done)
+// applyCheckpoint replays one durable-progress frame into the outstanding
+// ledger: settled IDs leave the salvageable set, and the settle-derived
+// counter snapshot becomes the session's accounting truth.
+func (s *remoteShard) applyCheckpoint(sess *session, body []byte) error {
+	var ck wire.Checkpoint
+	if err := json.Unmarshal(body, &ck); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sess != sess || ck.Seq <= s.ckptSeq {
+		return nil // stale session or duplicate sequence
+	}
+	s.ckptSeq = ck.Seq
+	for _, id := range ck.Settled {
+		delete(s.outstanding, task.ID(id))
+	}
+	if ck.Counters != nil {
+		s.ckpt = ck.Counters
+	}
+	return nil
+}
+
+// sessionLost reports a broken session exactly once and kicks recovery off
+// asynchronously. Asynchronously matters: the caller may hold f.mu (a
+// salvage pass submitting to this shard), and recovery itself needs f.mu
+// to salvage — running it inline could deadlock two dying shards against
+// each other.
+func (s *remoteShard) sessionLost(sess *session, err error) {
+	sess.once.Do(func() {
+		sess.conn.Close()
+		close(sess.stop)
+		go s.recover(sess, err)
 	})
+}
+
+// recover handles one session death: mark the shard down, salvage the
+// session's outstanding tasks through the migration gate, fold its books,
+// then rejoin (with backoff) or give up.
+func (s *remoteShard) recover(sess *session, err error) {
+	s.mu.Lock()
+	if s.sess != sess {
+		s.mu.Unlock()
+		return // a stale report about an already-replaced session
+	}
+	s.sess = nil
+	s.deadErr = err
+	s.summary.Alive = 0
+	s.deaths = append(s.deaths, time.Now())
+	rejoins := s.rejoins
+	s.mu.Unlock()
+
+	s.f.recoverShard(s)
+
+	s.mu.Lock()
+	sealed := s.sealed
+	s.mu.Unlock()
+	if sealed || !s.rec.Rejoin || rejoins >= s.rec.MaxRejoins {
+		s.shutdown()
+		return
+	}
+	s.rejoinLoop()
+}
+
+// rejoinLoop redials the shard's address with capped jittered backoff
+// until a session comes up, the attempt budget runs out, or Seal cancels
+// the wait.
+func (s *remoteShard) rejoinLoop() {
+	bo := livecluster.NewBackoff(livecluster.RedialJitterSeed+uint64(s.id),
+		s.rec.RedialBackoff, s.rec.RedialCap)
+	for attempt := 0; attempt < s.rec.RedialAttempts; attempt++ {
+		if !s.pause(bo.Next()) {
+			s.shutdown()
+			return
+		}
+		if err := s.connect(true); err == nil {
+			return
+		}
+	}
+	s.shutdown()
+}
+
+// shutdown closes the handle permanently: Wait returns the folded books.
+func (s *remoteShard) shutdown() {
+	s.mu.Lock()
+	s.summary.Alive = 0
+	s.summary.Sealed = true
+	s.mu.Unlock()
+	s.doneOnce.Do(func() { close(s.done) })
 }
 
 // finish records a clean end of session (result and journal received).
-func (s *remoteShard) finish() {
-	s.doneOnce.Do(func() {
-		s.mu.Lock()
-		s.summary.Sealed = true
-		s.mu.Unlock()
-		s.conn.Close()
-		close(s.done)
+func (s *remoteShard) finish(sess *session) {
+	sess.once.Do(func() {
+		sess.conn.Close()
+		close(sess.stop)
 	})
+	s.mu.Lock()
+	if s.sess == sess {
+		s.sess = nil
+	}
+	s.sealed = true
+	s.summary.Sealed = true
+	s.mu.Unlock()
+	s.stopOnce.Do(func() { close(s.stopRejoin) })
+	s.doneOnce.Do(func() { close(s.done) })
 }
 
-// readLoop consumes every frame the shard sends. Rejects are answered
+// readLoop consumes every frame one session sends. Rejects are answered
 // synchronously with a Verdict so the shard's host loop sees the same
 // blocking bounce semantics as an in-process OnReject callback.
-func (s *remoteShard) readLoop() {
+func (s *remoteShard) readLoop(sess *session) {
 	for {
-		s.conn.SetReadDeadline(time.Now().Add(s.timeout))
-		typ, body, err := s.conn.ReadFrame()
+		sess.conn.SetReadDeadline(time.Now().Add(s.live.Timeout))
+		typ, body, err := sess.conn.ReadFrame()
 		if err != nil {
-			s.markDead(fmt.Errorf("federation: shard %d connection lost: %w", s.id, err))
+			s.sessionLost(sess, fmt.Errorf("federation: shard %d connection lost: %w", s.id, err))
 			return
 		}
+		s.heard(sess)
 		switch typ {
 		case wire.TypeSummary:
-			if err := s.applySummary(body); err != nil {
-				s.markDead(err)
+			if err := s.applySummary(sess, body); err != nil {
+				s.sessionLost(sess, err)
+				return
+			}
+		case wire.TypeCheckpoint:
+			if err := s.applyCheckpoint(sess, body); err != nil {
+				s.sessionLost(sess, err)
 				return
 			}
 		case wire.TypeHeartbeat:
@@ -253,22 +486,22 @@ func (s *remoteShard) readLoop() {
 		case wire.TypeReject:
 			rej, err := wire.DecodeReject(body)
 			if err != nil {
-				s.markDead(err)
+				s.sessionLost(sess, err)
 				return
 			}
 			ok := s.f.onReject(s.id, task.ID(rej.ID), admission.Reason(rej.Reason), simtime.Instant(rej.NowNano))
 			s.wmu.Lock()
 			s.wbuf = wire.EncodeVerdict(s.wbuf[:0], wire.Verdict{ID: rej.ID, Accepted: ok})
-			err = s.conn.WriteFrame(wire.TypeVerdict, s.wbuf)
+			err = sess.conn.WriteFrame(wire.TypeVerdict, s.wbuf)
 			s.wmu.Unlock()
 			if err != nil {
-				s.markDead(fmt.Errorf("federation: shard %d verdict write: %w", s.id, err))
+				s.sessionLost(sess, fmt.Errorf("federation: shard %d verdict write: %w", s.id, err))
 				return
 			}
 		case wire.TypeResult:
 			var res metrics.RunResult
 			if err := json.Unmarshal(body, &res); err != nil {
-				s.markDead(fmt.Errorf("federation: shard %d result: %w", s.id, err))
+				s.sessionLost(sess, fmt.Errorf("federation: shard %d result: %w", s.id, err))
 				return
 			}
 			s.mu.Lock()
@@ -277,20 +510,20 @@ func (s *remoteShard) readLoop() {
 		case wire.TypeJournal:
 			var j wire.JournalExport
 			if err := json.Unmarshal(body, &j); err != nil {
-				s.markDead(fmt.Errorf("federation: shard %d journal: %w", s.id, err))
+				s.sessionLost(sess, fmt.Errorf("federation: shard %d journal: %w", s.id, err))
 				return
 			}
 			s.mu.Lock()
 			s.journal, s.evicted = j.Entries, j.Evicted
 			s.mu.Unlock()
 		case wire.TypeError:
-			s.markDead(fmt.Errorf("federation: shard %d reported: %s", s.id, body))
+			s.sessionLost(sess, fmt.Errorf("federation: shard %d reported: %s", s.id, body))
 			return
 		case wire.TypeBye:
-			s.finish()
+			s.finish(sess)
 			return
 		default:
-			s.markDead(fmt.Errorf("federation: shard %d sent unknown frame type %d", s.id, typ))
+			s.sessionLost(sess, fmt.Errorf("federation: shard %d sent unknown frame type %d", s.id, typ))
 			return
 		}
 	}
@@ -298,43 +531,56 @@ func (s *remoteShard) readLoop() {
 
 // heartbeatLoop keeps the router→shard direction warm so the shard's idle
 // read deadline doesn't fire between submissions.
-func (s *remoteShard) heartbeatLoop() {
-	ticker := time.NewTicker(s.hbEvery)
+func (s *remoteShard) heartbeatLoop(sess *session) {
+	ticker := time.NewTicker(s.live.HeartbeatEvery)
 	defer ticker.Stop()
 	for {
 		select {
-		case <-s.done:
+		case <-sess.stop:
 			return
 		case <-ticker.C:
 		}
 		s.wmu.Lock()
-		err := s.conn.WriteFrame(wire.TypeHeartbeat, nil)
+		err := sess.conn.WriteFrame(wire.TypeHeartbeat, nil)
 		s.wmu.Unlock()
 		if err != nil {
-			s.markDead(fmt.Errorf("federation: shard %d heartbeat: %w", s.id, err))
+			s.sessionLost(sess, fmt.Errorf("federation: shard %d heartbeat: %w", s.id, err))
 			return
 		}
 	}
 }
 
 // SubmitBatch encodes the batch into the reusable write buffer and sends
-// one Submit frame. Only a successful write charges the shard's Total:
-// the migration path treats a failed submit as a declined migration (the
-// task stays with its rejecting shard), so charging on failure would
-// count the task twice. First placements that fail are charged by the
-// router via chargeLost instead.
+// one Submit frame. Only a successful write charges the shard's Total: the
+// migration path treats a failed submit as a declined migration (the task
+// stays with its current owner), and routeBatch charges and salvages
+// failed first placements itself. The batch's IDs enter the outstanding
+// ledger before the frame can reach the shard — a checkpoint settling one
+// of them arrives strictly after the write, so it never races ahead of its
+// own ledger entry — and leave it again if the write fails.
 func (s *remoteShard) SubmitBatch(ts []*task.Task) error {
-	select {
-	case <-s.done:
-		return fmt.Errorf("federation: shard %d is down", s.id)
-	default:
+	s.mu.Lock()
+	sess := s.sess
+	if sess == nil {
+		s.mu.Unlock()
+		return fmt.Errorf("federation: shard %d: %w", s.id, errShardDown)
 	}
+	for _, t := range ts {
+		s.outstanding[t.ID] = struct{}{}
+	}
+	s.mu.Unlock()
+
 	s.wmu.Lock()
 	s.wbuf = wire.AppendSubmit(s.wbuf[:0], ts)
-	err := s.conn.WriteFrame(wire.TypeSubmit, s.wbuf)
+	err := sess.conn.WriteFrame(wire.TypeSubmit, s.wbuf)
 	s.wmu.Unlock()
 	if err != nil {
-		s.markDead(fmt.Errorf("federation: shard %d submit: %w", s.id, err))
+		s.mu.Lock()
+		for _, t := range ts {
+			delete(s.outstanding, t.ID)
+		}
+		s.mu.Unlock()
+		s.sessionLost(sess, fmt.Errorf("federation: shard %d submit: %w", s.id, err))
 		return err
 	}
 	s.submitted.Add(int64(len(ts)))
@@ -343,10 +589,78 @@ func (s *remoteShard) SubmitBatch(ts []*task.Task) error {
 
 // chargeLost charges n first-placement tasks that could not be delivered
 // to this (dead) shard: the router routed them here, so they are this
-// shard's to lose — they join its synthesized Total and settle as
-// LostToFailure.
+// shard's to account — they join its Total, and the salvage pass decides
+// whether each migrates away (bounce, books cancel) or settles lost.
 func (s *remoteShard) chargeLost(n int) {
 	s.submitted.Add(int64(n))
+}
+
+// forget removes a task the router migrated off this shard from the
+// outstanding ledger: its fate now belongs to the sibling.
+func (s *remoteShard) forget(id task.ID) {
+	s.mu.Lock()
+	delete(s.outstanding, id)
+	s.mu.Unlock()
+}
+
+// outstandingIDs snapshots the salvageable set.
+func (s *remoteShard) outstandingIDs() []task.ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]task.ID, 0, len(s.outstanding))
+	for id := range s.outstanding {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// stillOutstanding re-checks one ID at salvage time: a concurrent failed
+// SubmitBatch may have withdrawn its tasks after the salvage snapshot.
+func (s *remoteShard) stillOutstanding(id task.ID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.outstanding[id]
+	return ok
+}
+
+// fold closes a dead session's books. bouncesNow is the router's
+// cumulative accepted-bounce count for this shard, read under f.mu (the
+// caller holds it), so the salvage pass that just ran is included. The
+// session contributed: checkpoint-settled tasks (by bucket), residual
+// outstanding tasks (charged lost — they provably could not make their
+// deadline anywhere), and migrated-away tasks (bounces since the last
+// fold). Their sum is exactly the tasks submitted during the session, so
+// prevTotalSum stays ledger-exact.
+func (s *remoteShard) fold(bouncesNow int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	residual := int64(len(s.outstanding))
+	settled := settledFromCounters(s.ckpt)
+	for k, v := range s.ckpt {
+		s.prev[k] += v
+	}
+	s.prev[obs.MetricLost] += residual
+	bounces := bouncesNow - s.bouncesFolded
+	s.bouncesFolded = bouncesNow
+	s.prevTotalSum += int(settled + residual + bounces)
+	s.admittedPrev += s.counters[obs.MetricAdmitted]
+	s.ckpt = nil
+	s.counters = nil
+	s.outstanding = make(map[task.ID]struct{})
+}
+
+// foldStray folds one post-death first placement straight into the closed
+// books: no future fold will cover tasks charged after a session's death.
+// Caller holds f.mu (the salvage pass that decided the task's fate).
+func (s *remoteShard) foldStray(salvaged bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.prevTotalSum++
+	if salvaged {
+		s.bouncesFolded++
+	} else {
+		s.prev[obs.MetricLost]++
+	}
 }
 
 func (s *remoteShard) LoadSummary() livecluster.Summary {
@@ -363,55 +677,116 @@ func (s *remoteShard) Counters() map[string]int64 {
 	return s.counters
 }
 
+// Placeable reports whether the router may place new work here: a live,
+// unsealed session that is neither suspect (frames stale past
+// SuspectAfter) nor on post-flap probation. The quarantine counter ticks
+// on each live→quarantined edge.
+func (s *remoteShard) Placeable() bool {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	up := s.sess != nil && !s.sealed
+	suspect := up && s.rec.SuspectAfter > 0 && now.Sub(s.lastHeard) > s.rec.SuspectAfter
+	probation := up && now.Before(s.probationUntil)
+	placeable := up && !suspect && !probation
+	if up && !placeable {
+		if !s.quarantined {
+			s.quarantined = true
+			s.f.noteQuarantine()
+		}
+	} else {
+		s.quarantined = false
+	}
+	return placeable
+}
+
+// SettledTasks counts this shard's tasks whose fate is decided, across
+// sessions. With no live session every task charged here has a decided
+// fate — checkpointed, salvaged away (excluded via the router's bounce
+// ledger) or lost — so the count is submitted minus accepted bounces,
+// exact even mid-recovery. With a session up, the folded books (which
+// carry dead sessions' residuals under MetricLost) add to the live
+// session's counter snapshot.
 func (s *remoteShard) SettledTasks() int64 {
 	s.mu.Lock()
-	dead, counters := s.dead, s.counters
+	down := s.sess == nil && s.res == nil
+	prevSettled := settledFromCounters(s.prev)
+	counters := s.counters
 	s.mu.Unlock()
-	if dead {
-		// Every task routed here has a decided fate: whatever the last
-		// snapshot accounted for stays in its bucket, the rest died with
-		// the shard — except accepted bounces, which live on elsewhere.
-		// Bounces come from the router's own ledger, not the (possibly
-		// stale) last counter snapshot, so the books match exactly.
+	if down {
 		return s.submitted.Load() - s.f.acceptedBounces(s.id)
 	}
-	return settledFromCounters(counters)
+	return prevSettled + settledFromCounters(counters)
 }
 
+// Seal closes the shard's feed and cancels any redial/rejoin in flight.
 func (s *remoteShard) Seal() {
+	s.mu.Lock()
+	s.sealed = true
+	sess := s.sess
+	s.mu.Unlock()
+	s.stopOnce.Do(func() { close(s.stopRejoin) })
+	if sess == nil {
+		// Down: the closed stopRejoin channel ends any rejoin loop, which
+		// closes done; if recovery already gave up, done is closed already.
+		return
+	}
 	s.wmu.Lock()
-	err := s.conn.WriteFrame(wire.TypeSeal, nil)
+	err := sess.conn.WriteFrame(wire.TypeSeal, nil)
 	s.wmu.Unlock()
 	if err != nil {
-		s.markDead(fmt.Errorf("federation: shard %d seal: %w", s.id, err))
+		s.sessionLost(sess, fmt.Errorf("federation: shard %d seal: %w", s.id, err))
 	}
 }
 
-// Wait blocks until the session ends. A dead shard yields a synthesized
-// result — last counter snapshot, unaccounted tasks charged to
-// LostToFailure — and no error, because losing a shard is a survivable
-// event the books absorb, not a run failure.
+// Wait blocks until the handle closes for good: a clean final session
+// (result received) or a permanent death. Either way the folded books of
+// earlier sessions merge in, so the returned result spans every session
+// and Reconcile's per-shard identity holds across kill → salvage → rejoin.
+// A dead shard yields a synthesized result and no error, because losing a
+// shard is a survivable event the books absorb, not a run failure.
 func (s *remoteShard) Wait() (*metrics.RunResult, error) {
 	<-s.done
+	// The router's bounce ledger is exact where a dead session's last
+	// counter snapshot may trail; read it before taking s.mu (lock order:
+	// f.mu never follows s.mu).
+	bounces := int(s.f.acceptedBounces(s.id))
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.res != nil {
-		return s.res, nil
+		out := *s.res
+		out.Total += s.prevTotalSum
+		out.Hits += int(s.prev[obs.MetricHits])
+		out.Purged += int(s.prev[obs.MetricPurged])
+		out.ScheduledMissed += int(s.prev[obs.MetricMissed])
+		out.Shed += int(s.prev[obs.MetricShed])
+		out.LostToFailure += int(s.prev[obs.MetricLost])
+		out.Bounced += int(s.bouncesFolded)
+		out.Admitted += int(s.admittedPrev)
+		return &out, nil
 	}
 	total := int(s.submitted.Load())
+	merged := make(map[string]int64, len(s.prev)+len(s.ckpt))
+	for k, v := range s.prev {
+		merged[k] += v
+	}
+	for k, v := range s.ckpt {
+		merged[k] += v
+	}
 	res := &metrics.RunResult{
 		Algorithm:       string(s.f.cfg.Algorithm),
 		Workers:         s.f.tp.WorkersPerShard,
 		Total:           total,
-		Hits:            int(s.counters[obs.MetricHits]),
-		Purged:          int(s.counters[obs.MetricPurged]),
-		ScheduledMissed: int(s.counters[obs.MetricMissed]),
-		Shed:            int(s.counters[obs.MetricShed]),
-		// Bounced is the router's own ledger of this shard's accepted
-		// migrations — exact where the last counter snapshot may trail.
-		Bounced:  int(s.f.acceptedBounces(s.id)),
-		Admitted: int(s.counters[obs.MetricAdmitted]),
+		Hits:            int(merged[obs.MetricHits]),
+		Purged:          int(merged[obs.MetricPurged]),
+		ScheduledMissed: int(merged[obs.MetricMissed]),
+		Shed:            int(merged[obs.MetricShed]),
+		Bounced:         bounces,
+		Admitted:        int(s.admittedPrev),
 	}
+	// The remainder — tasks in no bucket — died with the shard; worker-
+	// level lost tasks and salvage residuals land here too, mirroring how
+	// a single-session death was synthesized before rejoin existed.
 	res.LostToFailure = total - res.Hits - res.Purged - res.ScheduledMissed - res.Shed - res.Bounced
 	if res.LostToFailure < 0 {
 		// Counter snapshots and the submit count race only while frames
@@ -432,10 +807,17 @@ func (s *remoteShard) Journal() ([]obs.Entry, int64) {
 	return s.journal, s.evicted
 }
 
-// Err reports why a dead shard died (nil for a live or cleanly finished
-// session).
+// Rejoins reports how many times this shard re-handshook after a death.
+func (s *remoteShard) Rejoins() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rejoins
+}
+
+// Err reports why the shard's last session died (nil while live or after
+// a clean finish).
 func (s *remoteShard) Err() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.err
+	return s.deadErr
 }

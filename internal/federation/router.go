@@ -2,6 +2,7 @@ package federation
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -65,6 +66,70 @@ type Config struct {
 	// inject into in-process shards only; with ShardAddrs, kill the shard
 	// process itself (the chaos suite does exactly that).
 	ShardAddrs []string
+	// Recovery tunes the shard-death machinery: salvage always runs, and
+	// Recovery.Rejoin additionally redials a dead shard's address so a
+	// restarted process can re-handshake and serve placements again.
+	Recovery Recovery
+}
+
+// Recovery configures the shard lifecycle state machine (Up → Suspect →
+// Down → Rejoining) the router drives for out-of-process shards.
+type Recovery struct {
+	// Rejoin enables restart/rejoin: after a session loss the router keeps
+	// redialling the shard's address with capped jittered backoff and
+	// replays a Rejoin hello when the process comes back. Requires
+	// ShardAddrs (an in-process shard has no process to restart).
+	Rejoin bool
+	// MaxRejoins bounds how many times one shard may rejoin (default 4).
+	MaxRejoins int
+	// RedialAttempts bounds dials per rejoin (default 8).
+	RedialAttempts int
+	// RedialBackoff is the first redial delay (default: the liveness
+	// RedialBackoff); RedialCap caps the doubling (default 2s).
+	RedialBackoff time.Duration
+	RedialCap     time.Duration
+	// SuspectAfter quarantines a shard from placement when its frames go
+	// stale this long without the session dying — reversible, unlike a
+	// death (default 3× the liveness heartbeat).
+	SuspectAfter time.Duration
+	// FlapWindow, FlapThreshold and Probation are the flap hysteresis: a
+	// shard dying FlapThreshold times within FlapWindow rejoins on
+	// probation — alive and settling its own work, but quarantined from
+	// placement for Probation so a flapping shard cannot thrash
+	// migrations (defaults 10s / 3 / 2s).
+	FlapWindow    time.Duration
+	FlapThreshold int
+	Probation     time.Duration
+}
+
+// withDefaults resolves the recovery knobs against the session's resolved
+// liveness settings.
+func (r Recovery) withDefaults(live livecluster.Liveness) Recovery {
+	if r.MaxRejoins <= 0 {
+		r.MaxRejoins = 4
+	}
+	if r.RedialAttempts <= 0 {
+		r.RedialAttempts = 8
+	}
+	if r.RedialBackoff <= 0 {
+		r.RedialBackoff = live.RedialBackoff
+	}
+	if r.RedialCap <= 0 {
+		r.RedialCap = 2 * time.Second
+	}
+	if r.SuspectAfter <= 0 {
+		r.SuspectAfter = 3 * live.HeartbeatEvery
+	}
+	if r.FlapWindow <= 0 {
+		r.FlapWindow = 10 * time.Second
+	}
+	if r.FlapThreshold <= 0 {
+		r.FlapThreshold = 3
+	}
+	if r.Probation <= 0 {
+		r.Probation = 2 * time.Second
+	}
+	return r
 }
 
 // shardHandle is one scheduler shard as the router sees it: in-process
@@ -86,6 +151,11 @@ type shardHandle interface {
 	Wait() (*metrics.RunResult, error)
 	// Journal exports the shard's journal entries and eviction count.
 	Journal() ([]obs.Entry, int64)
+	// Placeable reports whether the router may place new work here right
+	// now. A shard can be alive but not placeable — suspected stale or on
+	// flap probation — in which case it keeps settling the work it has
+	// while the router quarantines it from new placements.
+	Placeable() bool
 }
 
 // localShard wraps an in-process cluster and its observer.
@@ -110,6 +180,7 @@ func (s *localShard) start(i int, failed chan<- int) {
 }
 
 func (s *localShard) SubmitBatch(ts []*task.Task) error { return s.cl.SubmitBatch(ts) }
+func (s *localShard) Placeable() bool                   { return true }
 func (s *localShard) LoadSummary() livecluster.Summary  { return s.cl.LoadSummary() }
 func (s *localShard) Counters() map[string]int64        { return s.o.Registry().Snapshot() }
 func (s *localShard) Seal()                             { s.cl.Seal() }
@@ -144,12 +215,16 @@ type Federation struct {
 	// the RouterShard tag.
 	journal *obs.Journal
 
-	reg      *obs.Registry
-	routed   *obs.Counter
-	migrated *obs.Counter
-	bounced  *obs.Counter
-	rejected *obs.Counter
-	routedBy []*obs.Counter
+	reg         *obs.Registry
+	routed      *obs.Counter
+	migrated    *obs.Counter
+	bounced     *obs.Counter
+	rejected    *obs.Counter
+	salvaged    *obs.Counter
+	salvageLost *obs.Counter
+	rejoinsC    *obs.Counter
+	quarantines *obs.Counter
+	routedBy    []*obs.Counter
 
 	clock   *livecluster.Clock
 	shards  []*livecluster.Cluster
@@ -172,6 +247,13 @@ type Federation struct {
 	migratedN int
 	bouncedN  int
 	rejectedN int
+	// salvagedIDs marks tasks the router already re-placed off a dead
+	// shard, so the two salvage paths (session-loss recovery and a failed
+	// stray submit) can never both place the same task.
+	salvagedIDs  map[task.ID]bool
+	salvagedN    int
+	salvageLostN int
+	rejoinsN     int
 
 	// stage and viewBuf are the batched pump's reusable scratch: one
 	// staging slice per destination shard and one view snapshot, refilled
@@ -217,6 +299,8 @@ func New(cfg Config) (*Federation, error) {
 		if cfg.Faults != nil && !cfg.Faults.Empty() {
 			return nil, fmt.Errorf("federation: fault plans inject into in-process shards; with ShardAddrs kill the shard process instead")
 		}
+	} else if cfg.Recovery.Rejoin {
+		return nil, fmt.Errorf("federation: Recovery.Rejoin needs ShardAddrs; an in-process shard has no process to restart")
 	}
 	faults, err := SplitFaults(cfg.Faults, cfg.Topology)
 	if err != nil {
@@ -230,9 +314,10 @@ func New(cfg Config) (*Federation, error) {
 		submitted: make([]int, cfg.Topology.Shards),
 		perShard:  make([]int, cfg.Topology.Shards),
 		bounces:   make([]int, cfg.Topology.Shards),
-		tried:     make(map[task.ID]map[int]bool),
-		orig:      make(map[task.ID]*task.Task, len(cfg.Workload.Tasks)),
-		journal:   obs.NewJournal(cfg.JournalCap),
+		tried:       make(map[task.ID]map[int]bool),
+		orig:        make(map[task.ID]*task.Task, len(cfg.Workload.Tasks)),
+		salvagedIDs: make(map[task.ID]bool),
+		journal:     obs.NewJournal(cfg.JournalCap),
 	}
 	for _, t := range cfg.Workload.Tasks {
 		f.orig[t.ID] = t
@@ -241,6 +326,10 @@ func New(cfg Config) (*Federation, error) {
 	f.migrated = f.reg.Counter(MetricMigrated)
 	f.bounced = f.reg.Counter(MetricBounced)
 	f.rejected = f.reg.Counter(MetricRejected)
+	f.salvaged = f.reg.Counter(MetricSalvaged)
+	f.salvageLost = f.reg.Counter(MetricSalvageLost)
+	f.rejoinsC = f.reg.Counter(MetricRejoins)
+	f.quarantines = f.reg.Counter(MetricQuarantines)
 	f.reg.Gauge(MetricShards).Set(int64(cfg.Topology.Shards))
 	f.routedBy = make([]*obs.Counter, cfg.Topology.Shards)
 	f.obsShards = make([]*obs.Observer, cfg.Topology.Shards)
@@ -386,6 +475,9 @@ func (f *Federation) Run() (*Result, error) {
 		Migrated:       f.migratedN,
 		Bounced:        f.bouncedN,
 		Rejected:       f.rejectedN,
+		Salvaged:       f.salvagedN,
+		SalvageLost:    f.salvageLostN,
+		Rejoins:        f.rejoinsN,
 		PerShardRouted: append([]int(nil), f.perShard...),
 	}
 	f.mu.Unlock()
@@ -462,13 +554,15 @@ func (f *Federation) routeBatch(ts []*task.Task, now simtime.Instant) {
 	// Submit outside mu: a remote shard's write can block on the network,
 	// and reject callbacks re-enter the router lock. Submit cannot fail on
 	// a live shard here (shards seal only after the pump and settle
-	// complete); a dead remote shard is explicitly charged with the tasks
-	// it could not take, so they reconcile as lost with that shard.
+	// complete); a batch a dead remote shard could not take is charged to
+	// that shard and then salvaged like its outstanding tasks, so every
+	// task still reconciles — rescued on a sibling or explicitly lost.
 	for s := range f.stage {
 		if len(f.stage[s]) > 0 {
 			if err := f.handles[s].SubmitBatch(f.stage[s]); err != nil {
 				if rs, ok := f.handles[s].(*remoteShard); ok {
 					rs.chargeLost(len(f.stage[s]))
+					f.salvageBatch(rs, f.stage[s], now)
 				}
 			}
 			f.stage[s] = f.stage[s][:0]
@@ -496,6 +590,13 @@ func (f *Federation) onReject(from int, id task.ID, reason admission.Reason, now
 	defer f.mu.Unlock()
 	f.bouncedN++
 	f.bounced.Inc()
+	return f.migrateLocked(from, id, string(reason), now)
+}
+
+// migrateLocked re-offers one task to the best feasible sibling of shard
+// from. Caller holds f.mu and has already counted the bounce. Returns true
+// when a sibling accepted the task.
+func (f *Federation) migrateLocked(from int, id task.ID, reason string, now simtime.Instant) bool {
 	decline := func() bool {
 		f.rejectedN++
 		f.rejected.Inc()
@@ -532,12 +633,95 @@ func (f *Federation) onReject(from int, id task.ID, reason admission.Reason, now
 	f.bounces[from]++
 	f.migratedN++
 	f.migrated.Inc()
+	if rs, ok := f.handles[from].(*remoteShard); ok {
+		// The sibling owns the task now; the dead-shard salvage ledger
+		// must not offer it again.
+		rs.forget(id)
+	}
 	// The migrate span re-states the §4.3 verdict the sibling passed:
 	// RQs + se_lk against the slack left at this instant.
 	f.note(obs.Entry{Type: "migrate", Task: int(id), Worker: s,
 		Detail: fmt.Sprintf("from shard %d, reason %s: RQs=%s comm=%s slack=%s",
 			from, reason, views[s].RQs, views[s].Comm, g.Deadline.Sub(now))}, now)
 	return true
+}
+
+// salvageLocked re-routes one task off dead shard s through the same §4.3
+// migration gate a live bounce takes: it is charged as a bounce from s,
+// and either a feasible sibling accepts it (a salvage — counted as a
+// migration, so Reconcile's bounce identities hold unchanged) or no
+// sibling can make its deadline and it is explicitly rejected (salvage
+// lost — the shard's books then charge it lost). Caller holds f.mu.
+func (f *Federation) salvageLocked(s *remoteShard, id task.ID, reason string, now simtime.Instant) bool {
+	f.bouncedN++
+	f.bounced.Inc()
+	if f.migrateLocked(s.id, id, reason, now) {
+		f.salvagedN++
+		f.salvaged.Inc()
+		f.salvagedIDs[id] = true
+		return true
+	}
+	f.salvageLostN++
+	f.salvageLost.Inc()
+	return false
+}
+
+// recoverShard is the session-loss entry point: it walks the dead
+// session's outstanding ledger (submitted minus verdicted, per the last
+// applied checkpoint) in task order, salvages every task a sibling can
+// still finish by its deadline, then folds the session's books so the
+// shard can rejoin with a clean per-session ledger. Runs on the recovery
+// goroutine; takes f.mu.
+func (f *Federation) recoverShard(s *remoteShard) {
+	now := f.clock.Now()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.handles != nil {
+		ids := s.outstandingIDs()
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		for _, id := range ids {
+			// A concurrent failed-submit salvage (salvageBatch) or an
+			// in-flight verdict may have settled the ID between the
+			// snapshot and here; skip anything no longer ours to place.
+			if !s.stillOutstanding(id) || f.salvagedIDs[id] {
+				continue
+			}
+			f.salvageLocked(s, id, "shard-death", now)
+		}
+	}
+	s.fold(int64(f.bounces[s.id]))
+}
+
+// salvageBatch handles a first placement that failed because the shard
+// died mid-submit: the batch never reached the shard, so each task is
+// salvaged like an outstanding task and the stray charge is folded
+// straight into the shard's carried books (these tasks post-date the
+// death-time fold).
+func (f *Federation) salvageBatch(rs *remoteShard, ts []*task.Task, now simtime.Instant) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, t := range ts {
+		if f.salvagedIDs[t.ID] {
+			continue
+		}
+		ok := f.salvageLocked(rs, t.ID, "submit-failed", now)
+		rs.foldStray(ok)
+	}
+}
+
+// noteRejoin records a completed rejoin handshake.
+func (f *Federation) noteRejoin(shard int) {
+	f.rejoinsC.Inc()
+	f.mu.Lock()
+	f.rejoinsN++
+	f.mu.Unlock()
+	f.note(obs.Entry{Type: "rejoin", Task: -1, Worker: shard}, f.clock.Now())
+}
+
+// noteQuarantine counts a placeable→quarantined edge. Called with f.mu
+// held (from the placement snapshot), so it must only touch the counter.
+func (f *Federation) noteQuarantine() {
+	f.quarantines.Inc()
 }
 
 // note stamps and records one router-journal entry.
@@ -602,11 +786,12 @@ func (f *Federation) snapshotViewsLocked(now simtime.Instant) []ShardView {
 			rqs = simtime.NonNeg(sum.MinFree.Sub(now))
 		}
 		views[i] = ShardView{
-			Alive:      sum.Alive,
-			Sealed:     sum.Sealed,
-			RQs:        rqs,
-			QueuedWork: sum.QueuedWork,
-			Submitted:  f.submitted[i],
+			Alive:       sum.Alive,
+			Sealed:      sum.Sealed,
+			Quarantined: !f.handles[i].Placeable(),
+			RQs:         rqs,
+			QueuedWork:  sum.QueuedWork,
+			Submitted:   f.submitted[i],
 		}
 	}
 	return views

@@ -42,6 +42,16 @@ type shardServer struct {
 
 	vmu      sync.Mutex
 	verdicts map[int32]chan bool
+
+	// smu guards the checkpoint state: the settle buffer and verdict
+	// counts fed by the observer's OnSettle hook, plus the per-session
+	// checkpoint sequence. Both are updated in one critical section per
+	// settle, so a checkpoint's counter snapshot covers exactly the IDs
+	// shipped through its sequence — never more, never less.
+	smu        sync.Mutex
+	settled    []int32
+	ckptCounts map[string]int64
+	ckptSeq    uint64
 }
 
 // runOutcome carries the cluster run's return values across a channel.
@@ -111,10 +121,15 @@ func ServeShard(nc net.Conn, opt ServeShardOptions) error {
 	var out runOutcome
 	select {
 	case err := <-readErrc:
-		// The router vanished mid-run: seal so the cluster drains what it
-		// already owns, then report the broken session.
+		// The router vanished mid-run: no verdict or result this session
+		// produces can be delivered, and the router salvages or charges the
+		// outstanding work on its own books the moment it notices the death.
+		// Abort with zero grace — shed the undelivered backlog, let in-flight
+		// worker jobs drain — so a serving loop's listener frees up for the
+		// router's rejoin dial instead of blocking behind a useless drain.
 		sessionErr = err
 		srv.cl.Seal()
+		srv.cl.Stop(0)
 		out = <-runErrc
 	case out = <-runErrc:
 	}
@@ -128,9 +143,12 @@ func ServeShard(nc net.Conn, opt ServeShardOptions) error {
 		return out.err
 	}
 
-	// Ship the closing state: final counters, the result, the journal,
-	// then a clean goodbye.
+	// Ship the closing state: final counters, a final checkpoint covering
+	// every verdict, the result, the journal, then a clean goodbye.
 	if err := srv.sendSummary(); err != nil {
+		return err
+	}
+	if err := srv.sendCheckpoint(); err != nil {
 		return err
 	}
 	if err := srv.sendJSON(wire.TypeResult, out.res); err != nil {
@@ -182,11 +200,16 @@ func startShard(conn *wire.Conn, hello wire.Hello, opt ServeShardOptions) (*shar
 		o = obs.New(hello.JournalCap)
 	}
 	srv := &shardServer{
-		conn:     conn,
-		o:        o,
-		timeout:  timeout,
-		verdicts: make(map[int32]chan bool),
+		conn:       conn,
+		o:          o,
+		timeout:    timeout,
+		verdicts:   make(map[int32]chan bool),
+		ckptCounts: make(map[string]int64),
 	}
+	// Every terminal verdict lands in the checkpoint buffer together with
+	// its bucket count — the consistency sendCheckpoint's salvage
+	// accounting depends on.
+	o.OnSettle(srv.noteSettled)
 	var degrade *core.DegradeConfig
 	if hello.DegradeAfter > 0 {
 		degrade = &core.DegradeConfig{After: hello.DegradeAfter}
@@ -248,6 +271,43 @@ func (s *shardServer) sendSummary() error {
 	})
 }
 
+// noteSettled is the observer's OnSettle hook: the settled ID and its
+// verdict bucket are recorded in one critical section, so the cumulative
+// counts always cover exactly the buffered IDs.
+func (s *shardServer) noteSettled(id task.ID, verdict string) {
+	s.smu.Lock()
+	s.settled = append(s.settled, int32(id))
+	s.ckptCounts[verdict]++
+	s.smu.Unlock()
+}
+
+// sendCheckpoint ships the settled IDs accumulated since the previous
+// checkpoint plus the cumulative settle-derived verdict counts. Because
+// buffer and counts are maintained atomically per settle, the counts
+// charge exactly the tasks whose IDs shipped through this sequence — the
+// invariant that lets the router treat "submitted minus checkpointed
+// minus migrated-away" as exactly the salvageable outstanding set, with
+// no task double-counted or dropped across a kill.
+func (s *shardServer) sendCheckpoint() error {
+	sealed := s.cl.LoadSummary().Sealed
+	s.smu.Lock()
+	ids := s.settled
+	s.settled = nil
+	counters := make(map[string]int64, len(s.ckptCounts))
+	for k, v := range s.ckptCounts {
+		counters[k] = v
+	}
+	s.ckptSeq++
+	seq := s.ckptSeq
+	s.smu.Unlock()
+	return s.sendJSON(wire.TypeCheckpoint, wire.Checkpoint{
+		Seq:      seq,
+		Settled:  ids,
+		Counters: counters,
+		Sealed:   sealed,
+	})
+}
+
 // summaryLoop republishes the load summary and counters at the heartbeat
 // cadence; each summary doubles as the shard→router heartbeat.
 func (s *shardServer) summaryLoop(stop <-chan struct{}) {
@@ -264,6 +324,9 @@ func (s *shardServer) summaryLoop(stop <-chan struct{}) {
 		case <-ticker.C:
 		}
 		if s.sendSummary() != nil {
+			return
+		}
+		if s.sendCheckpoint() != nil {
 			return
 		}
 	}

@@ -2,6 +2,7 @@ package federation
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -67,6 +68,36 @@ type SimConfig struct {
 	// round-trip each batch through the binary shard protocol over a real
 	// TCP connection and prove the encoding changes nothing.
 	Transport func(shard int, batch []*task.Task) []*task.Task
+	// ShardEvents injects deterministic shard lifecycle events on the
+	// virtual clock — the analytic model of the live tier's kill→salvage→
+	// rejoin machinery. A kill salvages the shard's queued tasks through
+	// the migration gate (rescued on a feasible sibling or charged lost to
+	// the dead shard) and removes it from placement; a rejoin restores it
+	// with idle workers, folding into the same per-shard books exactly as
+	// the live router folds a rejoined session. Flap probation is a
+	// wall-clock construct and is not modeled here. Events apply in At
+	// order (ties keep config order) before same-instant arrivals route.
+	ShardEvents []ShardEvent
+}
+
+// ShardEventKind names a simulated shard lifecycle transition.
+type ShardEventKind string
+
+const (
+	// ShardKill marks a shard dead at the event instant: queued tasks are
+	// salvaged to feasible siblings or charged lost, and the shard takes
+	// no further placements. Tasks the shard had already scheduled keep
+	// their verdicts (the analytic model settles work at scheduling time).
+	ShardKill ShardEventKind = "kill"
+	// ShardRejoin revives a previously killed shard with all workers idle.
+	ShardRejoin ShardEventKind = "rejoin"
+)
+
+// ShardEvent is one deterministic lifecycle event.
+type ShardEvent struct {
+	At    simtime.Instant
+	Shard int
+	Kind  ShardEventKind
 }
 
 // simShard is one scheduler domain of the simulation.
@@ -82,6 +113,9 @@ type simShard struct {
 	// wakeAt is the next instant this shard must run a scheduling step;
 	// Never while its batch is empty (arrivals and migrations wake it).
 	wakeAt simtime.Instant
+	// dead marks a shard killed by a ShardEvent: zero alive workers in the
+	// views, and any task submitted to it is salvaged instead of queued.
+	dead bool
 	// spare double-buffers the inbox, and loads/scheduled are per-step
 	// scratch, so the steady-state step loop stays allocation-free.
 	spare     []*task.Task
@@ -138,6 +172,13 @@ type simFed struct {
 	migratedN int
 	bouncedN  int
 	rejectedN int
+
+	// events is the At-sorted lifecycle schedule; eventIdx is the cursor.
+	events       []ShardEvent
+	eventIdx     int
+	salvagedN    int
+	salvageLostN int
+	rejoinsN     int
 
 	// Batched-admission hot-path state: one reusable view snapshot, one
 	// staging buffer per destination shard, an arena for localized task
@@ -217,6 +258,10 @@ func (f *simFed) reset(cfg SimConfig) error {
 	f.single = f.single[:0]
 	f.routeDetail = "policy=" + cfg.Placement.String()
 	f.routedN, f.migratedN, f.bouncedN, f.rejectedN = 0, 0, 0, 0
+	f.events = append(f.events[:0], cfg.ShardEvents...)
+	sort.SliceStable(f.events, func(a, b int) bool { return f.events[a].At.Before(f.events[b].At) })
+	f.eventIdx = 0
+	f.salvagedN, f.salvageLostN, f.rejoinsN = 0, 0, 0
 
 	// Every shard shares one communication-cost closure: task affinities are
 	// already shard-local by the time a planner sees them, and the cost
@@ -267,6 +312,7 @@ func (f *simFed) reset(cfg SimConfig) error {
 		}
 		sh.o = o
 		sh.wakeAt = simtime.Never
+		sh.dead = false
 		o.SetWorkers(cfg.Topology.WorkersPerShard)
 	}
 	return nil
@@ -327,6 +373,14 @@ func Simulate(cfg SimConfig) (*Result, error) {
 	if err := cfg.Admission.Validate(); err != nil {
 		return nil, fmt.Errorf("federation: %w", err)
 	}
+	for i, e := range cfg.ShardEvents {
+		if e.Shard < 0 || e.Shard >= cfg.Topology.Shards {
+			return nil, fmt.Errorf("federation: shard event %d targets shard %d of %d", i, e.Shard, cfg.Topology.Shards)
+		}
+		if e.Kind != ShardKill && e.Kind != ShardRejoin {
+			return nil, fmt.Errorf("federation: shard event %d has unknown kind %q", i, e.Kind)
+		}
+	}
 
 	f := simPool.Get().(*simFed)
 	if err := f.reset(cfg); err != nil {
@@ -338,6 +392,10 @@ func Simulate(cfg SimConfig) (*Result, error) {
 	next := 0
 	totalPhases := 0
 	for {
+		// Lifecycle events apply first, so same-instant arrivals route
+		// against the post-event shard set (a killed shard takes none of
+		// them; a rejoined shard is immediately placeable).
+		f.applyEvents(now)
 		// All arrivals due at this instant form one batch: no shard steps
 		// between them, so a single view snapshot (per BatchCap chunk)
 		// places them exactly as per-task routing would.
@@ -378,6 +436,9 @@ func Simulate(cfg SimConfig) (*Result, error) {
 		if next < len(tasks) {
 			event = tasks[next].Arrival
 		}
+		if f.eventIdx < len(f.events) {
+			event = event.Min(f.events[f.eventIdx].At)
+		}
 		for _, sh := range f.shards {
 			event = event.Min(sh.wakeAt)
 		}
@@ -395,6 +456,9 @@ func Simulate(cfg SimConfig) (*Result, error) {
 		Migrated:       f.migratedN,
 		Bounced:        f.bouncedN,
 		Rejected:       f.rejectedN,
+		Salvaged:       f.salvagedN,
+		SalvageLost:    f.salvageLostN,
+		Rejoins:        f.rejoinsN,
 		PerShardRouted: append([]int(nil), f.perShard...),
 	}
 	for i, sh := range f.shards {
@@ -488,7 +552,7 @@ func (f *simFed) routeChunk(ts []*task.Task, now simtime.Instant) {
 	}
 	for s := range f.stage {
 		if len(f.stage[s]) > 0 {
-			f.submit(s, f.stage[s])
+			f.submit(s, f.stage[s], now)
 			f.stage[s] = f.stage[s][:0]
 		}
 	}
@@ -503,12 +567,23 @@ func (f *simFed) localize(g *task.Task, s int) *task.Task {
 }
 
 // submit hands one localized batch to a shard's inbox, through the wire
-// transport when one is configured.
-func (f *simFed) submit(s int, batch []*task.Task) {
+// transport when one is configured. A dead shard (every shard dead, so the
+// fallback placement still charged it) takes the batch onto its books and
+// immediately salvages each task — the analytic mirror of the live
+// router's failed-submit salvage.
+func (f *simFed) submit(s int, batch []*task.Task, now simtime.Instant) {
 	if f.cfg.Transport != nil {
 		batch = f.cfg.Transport(s, batch)
 	}
 	sh := f.shards[s]
+	if sh.dead {
+		for _, t := range batch {
+			sh.res.Total++
+			sh.o.Arrival(t.ID, now, t.Deadline)
+			f.salvage(sh, t, now)
+		}
+		return
+	}
 	sh.inbox = append(sh.inbox, batch...)
 }
 
@@ -526,38 +601,7 @@ func (f *simFed) original(id task.ID) *task.Task {
 // as livecluster's bounce path plus Federation.onReject.
 func (f *simFed) reject(from *simShard, t *task.Task, reason admission.Reason, now simtime.Instant) {
 	f.bouncedN++
-	migrate := func() bool {
-		if !f.cfg.Migrate {
-			return false
-		}
-		g := f.original(t.ID)
-		if g == nil {
-			return false
-		}
-		tried := f.tried[t.ID]
-		if tried == nil {
-			tried = make(map[int]bool, f.tp.Shards)
-			f.tried[t.ID] = tried
-		}
-		tried[from.id] = true
-		views := f.viewsFor(g, now)
-		s := f.cfg.Placement.Pick(g, views, func(i int) bool {
-			return i != from.id && !tried[i] && views[i].Feasible(g, now)
-		})
-		if s < 0 {
-			return false
-		}
-		tried[s] = true
-		f.submitted[s]++
-		f.migratedN++
-		if o := f.shards[s].o; o != nil {
-			o.Migrate(g.ID, s,
-				fmt.Sprintf("from shard %d, reason %s, §4.3 re-verdict feasible", from.id, reason), now)
-		}
-		f.submit(s, append(f.single[:0], f.localize(g, s)))
-		return true
-	}
-	if migrate() {
+	if f.migrateSim(from.id, t.ID, string(reason), now) {
 		from.res.Bounced++
 		from.o.Bounce(t.ID, string(reason), now)
 		return
@@ -574,12 +618,119 @@ func (f *simFed) reject(from *simShard, t *task.Task, reason admission.Reason, n
 	from.o.Shed(t.ID, string(reason), now)
 }
 
+// migrateSim re-offers one task to the best feasible sibling of shard
+// from, mirroring Federation.migrateLocked. Returns true when a sibling
+// accepted it.
+func (f *simFed) migrateSim(from int, id task.ID, reason string, now simtime.Instant) bool {
+	if !f.cfg.Migrate {
+		return false
+	}
+	g := f.original(id)
+	if g == nil {
+		return false
+	}
+	tried := f.tried[id]
+	if tried == nil {
+		tried = make(map[int]bool, f.tp.Shards)
+		f.tried[id] = tried
+	}
+	tried[from] = true
+	views := f.viewsFor(g, now)
+	s := f.cfg.Placement.Pick(g, views, func(i int) bool {
+		return i != from && !tried[i] && views[i].Feasible(g, now)
+	})
+	if s < 0 {
+		return false
+	}
+	tried[s] = true
+	f.submitted[s]++
+	f.migratedN++
+	if o := f.shards[s].o; o != nil {
+		o.Migrate(g.ID, s,
+			fmt.Sprintf("from shard %d, reason %s, §4.3 re-verdict feasible", from, reason), now)
+	}
+	f.submit(s, append(f.single[:0], f.localize(g, s)), now)
+	return true
+}
+
+// salvage re-routes one task off a dead shard through the migration gate:
+// rescued on a feasible sibling (counted a bounce+migration, so every
+// accounting identity holds unchanged) or charged lost to the dead shard —
+// only tasks that provably cannot make their deadline anywhere are lost.
+func (f *simFed) salvage(from *simShard, t *task.Task, now simtime.Instant) {
+	f.bouncedN++
+	if f.migrateSim(from.id, t.ID, "shard-death", now) {
+		f.salvagedN++
+		from.res.Bounced++
+		from.o.Bounce(t.ID, "shard-death", now)
+		return
+	}
+	f.rejectedN++
+	f.salvageLostN++
+	from.o.RouteReject(t.ID, "shard-death", now)
+	from.res.LostToFailure++
+	from.o.Lost(t.ID, -1, now)
+}
+
+// applyEvents fires every lifecycle event due at the instant, in schedule
+// order. Kills are idempotent (a dead shard stays dead) and rejoins only
+// revive dead shards.
+func (f *simFed) applyEvents(now simtime.Instant) {
+	for f.eventIdx < len(f.events) && !f.events[f.eventIdx].At.After(now) {
+		e := f.events[f.eventIdx]
+		f.eventIdx++
+		sh := f.shards[e.Shard]
+		switch e.Kind {
+		case ShardKill:
+			if !sh.dead {
+				f.killShard(sh, now)
+			}
+		case ShardRejoin:
+			if sh.dead {
+				sh.dead = false
+				f.rejoinsN++
+				// A restarted process comes back with idle workers: the
+				// dead shard's queued commitments were salvaged at the
+				// kill, and its in-flight work settled at scheduling time.
+				for k := range sh.freeAt {
+					sh.freeAt[k] = now
+				}
+			}
+		}
+	}
+}
+
+// killShard marks a shard dead and salvages everything it still held: the
+// unabsorbed inbox (absorbed onto its books first, so the dead shard is
+// charged with every task it was handed) and the admitted-but-unscheduled
+// batch. Scheduled tasks keep their verdicts — the analytic model settles
+// work at scheduling time, so a kill only strands queued tasks.
+func (f *simFed) killShard(sh *simShard, now simtime.Instant) {
+	sh.dead = true
+	in := sh.inbox
+	sh.inbox = sh.inbox[:0]
+	for _, t := range in {
+		sh.res.Total++
+		sh.o.Arrival(t.ID, now, t.Deadline)
+		f.salvage(sh, t, now)
+	}
+	for _, t := range sh.batch.Tasks() {
+		f.salvage(sh, t, now)
+	}
+	sh.batch.Reset()
+	sh.wakeAt = simtime.Never
+}
+
 // refreshViews rebuilds the task-independent part of every shard's view
 // (worker state and the Submitted counters) into the reusable snapshot
 // buffer. The per-task fields (Overlap, Comm) are filled by the caller.
 func (f *simFed) refreshViews(now simtime.Instant) []ShardView {
 	views := f.viewBuf
 	for i, sh := range f.shards {
+		if sh.dead {
+			views[i] = ShardView{Submitted: f.submitted[i]}
+			continue
+		}
 		minFree := simtime.Never
 		var queued time.Duration
 		for _, fr := range sh.freeAt {

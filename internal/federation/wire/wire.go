@@ -33,26 +33,29 @@ import (
 )
 
 // Magic opens every session; Version names the frame grammar.
+// Version history: 1 = initial shard protocol; 2 adds the Checkpoint
+// frame and the Hello rejoin fields (Rejoin/Epoch/ResumeSeq).
 const (
 	Magic   = "RTFW"
-	Version = 1
+	Version = 2
 )
 
 // Frame types. Submit/Verdict/Seal/Heartbeat flow router→shard;
-// Reject/Summary/Result/Journal/Heartbeat flow shard→router; Bye and
-// Error may flow either way.
+// Reject/Summary/Checkpoint/Result/Journal/Heartbeat flow shard→router;
+// Bye and Error may flow either way.
 const (
-	TypeHello     byte = 1  // router→shard: JSON Hello
-	TypeSubmit    byte = 2  // router→shard: binary task batch
-	TypeReject    byte = 3  // shard→router: admission rejected a task
-	TypeVerdict   byte = 4  // router→shard: migration verdict for a reject
-	TypeSummary   byte = 5  // shard→router: JSON Summary (doubles as heartbeat)
-	TypeSeal      byte = 6  // router→shard: close the shard's feed
-	TypeResult    byte = 7  // shard→router: JSON final RunResult
-	TypeJournal   byte = 8  // shard→router: JSON journal entries
-	TypeHeartbeat byte = 9  // either: liveness only
-	TypeBye       byte = 10 // either: clean close
-	TypeError     byte = 11 // either: fatal error string, then close
+	TypeHello      byte = 1  // router→shard: JSON Hello
+	TypeSubmit     byte = 2  // router→shard: binary task batch
+	TypeReject     byte = 3  // shard→router: admission rejected a task
+	TypeVerdict    byte = 4  // router→shard: migration verdict for a reject
+	TypeSummary    byte = 5  // shard→router: JSON Summary (doubles as heartbeat)
+	TypeSeal       byte = 6  // router→shard: close the shard's feed
+	TypeResult     byte = 7  // shard→router: JSON final RunResult
+	TypeJournal    byte = 8  // shard→router: JSON journal entries
+	TypeHeartbeat  byte = 9  // either: liveness only
+	TypeBye        byte = 10 // either: clean close
+	TypeError      byte = 11 // either: fatal error string, then close
+	TypeCheckpoint byte = 12 // shard→router: JSON Checkpoint (v2+)
 )
 
 // MaxFrame bounds a frame payload; a peer announcing more is corrupt or

@@ -1,9 +1,11 @@
 package wire
 
 import (
+	"encoding/json"
 	"math"
 	"net"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -169,5 +171,72 @@ func TestRejectVerdictRoundTrip(t *testing.T) {
 	}
 	if _, err := DecodeVerdict([]byte{0}); err == nil {
 		t.Fatal("DecodeVerdict accepted a truncated payload")
+	}
+}
+
+// TestCheckpointRoundTrip sends a Checkpoint frame across a framed pair and
+// demands the durable-progress payload — sequence, settled IDs, cumulative
+// verdict counters and seal bit — survive the wire exactly.
+func TestCheckpointRoundTrip(t *testing.T) {
+	a, b := pipe(t)
+	want := Checkpoint{
+		Seq:     7,
+		Settled: []int32{3, 11, 42},
+		Counters: map[string]int64{
+			"rtsads_tasks_hit_total":  2,
+			"rtsads_tasks_lost_total": 1,
+		},
+		Sealed: true,
+	}
+	payload, err := json.Marshal(want)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- a.WriteFrame(TypeCheckpoint, payload) }()
+	typ, body, err := b.ReadFrame()
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	if typ != TypeCheckpoint {
+		t.Fatalf("frame type = %d, want %d", typ, TypeCheckpoint)
+	}
+	var got Checkpoint
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("checkpoint round-trip: got %+v, want %+v", got, want)
+	}
+}
+
+// TestHelloRejoinFieldsRoundTrip checks the v2 rejoin handshake fields ship
+// through the Hello JSON, and that a first-contact hello omits them — v1
+// shards must never see rejoin keys they would not understand.
+func TestHelloRejoinFieldsRoundTrip(t *testing.T) {
+	h := Hello{Shards: 2, WorkersPerShard: 2, Shard: 1, Rejoin: true, Epoch: 3, ResumeSeq: 19}
+	payload, err := json.Marshal(h)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got Hello
+	if err := json.Unmarshal(payload, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !got.Rejoin || got.Epoch != 3 || got.ResumeSeq != 19 {
+		t.Fatalf("rejoin fields lost in round-trip: %+v", got)
+	}
+
+	first, err := json.Marshal(Hello{Shards: 2, WorkersPerShard: 2})
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	for _, key := range []string{"rejoin", "epoch", "resume_seq"} {
+		if strings.Contains(string(first), key) {
+			t.Errorf("first-contact hello leaks %q: %s", key, first)
+		}
 	}
 }

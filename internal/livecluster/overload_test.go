@@ -344,7 +344,7 @@ func TestRedialJitterBackoff(t *testing.T) {
 	if len(delays) != 3 {
 		t.Fatalf("recorded %d delays, want one per redial attempt (3)", len(delays))
 	}
-	ref := rng.New(redialJitterSeed + 0)
+	ref := rng.New(RedialJitterSeed + 0)
 	backoff := b.live.RedialBackoff
 	for i, d := range delays {
 		if d < backoff/2 || d >= backoff {
@@ -358,7 +358,7 @@ func TestRedialJitterBackoff(t *testing.T) {
 
 	// Worker streams are decorrelated: two workers redialing after the same
 	// network event must not sleep in lockstep.
-	a, z := rng.New(redialJitterSeed+0), rng.New(redialJitterSeed+1)
+	a, z := rng.New(RedialJitterSeed+0), rng.New(RedialJitterSeed+1)
 	same := 0
 	for i := 0; i < 8; i++ {
 		if jitterBackoff(a, time.Second) == jitterBackoff(z, time.Second) {
@@ -380,5 +380,36 @@ func TestRedialJitterBackoff(t *testing.T) {
 	}
 	if len(delays) != 1 {
 		t.Errorf("stop mid-backoff still recorded %d sleeps, want 1", len(delays))
+	}
+}
+
+// TestBackoffCapAndDeterminism pins the Backoff schedule: delays double
+// from base, each drawn from [d/2, d), and stop growing at the cap; the
+// same seed reproduces the same sequence exactly, and a base above the cap
+// is clamped down to it.
+func TestBackoffCapAndDeterminism(t *testing.T) {
+	base, cap := 50*time.Millisecond, 200*time.Millisecond
+	a := NewBackoff(7, base, cap)
+	b := NewBackoff(7, base, cap)
+	want := base
+	for i := 0; i < 8; i++ {
+		d := a.Next()
+		if d < want/2 || d >= want {
+			t.Errorf("draw %d = %v, want within [%v, %v)", i, d, want/2, want)
+		}
+		if d2 := b.Next(); d2 != d {
+			t.Errorf("draw %d: same seed diverged, %v vs %v", i, d, d2)
+		}
+		want *= 2
+		if want > cap {
+			want = cap
+		}
+	}
+
+	if d := NewBackoff(1, time.Second, 100*time.Millisecond).Next(); d >= 100*time.Millisecond {
+		t.Errorf("base above cap drew %v, want under the 100ms cap", d)
+	}
+	if d := NewBackoff(1, 0, 0).Next(); d < 25*time.Millisecond || d >= 50*time.Millisecond {
+		t.Errorf("zero base drew %v, want within the 50ms default's [25ms, 50ms)", d)
 	}
 }

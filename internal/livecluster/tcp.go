@@ -507,13 +507,11 @@ func (b *TCPBackend) redial(i int) bool {
 	// Per-worker deterministic jitter: when one network event severs many
 	// connections at once, the workers must not all redial on the same
 	// doubling schedule and hammer the fabric in lockstep.
-	src := rng.New(redialJitterSeed + uint64(i))
-	backoff := b.live.RedialBackoff
+	bo := NewBackoff(RedialJitterSeed+uint64(i), b.live.RedialBackoff, 0)
 	for attempt := 0; attempt < b.live.Redials; attempt++ {
-		if !b.sleep(jitterBackoff(src, backoff)) {
+		if !b.sleep(bo.Next()) {
 			return false
 		}
-		backoff *= 2
 		if b.closing.Load() || b.inj.Killed(i) {
 			return false
 		}
@@ -524,9 +522,45 @@ func (b *TCPBackend) redial(i int) bool {
 	return false
 }
 
-// redialJitterSeed decorrelates the per-worker jitter streams from the
-// workload's seed space (an arbitrary odd 64-bit constant).
-const redialJitterSeed = 0x9e3779b97f4a7c15
+// RedialJitterSeed decorrelates redial jitter streams from the workload's
+// seed space (an arbitrary odd 64-bit constant). Callers offset it with a
+// per-peer index so concurrent redialers draw distinct jitter sequences.
+const RedialJitterSeed uint64 = 0x9e3779b97f4a7c15
+
+// Backoff yields capped, jittered exponential redial delays: each Next
+// draws from [d/2, d) and doubles d, up to cap (0 = uncapped). The jitter
+// stream is deterministic per seed, so when one network event severs many
+// connections at once the peers spread over the window instead of
+// hammering the fabric in lockstep — and tests can pin the exact delays.
+// Both the worker redial path and the federation's shard dial/rejoin
+// loops share this schedule.
+type Backoff struct {
+	src  *rng.Source
+	next time.Duration
+	cap  time.Duration
+}
+
+// NewBackoff builds a backoff schedule starting at base (default 50ms)
+// and doubling up to cap per attempt (0 = uncapped).
+func NewBackoff(seed uint64, base, cap time.Duration) *Backoff {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if cap > 0 && base > cap {
+		base = cap
+	}
+	return &Backoff{src: rng.New(seed), next: base, cap: cap}
+}
+
+// Next returns the delay to sleep before the coming attempt.
+func (b *Backoff) Next() time.Duration {
+	d := jitterBackoff(b.src, b.next)
+	b.next *= 2
+	if b.cap > 0 && b.next > b.cap {
+		b.next = b.cap
+	}
+	return d
+}
 
 // jitterBackoff draws a delay from [d/2, d): the exponential doubling still
 // bounds the total wait, but concurrent redialers spread over the window

@@ -171,6 +171,14 @@ type Observer struct {
 	jobs       []*Counter
 	shedReason map[string]*Counter
 
+	// settle, when set, fires once per task reaching a terminal verdict
+	// (exec, purge, lost, shed — not bounce, which hands the task to
+	// another domain), carrying the verdict's metric name. Because the
+	// hook sees ID and bucket together, a consumer can maintain verdict
+	// counts exactly consistent with the ID stream it buffers — the
+	// property the federation's checkpoint accounting leans on.
+	settle func(task.ID, string)
+
 	lastVirtual atomic.Int64 // most recent event's virtual time
 }
 
@@ -244,6 +252,19 @@ func (o *Observer) EnableTrace(limit int) *trace.SafeLog {
 	}
 	o.sink = trace.NewSafeLog(limit)
 	return o.sink
+}
+
+// OnSettle registers fn to run once per terminal task verdict with the
+// verdict's metric name (MetricHits, MetricMissed, MetricPurged,
+// MetricLost or MetricShed). fn must be safe to call from scheduler
+// goroutines and fast — it sits on the execution hot path. Call before
+// the run starts; the federation's shard server uses it to feed
+// checkpoint frames.
+func (o *Observer) OnSettle(fn func(task.ID, string)) {
+	if o == nil {
+		return
+	}
+	o.settle = fn
 }
 
 // Registry returns the observer's metric registry (nil for a nil observer).
@@ -405,6 +426,13 @@ func (o *Observer) Exec(id task.ID, worker int, start, finish simtime.Instant, h
 	if o == nil {
 		return
 	}
+	if o.settle != nil {
+		if hit {
+			o.settle(id, MetricHits)
+		} else {
+			o.settle(id, MetricMissed)
+		}
+	}
 	if hit {
 		o.hits.Inc()
 	} else {
@@ -425,6 +453,9 @@ func (o *Observer) Purge(id task.ID, at simtime.Instant) {
 	if o == nil {
 		return
 	}
+	if o.settle != nil {
+		o.settle(id, MetricPurged)
+	}
 	o.purged.Inc()
 	o.note(at, Entry{Type: "purge", Task: int(id), Worker: -1})
 	o.updateGuarantee()
@@ -434,6 +465,9 @@ func (o *Observer) Purge(id task.ID, at simtime.Instant) {
 func (o *Observer) Lost(id task.ID, worker int, at simtime.Instant) {
 	if o == nil {
 		return
+	}
+	if o.settle != nil {
+		o.settle(id, MetricLost)
 	}
 	o.lost.Inc()
 	o.note(at, Entry{Type: "lost", Task: int(id), Worker: worker})
@@ -519,6 +553,9 @@ func (o *Observer) RouteReject(id task.ID, reason string, at simtime.Instant) {
 func (o *Observer) Shed(id task.ID, reason string, at simtime.Instant) {
 	if o == nil {
 		return
+	}
+	if o.settle != nil {
+		o.settle(id, MetricShed)
 	}
 	o.shed.Inc()
 	o.mu.Lock()

@@ -18,6 +18,12 @@
 # balanced books — the killed shard's backlog charged to LostToFailure on
 # the router's own ledger.
 #
+# A third section exercises the full kill → restart → rejoin cycle: the
+# router runs with -rejoin, shard 1's process is SIGKILLed mid-run and
+# immediately restarted on the same address, and the run must finish with
+# balanced books, report at least one completed rejoin, and the restarted
+# process must serve its session to a clean end.
+#
 # The final accounting identities (Reconcile) are enforced by rtcluster
 # itself: it exits non-zero when the federation books do not balance.
 #
@@ -30,7 +36,8 @@ OUT="$WORKDIR/stdout.log"
 RUN_PID=""
 SHARD0_PID=""
 SHARD1_PID=""
-trap 'kill "$RUN_PID" "$SHARD0_PID" "$SHARD1_PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+SHARD1B_PID=""
+trap 'kill "$RUN_PID" "$SHARD0_PID" "$SHARD1_PID" "$SHARD1B_PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
 
 fail() { echo "federation_smoke: FAIL: $*" >&2; exit 1; }
 
@@ -171,5 +178,93 @@ grep -q 'routing: 200 routed' "$TCP_OUT" || fail "TCP routing summary missing or
 grep -Eq 'shard 1:.*lostToFailure=[1-9]' "$TCP_OUT" ||
     fail "killed shard reports no lost tasks; the death did not land mid-run"
 grep -q 'shard session complete' "$SHARD0_OUT" || fail "surviving shard session did not complete cleanly"
+
+echo "federation_smoke: --- kill, restart and rejoin a shard process ---"
+RJ_SHARD0_ADDR="127.0.0.1:8082"
+RJ_SHARD1_ADDR="127.0.0.1:8083"
+RJ_DEBUG="127.0.0.1:8084"
+RJ_OUT="$WORKDIR/rejoin_router.log"
+RJ_SHARD0_OUT="$WORKDIR/rejoin_shard0.log"
+RJ_SHARD1_OUT="$WORKDIR/rejoin_shard1.log"
+RJ_SHARD1B_OUT="$WORKDIR/rejoin_shard1_restarted.log"
+
+"$WORKDIR/rtcluster" -shard-listen "$RJ_SHARD0_ADDR" >"$RJ_SHARD0_OUT" 2>&1 &
+SHARD0_PID=$!
+"$WORKDIR/rtcluster" -shard-listen "$RJ_SHARD1_ADDR" >"$RJ_SHARD1_OUT" 2>&1 &
+SHARD1_PID=$!
+deadline=$((SECONDS + 30))
+until grep -q 'shard listening' "$RJ_SHARD0_OUT" && grep -q 'shard listening' "$RJ_SHARD1_OUT"; do
+    [ "$SECONDS" -lt "$deadline" ] || fail "rejoin-section shard servers did not come up within 30s"
+    sleep 0.2
+done
+echo "federation_smoke: shard servers up on $RJ_SHARD0_ADDR and $RJ_SHARD1_ADDR"
+
+"$WORKDIR/rtcluster" -workers 4 \
+    -shards "tcp://$RJ_SHARD0_ADDR,tcp://$RJ_SHARD1_ADDR" \
+    -rejoin -rejoin-max 8 \
+    -txns 200 -scale 400 -sf 4 -placement affinity \
+    -admission reject -queue-cap 24 \
+    -debug-addr "$RJ_DEBUG" >"$RJ_OUT" 2>&1 &
+RUN_PID=$!
+
+# Kill shard 1's process once the router has routed to it, then restart a
+# fresh -shard-listen on the same address: the router's capped jittered
+# redial must find it and complete the rejoin handshake.
+deadline=$((SECONDS + 60))
+killed=""
+while [ "$SECONDS" -lt "$deadline" ]; do
+    if ! kill -0 "$RUN_PID" 2>/dev/null; then
+        cat "$RJ_OUT" >&2
+        fail "rejoin run finished before the shard kill could land"
+    fi
+    RSNAP="$WORKDIR/rejoin_metrics.txt"
+    curl -sf "http://$RJ_DEBUG/metrics" >"$RSNAP" 2>/dev/null || { sleep 0.2; continue; }
+    routed1=$(metric "$RSNAP" 'rtsads_fed_routed_total{shard="1"}')
+    if [ "$routed1" -ge 1 ]; then
+        kill -9 "$SHARD1_PID"
+        echo "federation_smoke: SIGKILLed shard 1's process after $routed1 routed tasks; restarting it"
+        "$WORKDIR/rtcluster" -shard-listen "$RJ_SHARD1_ADDR" >"$RJ_SHARD1B_OUT" 2>&1 &
+        SHARD1B_PID=$!
+        killed=yes
+        break
+    fi
+    sleep 0.2
+done
+[ -n "$killed" ] || fail "rejoin-section router never routed to shard 1 within 60s"
+
+# The rejoin must be observable mid-run: the counter ticks the moment the
+# restarted process completes the rejoin hello.
+deadline=$((SECONDS + 60))
+rejoined=""
+while [ "$SECONDS" -lt "$deadline" ]; do
+    kill -0 "$RUN_PID" 2>/dev/null || break # finished: settle it via stdout below
+    RSNAP="$WORKDIR/rejoin_metrics.txt"
+    curl -sf "http://$RJ_DEBUG/metrics" >"$RSNAP" 2>/dev/null || { sleep 0.2; continue; }
+    if [ "$(metric "$RSNAP" rtsads_fed_rejoins_total)" -ge 1 ]; then
+        rejoined=yes
+        echo "federation_smoke: mid-run /metrics reports the rejoin"
+        break
+    fi
+    sleep 0.2
+done
+
+echo "federation_smoke: waiting for the rejoin run to finish"
+wait "$RUN_PID" || { cat "$RJ_OUT" >&2; fail "rejoin run exited non-zero (books did not reconcile across the rejoin?)"; }
+RUN_PID=""
+cat "$RJ_OUT"
+
+grep -q 'routing: 200 routed' "$RJ_OUT" || fail "rejoin-run routing summary missing or wrong task count"
+grep -Eq 'recovery: .* [1-9][0-9]* shard rejoin' "$RJ_OUT" ||
+    fail "router reports no completed rejoin after the restart"
+[ -n "$rejoined" ] || grep -Eq 'recovery: .* [1-9][0-9]* shard rejoin' "$RJ_OUT" ||
+    fail "rejoin observed neither mid-run nor in the final summary"
+# The restarted process must have served the rejoined session to a clean
+# seal — proof the router placed the shard back into rotation.
+deadline=$((SECONDS + 30))
+until grep -q 'shard session complete' "$RJ_SHARD1B_OUT"; do
+    [ "$SECONDS" -lt "$deadline" ] || fail "restarted shard 1 process never completed its session"
+    sleep 0.2
+done
+echo "federation_smoke: restarted shard 1 served its session to a clean end"
 
 echo "federation_smoke: PASS"
