@@ -62,6 +62,7 @@ import (
 	"rtsads/internal/federation"
 	"rtsads/internal/livecluster"
 	"rtsads/internal/obs"
+	"rtsads/internal/policy"
 	"rtsads/internal/workload"
 )
 
@@ -76,6 +77,8 @@ func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("rtcluster", flag.ContinueOnError)
 	role := fs.String("role", "inproc", "inproc (all-in-one), host, or worker")
 	algo := fs.String("algo", "RT-SADS", "scheduler: RT-SADS, D-COLS, EDF-greedy, myopic")
+	policyName := fs.String("policy", "", "scheduling policy from the registry (overrides -algo; 'list' prints the registry and exits)")
+	admitQuick := fs.Bool("admit-quick", false, "admission: run the policy's utilization quick-test on every arrival (sheds sets no schedule could serve)")
 	workers := fs.Int("workers", 4, "working processors (inproc role)")
 	shardsFlag := fs.String("shards", "1", "shard the workers into this many federated scheduler domains (inproc role; must divide -workers evenly), or a comma-separated list of shard-server addresses (tcp://host:port) to drive shards running out of process via -shard-listen")
 	shardListen := fs.String("shard-listen", "", "serve one federation shard on this address over the wire protocol (the router connects with -shards tcp://...)")
@@ -111,6 +114,17 @@ func run(args []string, out io.Writer) (retErr error) {
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown grace: how long a SIGINT/SIGTERM keeps scheduling the admitted backlog before abandoning it")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *policyName == "list" {
+		return policy.Default().Describe(out)
+	}
+	if *policyName != "" {
+		// Strict validation at parse time: a typo fails here with the
+		// registry listed, not mid-run inside a shard.
+		if _, ok := policy.Default().Lookup(*policyName); !ok {
+			return fmt.Errorf("unknown policy %q (run '-policy list' to see the registry)", *policyName)
+		}
+		*algo = *policyName
 	}
 	// Liveness knobs are validated at parse time: a negative interval or a
 	// timeout no longer than the heartbeat would only surface as spurious
@@ -236,6 +250,28 @@ func run(args []string, out io.Writer) (retErr error) {
 		} else if *queueCap > 0 {
 			// A bounded queue with no policy named: first-come, first-admitted.
 			admCfg = admission.Config{Policy: admission.Reject, QueueCap: *queueCap}
+		}
+		if *admitQuick {
+			if len(shardAddrs) > 0 {
+				// The predicate is a local function object; the wire hello
+				// cannot carry it to an out-of-process shard.
+				return fmt.Errorf("-admit-quick requires in-process shards")
+			}
+			if n%shardCount != 0 {
+				return fmt.Errorf("-admit-quick: -workers %d must divide evenly into -shards %d", n, shardCount)
+			}
+			// The quick-test's capacity is one scheduler domain, so each
+			// shard's gate sees only its share of the workers.
+			pred, err := policy.Default().NewPredicate(*algo, policy.Options{
+				Search: core.SearchConfig{Workers: n / shardCount},
+			})
+			if err != nil {
+				return err
+			}
+			if pred == nil {
+				return fmt.Errorf("-admit-quick: policy %q defines no admission quick-test", *algo)
+			}
+			admCfg.Predicate = pred
 		}
 		var degrade *core.DegradeConfig
 		if *degradeAfter > 0 {
@@ -378,8 +414,8 @@ func run(args []string, out io.Writer) (retErr error) {
 				res.WorkerFailures, res.Rerouted, res.LostToFailure)
 		}
 		if res.Shed > 0 || res.Overloads > 0 || res.Degradations > 0 {
-			fmt.Fprintf(out, "overload: %d task(s) shed (%d hopeless, %d queue-full, %d shutdown), %d deferred deliveries, %d degradation(s)/%d recoveries\n",
-				res.Shed, res.ShedHopeless, res.ShedQueueFull, res.ShedShutdown,
+			fmt.Fprintf(out, "overload: %d task(s) shed (%d hopeless, %d queue-full, %d shutdown, %d infeasible), %d deferred deliveries, %d degradation(s)/%d recoveries\n",
+				res.Shed, res.ShedHopeless, res.ShedQueueFull, res.ShedShutdown, res.ShedInfeasible,
 				res.Overloads, res.Degradations, res.Recoveries)
 		}
 		return nil

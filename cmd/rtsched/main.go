@@ -24,6 +24,7 @@ import (
 	"rtsads/internal/experiment"
 	"rtsads/internal/machine"
 	"rtsads/internal/obs"
+	"rtsads/internal/policy"
 	"rtsads/internal/spec"
 	"rtsads/internal/task"
 	"rtsads/internal/trace"
@@ -53,11 +54,21 @@ func run(args []string, out io.Writer) error {
 	taskTraceOut := fs.String("task-trace", "", "run one traced RT-SADS run (P=10, defaults) and write a task-per-track lifecycle Chrome trace to this file")
 	plotFlag := fs.Bool("plot", false, "also draw each figure as an ASCII chart")
 	dumpTasks := fs.String("dumptasks", "", "write the default workload's task set as JSON to this file and exit")
-	runTasks := fs.String("runtasks", "", "run RT-SADS over a task set previously written with -dumptasks (or an external trace)")
+	runTasks := fs.String("runtasks", "", "run a task set previously written with -dumptasks (or an external trace) under -policy")
 	taskWorkers := fs.Int("workers", 10, "working processors for -dumptasks/-runtasks")
+	policyName := fs.String("policy", "RT-SADS", "scheduling policy for -runtasks; 'list' prints the registry and exits")
+	tournamentFlag := fs.Bool("tournament", false, "race every registered policy over the workload corpus (-runs seeds per cell)")
+	tournamentOut := fs.String("tournament-out", "", "also write the tournament report as JSONL to this file")
 	debugAddr := fs.String("debug-addr", "", "serve /metrics, expvar and pprof on this address while experiments run (e.g. :8077 or :0)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *policyName == "list" {
+		return policy.Default().Describe(out)
+	}
+	if _, ok := policy.Default().Lookup(*policyName); !ok {
+		return fmt.Errorf("unknown policy %q (run '-policy list' to see the registry)", *policyName)
 	}
 
 	// The debug endpoint profiles long experiment sweeps; single-machine
@@ -84,7 +95,10 @@ func run(args []string, out io.Writer) error {
 		return dumpTaskSet(*dumpTasks, *taskWorkers, *seed, out)
 	}
 	if *runTasks != "" {
-		return runTaskSet(*runTasks, *taskWorkers, observer, out)
+		return runTaskSet(*runTasks, *taskWorkers, *policyName, observer, out)
+	}
+	if *tournamentFlag {
+		return runTournament(*runs, *seed, *tournamentOut, observer, out)
 	}
 
 	if *specPath != "" {
@@ -372,9 +386,9 @@ func dumpTaskSet(path string, workers int, seed uint64, out io.Writer) error {
 	return nil
 }
 
-// runTaskSet replays an imported task set under RT-SADS on the
+// runTaskSet replays an imported task set under the selected policy on the
 // deterministic machine — the bring-your-own-trace path.
-func runTaskSet(path string, workers int, observer *obs.Observer, out io.Writer) error {
+func runTaskSet(path string, workers int, policyName string, observer *obs.Observer, out io.Writer) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return fmt.Errorf("open %s: %w", path, err)
@@ -385,7 +399,7 @@ func runTaskSet(path string, workers int, observer *obs.Observer, out io.Writer)
 		return err
 	}
 	model := affinity.CostModel{Remote: 2 * time.Millisecond}
-	planner, err := core.NewRTSADS(core.SearchConfig{
+	planner, err := policy.Default().New(policyName, policy.Options{Search: core.SearchConfig{
 		Workers: workers,
 		Comm: func(t *task.Task, proc int) time.Duration {
 			return model.Cost(t.Affinity, proc)
@@ -393,7 +407,7 @@ func runTaskSet(path string, workers int, observer *obs.Observer, out io.Writer)
 		VertexCost: time.Microsecond,
 		PhaseCost:  25 * time.Microsecond,
 		Policy:     core.NewAdaptive(),
-	})
+	}})
 	if err != nil {
 		return err
 	}
@@ -407,6 +421,34 @@ func runTaskSet(path string, workers int, observer *obs.Observer, out io.Writer)
 	}
 	fmt.Fprintf(out, "%s\n", res)
 	return nil
+}
+
+// runTournament races every registered policy over the standard corpus and
+// renders the table; the JSONL mirror and the /metrics gauges are for
+// machines.
+func runTournament(runs int, seed uint64, jsonlPath string, observer *obs.Observer, out io.Writer) error {
+	report, err := policy.Tournament(policy.TournamentConfig{Runs: runs, BaseSeed: seed})
+	if report == nil {
+		return err
+	}
+	if rerr := report.Render(out); rerr != nil && err == nil {
+		err = rerr
+	}
+	if jsonlPath != "" {
+		f, ferr := os.Create(jsonlPath)
+		if ferr != nil {
+			return fmt.Errorf("create %s: %w", jsonlPath, ferr)
+		}
+		defer f.Close()
+		if werr := report.WriteJSONL(f); werr != nil && err == nil {
+			err = fmt.Errorf("write %s: %w", jsonlPath, werr)
+		}
+		fmt.Fprintf(out, "# wrote %s\n", jsonlPath)
+	}
+	if observer != nil {
+		report.Mirror(observer.Registry())
+	}
+	return err
 }
 
 func (r runner) heuristics() error {

@@ -94,7 +94,28 @@ const (
 	// admission controller never emits it; the live cluster's host loop
 	// does when every worker has failed.
 	ShardDown Reason = "shard-down"
+	// Infeasible marks a task rejected by a schedulability Predicate: the
+	// task is individually servable (not Hopeless), but adding it to the
+	// current queue fails the predicate's quick-test — e.g. the
+	// utilization demand bound — so admitting it could only trade an
+	// existing deadline for this one.
+	Infeasible Reason = "infeasible"
 )
+
+// Predicate is a pluggable admission-time schedulability quick-test — the
+// policy registry's extension point for utilization-style checks. Admit
+// reports whether the arriving task, taken together with the current queue
+// contents, passes; the controller rejects with Infeasible when it does
+// not. Implementations must be deterministic, must not mutate their
+// arguments, and must be NECESSARY conditions only: returning false must
+// prove no schedule can serve queue ∪ {t}, never merely guess — a false
+// negative here silently sheds schedulable work.
+type Predicate interface {
+	// Name identifies the predicate in logs and flag errors.
+	Name() string
+	// Admit reports whether queue ∪ {t} passes the quick-test at now.
+	Admit(t *task.Task, now simtime.Instant, queue []*task.Task) bool
+}
 
 // Decision is the controller's verdict for one arriving task.
 type Decision struct {
@@ -124,10 +145,17 @@ type Config struct {
 	// a positive value tightens the test for clusters where every
 	// placement pays at least that much.
 	MinComm time.Duration
+	// Predicate, when non-nil, adds a schedulability quick-test after the
+	// hopeless check: arrivals failing it are rejected with Infeasible.
+	// Interfaces do not serialize — a shard driven over the wire protocol
+	// must construct its own predicate locally.
+	Predicate Predicate `json:"-"`
 }
 
 // Enabled reports whether the configuration changes any behaviour.
-func (c Config) Enabled() bool { return c.QueueCap > 0 || c.RejectHopeless }
+func (c Config) Enabled() bool {
+	return c.QueueCap > 0 || c.RejectHopeless || c.Predicate != nil
+}
 
 // Validate reports whether the configuration is usable.
 func (c Config) Validate() error {
@@ -180,6 +208,9 @@ func (c *Controller) Admit(t *task.Task, now simtime.Instant, queue []*task.Task
 	}
 	if c.cfg.RejectHopeless && c.HopelessAt(t, now) {
 		return Decision{Reason: Hopeless}
+	}
+	if c.cfg.Predicate != nil && !c.cfg.Predicate.Admit(t, now, queue) {
+		return Decision{Reason: Infeasible}
 	}
 	if c.cfg.QueueCap <= 0 || len(queue) < c.cfg.QueueCap {
 		return Decision{Admit: true}

@@ -197,7 +197,7 @@ func (s Scenario) check(res *metrics.RunResult, snap map[string]int64, journal [
 		add("accounting: %d hits + %d purged + %d schedMissed + %d lost + %d shed + %d bounced = %d, want total %d",
 			res.Hits, res.Purged, res.ScheduledMissed, res.LostToFailure, res.Shed, res.Bounced, got, res.Total)
 	}
-	if sum := res.ShedHopeless + res.ShedQueueFull + res.ShedShutdown; sum != res.Shed {
+	if sum := res.ShedHopeless + res.ShedQueueFull + res.ShedShutdown + res.ShedInfeasible; sum != res.Shed {
 		add("shed reasons sum to %d, want shed total %d", sum, res.Shed)
 	}
 
@@ -230,6 +230,7 @@ func (s Scenario) check(res *metrics.RunResult, snap map[string]int64, journal [
 		admission.Hopeless:     res.ShedHopeless,
 		admission.QueueFull:    res.ShedQueueFull,
 		admission.ShuttingDown: res.ShedShutdown,
+		admission.Infeasible:   res.ShedInfeasible,
 	}
 	labelSum := int64(0)
 	for reason, want := range byReason {

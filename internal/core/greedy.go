@@ -9,25 +9,48 @@ import (
 	"rtsads/internal/task"
 )
 
+// OrderFunc orders a batch in place before list placement — the
+// prioritizer extension point the policy registry's list planners plug in
+// (EDF, least-slack, shortest-completion, deadline-monotonic, ...). It must
+// be deterministic; now is the phase start for dynamic orders.
+type OrderFunc func(now simtime.Instant, batch []*task.Task)
+
 // greedyPlanner is the classic list-scheduling baseline: take the batch in
-// EDF order and put each task on the feasible worker with the earliest
+// priority order and put each task on the feasible worker with the earliest
 // completion, with no backtracking. It shares the quantum accounting and
 // the §4.3 feasibility test with the search planners, so its schedules
-// carry the same deadline guarantee.
+// carry the same deadline guarantee whatever the order.
 type greedyPlanner struct {
-	cfg SearchConfig
+	cfg   SearchConfig
+	name  string
+	order OrderFunc
+}
+
+// NewList returns a list-scheduling planner under an arbitrary priority
+// order: the generalisation behind NewEDFGreedy that the policy registry's
+// RM/LST/SCT planners instantiate.
+func NewList(cfg SearchConfig, name string, order OrderFunc) (Planner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if name == "" {
+		return nil, fmt.Errorf("core: list planner needs a name")
+	}
+	if order == nil {
+		return nil, fmt.Errorf("core: list planner %q needs an order function", name)
+	}
+	return &greedyPlanner{cfg: cfg, name: name, order: order}, nil
 }
 
 // NewEDFGreedy returns the greedy earliest-deadline-first baseline.
 func NewEDFGreedy(cfg SearchConfig) (Planner, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	return &greedyPlanner{cfg: cfg}, nil
+	return NewList(cfg, "EDF-greedy", func(_ simtime.Instant, batch []*task.Task) {
+		task.SortEDF(batch)
+	})
 }
 
 // Name implements Planner.
-func (g *greedyPlanner) Name() string { return "EDF-greedy" }
+func (g *greedyPlanner) Name() string { return g.name }
 
 // PlanPhase implements Planner.
 func (g *greedyPlanner) PlanPhase(in PhaseInput) (PhaseResult, error) {
@@ -35,7 +58,7 @@ func (g *greedyPlanner) PlanPhase(in PhaseInput) (PhaseResult, error) {
 		return PhaseResult{}, fmt.Errorf("core: phase has %d loads for %d workers", len(in.Loads), g.cfg.Workers)
 	}
 	quantum := g.cfg.Policy.Quantum(in)
-	task.SortEDF(in.Batch)
+	g.order(in.Now, in.Batch)
 
 	st := newGreedyState(g.cfg, in, quantum)
 	for _, t := range in.Batch {

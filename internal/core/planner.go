@@ -100,6 +100,13 @@ type SearchConfig struct {
 	// settle merge is deterministic, so the planner contract is preserved.
 	// Zero keeps the sequential engine.
 	Parallel int
+	// IncumbentCE, when positive, is an initial incumbent cost bound fed
+	// to every phase's search (search.Problem.BoundCE): vertices whose CE
+	// matches or exceeds it are pruned. The caller asserts the bound comes
+	// from a COMPLETE schedule of that cost — policy.Anytime's GA sets it
+	// per phase with exactly that contract; a static value here is chiefly
+	// an ablation/testing knob. Zero disables it.
+	IncumbentCE time.Duration
 	// StealDepth, FrontierCap and DupCap tune the work-stealing driver
 	// when Parallel is positive: the number of tree levels cut into
 	// stealable frames, the per-engine bound on published frames, and the
@@ -159,6 +166,9 @@ func (c SearchConfig) Validate() error {
 	}
 	if c.FrontierCap < 0 {
 		return fmt.Errorf("core: FrontierCap %d must be non-negative", c.FrontierCap)
+	}
+	if c.IncumbentCE < 0 {
+		return fmt.Errorf("core: IncumbentCE %v must be non-negative", c.IncumbentCE)
 	}
 	return nil
 }
@@ -253,6 +263,7 @@ func (s *searchPlanner) PlanPhase(in PhaseInput) (PhaseResult, error) {
 		Strategy:      s.cfg.Strategy,
 		MaxBacktracks: s.cfg.MaxBacktracks,
 		MaxDepth:      s.cfg.MaxDepth,
+		BoundCE:       s.cfg.IncumbentCE,
 	}
 	// The feasibility test must still charge the full quantum: execution is
 	// only guaranteed to start by in.Now + quantum. Shift the search's

@@ -15,7 +15,7 @@ import (
 	"rtsads/internal/core"
 	"rtsads/internal/machine"
 	"rtsads/internal/metrics"
-	"rtsads/internal/represent"
+	"rtsads/internal/policy"
 	"rtsads/internal/simtime"
 	"rtsads/internal/task"
 	"rtsads/internal/workload"
@@ -133,26 +133,10 @@ func NewPlanner(algo Algorithm, w *workload.Workload, rc RunConfig) (core.Planne
 	if rc.Tune != nil {
 		rc.Tune(&scfg)
 	}
-	switch algo {
-	case RTSADS:
-		return core.NewRTSADS(scfg)
-	case DCOLS:
-		return core.NewDCOLS(scfg)
-	case EDFGreedy:
-		return core.NewEDFGreedy(scfg)
-	case Myopic:
-		return core.NewMyopic(scfg, 7, 1)
-	case Oracle:
-		scfg.VertexCost = time.Nanosecond
-		scfg.PhaseCost = 0
-		return core.NewEDFGreedy(scfg)
-	case DCOLSLeastLoaded:
-		rep := represent.NewSequence(scfg.Workers)
-		rep.LeastLoaded = true
-		return core.NewSearchPlanner(scfg, rep, string(DCOLSLeastLoaded))
-	default:
-		return nil, fmt.Errorf("experiment: unknown algorithm %q", algo)
-	}
+	// Construction is delegated to the policy registry, so the experiments
+	// can run anything registered there — the paper's zoo and the list /
+	// anytime policies alike — under one name space.
+	return policy.Default().New(string(algo), policy.Options{Search: scfg})
 }
 
 // RunOnce generates the workload for p (with the given seed) and simulates

@@ -444,6 +444,7 @@ func (r *Result) Combined() *metrics.RunResult {
 		out.ShedHopeless += s.ShedHopeless
 		out.ShedQueueFull += s.ShedQueueFull
 		out.ShedShutdown += s.ShedShutdown
+		out.ShedInfeasible += s.ShedInfeasible
 		out.Bounced += s.Bounced
 		out.Overloads += s.Overloads
 		out.Degradations += s.Degradations

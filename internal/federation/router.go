@@ -307,13 +307,13 @@ func New(cfg Config) (*Federation, error) {
 		return nil, err
 	}
 	f := &Federation{
-		cfg:       cfg,
-		tp:        cfg.Topology,
-		faults:    faults,
-		reg:       obs.NewRegistry(),
-		submitted: make([]int, cfg.Topology.Shards),
-		perShard:  make([]int, cfg.Topology.Shards),
-		bounces:   make([]int, cfg.Topology.Shards),
+		cfg:         cfg,
+		tp:          cfg.Topology,
+		faults:      faults,
+		reg:         obs.NewRegistry(),
+		submitted:   make([]int, cfg.Topology.Shards),
+		perShard:    make([]int, cfg.Topology.Shards),
+		bounces:     make([]int, cfg.Topology.Shards),
 		tried:       make(map[task.ID]map[int]bool),
 		orig:        make(map[task.ID]*task.Task, len(cfg.Workload.Tasks)),
 		salvagedIDs: make(map[task.ID]bool),

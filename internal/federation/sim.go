@@ -12,6 +12,7 @@ import (
 	"rtsads/internal/experiment"
 	"rtsads/internal/metrics"
 	"rtsads/internal/obs"
+	"rtsads/internal/policy"
 	"rtsads/internal/simtime"
 	"rtsads/internal/task"
 	"rtsads/internal/workload"
@@ -614,6 +615,8 @@ func (f *simFed) reject(from *simShard, t *task.Task, reason admission.Reason, n
 		from.res.ShedHopeless++
 	case admission.QueueFull:
 		from.res.ShedQueueFull++
+	case admission.Infeasible:
+		from.res.ShedInfeasible++
 	}
 	from.o.Shed(t.ID, string(reason), now)
 }
@@ -888,18 +891,11 @@ func (sh *simShard) admit(f *simFed, t *task.Task, now simtime.Instant) {
 	sh.batch.Add(t)
 }
 
-// buildSimPlanner mirrors livecluster's planner switch for the sim side.
+// buildSimPlanner delegates to the policy registry, like livecluster.
 func buildSimPlanner(a experiment.Algorithm, scfg core.SearchConfig) (core.Planner, error) {
-	switch a {
-	case experiment.RTSADS:
-		return core.NewRTSADS(scfg)
-	case experiment.DCOLS:
-		return core.NewDCOLS(scfg)
-	case experiment.EDFGreedy:
-		return core.NewEDFGreedy(scfg)
-	case experiment.Myopic:
-		return core.NewMyopic(scfg, 7, 1)
-	default:
-		return nil, fmt.Errorf("federation: unknown algorithm %q", a)
+	p, err := policy.Default().New(string(a), policy.Options{Search: scfg})
+	if err != nil {
+		return nil, fmt.Errorf("federation: %w", err)
 	}
+	return p, nil
 }

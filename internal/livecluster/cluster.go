@@ -13,6 +13,7 @@ import (
 	"rtsads/internal/faultinject"
 	"rtsads/internal/metrics"
 	"rtsads/internal/obs"
+	"rtsads/internal/policy"
 	"rtsads/internal/simtime"
 	"rtsads/internal/task"
 	"rtsads/internal/workload"
@@ -978,6 +979,8 @@ func (r *runState) shed(t *task.Task, reason admission.Reason, now simtime.Insta
 		r.res.ShedQueueFull++
 	case admission.ShuttingDown:
 		r.res.ShedShutdown++
+	case admission.Infeasible:
+		r.res.ShedInfeasible++
 	}
 	r.record(metrics.Completion{Task: t.ID, Proc: -1})
 	r.mu.Unlock()
@@ -1253,37 +1256,29 @@ func (c *Cluster) makePlanner(pc *phaseClock, active []int) (core.Planner, *core
 		FrontierCap: c.cfg.FrontierCap,
 		DupCap:      c.cfg.DupCap,
 	}
-	p, err := buildPlanner(c.cfg.Algorithm, scfg)
-	if err != nil {
-		return nil, nil, err
-	}
 	if c.cfg.Degrade == nil {
+		p, err := buildPlanner(c.cfg.Algorithm, scfg)
+		if err != nil {
+			return nil, nil, err
+		}
 		return p, nil, nil
 	}
-	fb, err := core.NewEDFGreedy(scfg)
+	// The degradation pair is one rung of the registry's general ladder:
+	// the configured policy falling back to EDF-greedy under hysteresis.
+	p, dg, err := policy.Default().Ladder(policy.Options{Search: scfg}, *c.cfg.Degrade,
+		string(c.cfg.Algorithm), "EDF-greedy")
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("livecluster: %w", err)
 	}
-	dg, err := core.NewDegrading(p, fb, *c.cfg.Degrade)
-	if err != nil {
-		return nil, nil, err
-	}
-	return dg, dg, nil
+	return p, dg, nil
 }
 
 func buildPlanner(a experiment.Algorithm, scfg core.SearchConfig) (core.Planner, error) {
-	switch a {
-	case experiment.RTSADS:
-		return core.NewRTSADS(scfg)
-	case experiment.DCOLS:
-		return core.NewDCOLS(scfg)
-	case experiment.EDFGreedy:
-		return core.NewEDFGreedy(scfg)
-	case experiment.Myopic:
-		return core.NewMyopic(scfg, 7, 1)
-	default:
-		return nil, fmt.Errorf("livecluster: unknown algorithm %q", a)
+	p, err := policy.Default().New(string(a), policy.Options{Search: scfg})
+	if err != nil {
+		return nil, fmt.Errorf("livecluster: %w", err)
 	}
+	return p, nil
 }
 
 // ChannelBackend runs one goroutine per worker, connected by channels — the

@@ -71,6 +71,11 @@ type RunResult struct {
 	ShedQueueFull int
 	// ShedShutdown counts tasks turned away during a graceful shutdown.
 	ShedShutdown int
+	// ShedInfeasible counts tasks rejected by the admission controller's
+	// schedulability predicate (the policy registry's utilization
+	// quick-test): individually servable, but infeasible together with
+	// the queue they would have joined.
+	ShedInfeasible int
 	// Bounced counts tasks this scheduler domain handed back to a
 	// federation router for cross-shard migration instead of shedding or
 	// losing them locally. It is a terminal bucket for *this* domain —
@@ -163,8 +168,8 @@ func (r *RunResult) String() string {
 		s += fmt.Sprintf(" rerouted=%d", r.Rerouted)
 	}
 	if r.Shed > 0 {
-		s += fmt.Sprintf(" shed=%d (hopeless=%d queueFull=%d shutdown=%d)",
-			r.Shed, r.ShedHopeless, r.ShedQueueFull, r.ShedShutdown)
+		s += fmt.Sprintf(" shed=%d (hopeless=%d queueFull=%d shutdown=%d infeasible=%d)",
+			r.Shed, r.ShedHopeless, r.ShedQueueFull, r.ShedShutdown, r.ShedInfeasible)
 	}
 	if r.Bounced > 0 {
 		s += fmt.Sprintf(" bounced=%d", r.Bounced)

@@ -102,6 +102,14 @@ const (
 	MetricSearchFramesSettled    = "rtsads_search_frames_settled_total"
 	MetricSearchFrontierPeak     = "rtsads_search_frontier_peak"
 	MetricSearchIncumbentUpdates = "rtsads_search_incumbent_updates_total"
+
+	// Policy-tournament metrics: one labelled gauge family per reported
+	// axis, published by policy.Report.Mirror so a -debug-addr scrape sees
+	// each contender's guarantee ratio (parts per million), missed-task
+	// count, and mean per-run scheduling cost (microseconds).
+	MetricPolicyGuaranteePattern   = "rtsads_policy_guarantee_ratio_ppm{policy=%q}"
+	MetricPolicyShedMissPattern    = "rtsads_policy_shed_miss_total{policy=%q}"
+	MetricPolicySchedMicrosPattern = "rtsads_policy_scheduling_micros{policy=%q}"
 )
 
 // PhaseStats is the per-phase search behaviour the observer records — a

@@ -1,0 +1,101 @@
+package policy
+
+import (
+	"fmt"
+	"slices"
+	"time"
+
+	"rtsads/internal/simtime"
+	"rtsads/internal/task"
+)
+
+// Utilization is the admission-time schedulability quick-test: the classic
+// EDF bound Σ wcet/period ≤ 1 adapted to the paper's aperiodic slack
+// model. With no periods, each task's demand is its processing time and
+// its window is deadline − now, so the bound becomes a processor-demand
+// test over the set S = queue ∪ {arriving}: for every deadline horizon d
+// in S,
+//
+//	Σ_{i ∈ S : d_i ≤ d} p_i  ≤  Workers × (d − now).
+//
+// The right side is the most capacity any schedule could possibly apply by
+// d — every worker idle, work perfectly divisible, communication free — so
+// a violated horizon proves the set infeasible as a whole and the test is
+// a NECESSARY condition: it never rejects a set some schedule could have
+// served, and in particular never rejects a task the §4.3 hopeless gate
+// would have admitted on an empty queue (for a lone task the condition
+// p ≤ W·(d − now) is implied by now + p ≤ d). Passing proves nothing —
+// it is a quick-test, not a guarantee; the planner's per-phase feasibility
+// test remains the hard gate.
+//
+// Queued tasks whose deadlines have already passed are skipped: batch
+// formation will purge them, so charging their demand against the newcomer
+// would reject schedulable work.
+//
+// The test is O(n log n) in the queue length per arrival and allocates one
+// scratch slice per call, so concurrent shard host loops can share one
+// value.
+type Utilization struct {
+	// Workers is the capacity multiplier: the number of working
+	// processors in the domain the queue feeds.
+	Workers int
+}
+
+// NewUtilization returns the demand-bound quick-test for a domain of the
+// given worker count.
+func NewUtilization(workers int) *Utilization {
+	return &Utilization{Workers: workers}
+}
+
+// Name implements admission.Predicate.
+func (u *Utilization) Name() string { return fmt.Sprintf("utilization(workers=%d)", u.Workers) }
+
+// demandEntry is one task's (window, demand) pair at the decision instant.
+type demandEntry struct {
+	window time.Duration // deadline − now
+	proc   time.Duration
+}
+
+// Admit implements admission.Predicate.
+func (u *Utilization) Admit(t *task.Task, now simtime.Instant, queue []*task.Task) bool {
+	if u == nil || u.Workers <= 0 {
+		return true
+	}
+	ents := make([]demandEntry, 0, len(queue)+1)
+	add := func(x *task.Task) {
+		if w := x.Deadline.Sub(now); w > 0 {
+			ents = append(ents, demandEntry{window: w, proc: x.Proc})
+		} else if x == t {
+			// The arriving task's own window is already gone: infeasible
+			// by definition (the hopeless gate normally catches this
+			// first). Record it so the d = window ≤ 0 horizon fails.
+			ents = append(ents, demandEntry{window: 0, proc: x.Proc})
+		}
+	}
+	for _, q := range queue {
+		add(q)
+	}
+	add(t)
+	slices.SortFunc(ents, func(a, b demandEntry) int {
+		switch {
+		case a.window < b.window:
+			return -1
+		case a.window > b.window:
+			return 1
+		default:
+			return 0
+		}
+	})
+	capacityPerUnit := time.Duration(u.Workers)
+	var demand time.Duration
+	for _, e := range ents {
+		demand += e.proc
+		// The binding horizon of a run of equal windows is its last
+		// entry; checking every entry is equivalent, since an earlier
+		// entry of the run carries strictly less demand.
+		if demand > capacityPerUnit*e.window {
+			return false
+		}
+	}
+	return true
+}

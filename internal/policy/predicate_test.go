@@ -1,0 +1,158 @@
+package policy
+
+import (
+	"testing"
+	"time"
+
+	"rtsads/internal/simtime"
+	"rtsads/internal/task"
+	"rtsads/internal/workload"
+)
+
+func mkTask(id int, arrival simtime.Instant, proc, window time.Duration) *task.Task {
+	return &task.Task{
+		ID:       task.ID(id),
+		Arrival:  arrival,
+		Proc:     proc,
+		Deadline: arrival.Add(window),
+	}
+}
+
+func TestUtilizationAcceptsFeasible(t *testing.T) {
+	u := NewUtilization(2)
+	now := simtime.Instant(0)
+	// Two workers, 100ms window, 4×10ms of demand: 40ms ≤ 2×100ms.
+	queue := []*task.Task{
+		mkTask(0, now, 10*time.Millisecond, 100*time.Millisecond),
+		mkTask(1, now, 10*time.Millisecond, 100*time.Millisecond),
+		mkTask(2, now, 10*time.Millisecond, 100*time.Millisecond),
+	}
+	arriving := mkTask(3, now, 10*time.Millisecond, 100*time.Millisecond)
+	if !u.Admit(arriving, now, queue) {
+		t.Fatalf("feasible set rejected by %s", u.Name())
+	}
+}
+
+func TestUtilizationRejectsSaturating(t *testing.T) {
+	u := NewUtilization(2)
+	now := simtime.Instant(0)
+	// Two workers, 10ms window, 30ms of demand by that horizon: even
+	// perfectly divisible work cannot fit 30ms into 2×10ms.
+	queue := []*task.Task{
+		mkTask(0, now, 10*time.Millisecond, 10*time.Millisecond),
+		mkTask(1, now, 10*time.Millisecond, 10*time.Millisecond),
+	}
+	arriving := mkTask(2, now, 10*time.Millisecond, 10*time.Millisecond)
+	if u.Admit(arriving, now, queue) {
+		t.Fatalf("W+1 saturating set admitted by %s", u.Name())
+	}
+}
+
+func TestUtilizationSkipsExpiredQueueEntries(t *testing.T) {
+	u := NewUtilization(1)
+	now := simtime.Instant(100 * time.Millisecond)
+	// The queued task's window is gone; batch formation will purge it, so
+	// its demand must not be charged against the newcomer.
+	expired := mkTask(0, 0, 50*time.Millisecond, 10*time.Millisecond)
+	arriving := mkTask(1, now, 5*time.Millisecond, 20*time.Millisecond)
+	if !u.Admit(arriving, now, []*task.Task{expired}) {
+		t.Fatal("expired queue entry's demand charged against a feasible arrival")
+	}
+}
+
+func TestUtilizationRejectsExpiredArrival(t *testing.T) {
+	u := NewUtilization(4)
+	now := simtime.Instant(100 * time.Millisecond)
+	late := mkTask(0, 0, 5*time.Millisecond, 10*time.Millisecond) // deadline long past
+	if u.Admit(late, now, nil) {
+		t.Fatal("arrival with an expired window admitted")
+	}
+}
+
+// TestUtilizationNoFalseNegativesOnCorpus sweeps generated workloads: any
+// task the §4.3 hopeless gate would admit on an empty queue must pass the
+// quick-test too — the predicate is a NECESSARY condition and must never
+// shed work the planner could have served.
+func TestUtilizationNoFalseNegativesOnCorpus(t *testing.T) {
+	for _, sf := range []float64{0.5, 1, 4} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			p := workload.DefaultParams(4)
+			p.NumTransactions = 200
+			p.SF = sf
+			p.Seed = seed
+			w, err := workload.Generate(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			u := NewUtilization(p.Workers)
+			for _, tk := range w.Tasks {
+				if tk.Missed(tk.Arrival) {
+					continue // the hopeless gate sheds it first
+				}
+				if !u.Admit(tk, tk.Arrival, nil) {
+					t.Fatalf("sf=%g seed=%d: quick-test rejected %v on an empty queue, but the hopeless gate admits it", sf, seed, tk)
+				}
+			}
+		}
+	}
+}
+
+// demandViolated is the independent O(n²) certificate: for every task's
+// deadline horizon, recompute the demand sum from scratch.
+func demandViolated(workers int, arriving *task.Task, now simtime.Instant, queue []*task.Task) bool {
+	all := make([]*task.Task, 0, len(queue)+1)
+	for _, q := range queue {
+		if q.Deadline.Sub(now) > 0 {
+			all = append(all, q)
+		}
+	}
+	all = append(all, arriving)
+	for _, horizon := range all {
+		d := horizon.Deadline.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		var demand time.Duration
+		for _, x := range all {
+			w := x.Deadline.Sub(now)
+			if w < 0 {
+				w = 0
+			}
+			if w <= d {
+				demand += x.Proc
+			}
+		}
+		if demand > time.Duration(workers)*d {
+			return true
+		}
+	}
+	return false
+}
+
+// TestUtilizationMatchesCertificate cross-checks every Admit verdict over
+// synthetic queues against the brute-force demand computation: a rejection
+// must come with a violated horizon, an admission with none.
+func TestUtilizationMatchesCertificate(t *testing.T) {
+	p := workload.DefaultParams(3)
+	p.NumTransactions = 150
+	p.Seed = 7
+	w, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := NewUtilization(3)
+	// Slide a queue window over the arrival-ordered task list: each task
+	// arrives against the previous q tasks as its queue.
+	for q := 0; q <= 8; q += 2 {
+		for i := q; i < len(w.Tasks); i += 7 {
+			arriving := w.Tasks[i]
+			queue := w.Tasks[i-q : i]
+			now := arriving.Arrival
+			got := u.Admit(arriving, now, queue)
+			want := !demandViolated(3, arriving, now, queue)
+			if got != want {
+				t.Fatalf("q=%d task=%v: Admit=%v, certificate says %v", q, arriving, got, want)
+			}
+		}
+	}
+}

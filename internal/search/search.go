@@ -166,6 +166,16 @@ type Problem struct {
 	// is reached — the "limit on the depth of search" pruning heuristic of
 	// §3. Zero means unlimited.
 	MaxDepth int
+	// BoundCE, when positive, is an incumbent cost bound from an anytime
+	// optimizer that already holds a COMPLETE schedule of cost BoundCE:
+	// every generated vertex with CE >= BoundCE is pruned, because CE is
+	// monotone non-decreasing along a path (loads only grow), so no
+	// descendant can beat the incumbent. The caller must fall back to its
+	// incumbent when the pruned search returns something shallower — the
+	// bound is only sound against a full-depth incumbent; with a partial
+	// incumbent a pruned branch could still have reached greater depth.
+	// Zero disables pruning.
+	BoundCE time.Duration
 
 	// phaseEnd caches Now.Add(Quantum), the term every feasibility test
 	// adds; Run and RunParallel compute it once before any engine starts,
@@ -223,6 +233,9 @@ func (p *Problem) Validate() error {
 	}
 	if p.VertexCost <= 0 && p.Clock == nil {
 		return fmt.Errorf("search: need VertexCost > 0 or a Clock")
+	}
+	if p.BoundCE < 0 {
+		return fmt.Errorf("search: negative incumbent bound %v", p.BoundCE)
 	}
 	return nil
 }
@@ -453,9 +466,14 @@ type Stats struct {
 	// state signature had already been visited (work-stealing driver with
 	// duplicate detection enabled; always 0 for the sequential engine).
 	Duplicates int
-	DeadEnd    bool // the candidate list emptied before a leaf was reached
-	Leaf       bool // a complete schedule was reached
-	Expired    bool // the quantum ran out
+	// BoundPruned counts generated vertices discarded by the incumbent
+	// cost bound (Problem.BoundCE); always 0 when no bound is set. Pruned
+	// vertices are still charged as generated — the bound saves the
+	// subtree below them, not their own evaluation.
+	BoundPruned int
+	DeadEnd     bool // the candidate list emptied before a leaf was reached
+	Leaf        bool // a complete schedule was reached
+	Expired     bool // the quantum ran out
 	// DepthLimited reports that the MaxDepth pruning bound stopped the
 	// search; BacktrackLimited that the MaxBacktracks bound did.
 	DepthLimited     bool
@@ -727,6 +745,23 @@ func (e *engine) run(start *Vertex) {
 			e.res.Stats.Expanded++
 			e.res.Stats.Generated += generated
 			e.budget.charge(generated)
+			if e.p.BoundCE > 0 && len(succs) > 0 {
+				// Incumbent bound: a successor whose CE already matches or
+				// exceeds the complete incumbent's cost can never improve on
+				// it (CE is monotone along a path), so its whole subtree is
+				// dead. Filtering preserves order, so the surviving DFS is a
+				// subsequence of the unpruned traversal.
+				kept := succs[:0]
+				for _, s := range succs {
+					if s.CE >= e.p.BoundCE {
+						e.res.Stats.BoundPruned++
+						FreeVertex(s)
+						continue
+					}
+					kept = append(kept, s)
+				}
+				succs = kept
+			}
 			barren = len(succs) == 0
 		}
 
